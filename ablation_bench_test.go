@@ -1,0 +1,235 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: query
+// modification through the query state vs. naive replay, the hash-join fast
+// path vs. nested loops, and the cost of direct manipulation's
+// evaluate-after-every-step discipline.
+package sheetmusiq
+
+import (
+	"fmt"
+	"testing"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/sql"
+	"sheetmusiq/internal/tpch"
+)
+
+// buildSamQuery applies Sam's Sec. V query to a sheet over n synthetic cars.
+func buildSamQuery(b *testing.B, base *relation.Relation, yearPred string) (*core.Spreadsheet, int) {
+	b.Helper()
+	s := core.New(base)
+	yearID, err := s.Select(yearPred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []string{"Model = 'Jetta'", "Mileage < 80000"} {
+		if _, err := s.Select(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.GroupBy(core.Asc, "Condition"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Sort("Price", core.Asc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		b.Fatal(err)
+	}
+	return s, yearID
+}
+
+// BenchmarkAblationModifyViaState measures Theorem 3's payoff: one
+// ReplaceSelection plus re-evaluation.
+func BenchmarkAblationModifyViaState(b *testing.B) {
+	base := dataset.RandomCars(5000, 7)
+	s, yearID := buildSamQuery(b, base, "Year = 2005")
+	years := []string{"Year = 2006", "Year = 2005"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReplaceSelection(yearID, years[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationModifyViaReplay is the naive alternative the paper
+// rejects: rebuild the whole program from scratch, re-specifying every
+// operator, then evaluate.
+func BenchmarkAblationModifyViaReplay(b *testing.B) {
+	base := dataset.RandomCars(5000, 7)
+	years := []string{"Year = 2006", "Year = 2005"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := buildSamQuery(b, base, years[i%2])
+		if _, err := s.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationJoinHash exercises the SQL engine's equality fast path.
+func BenchmarkAblationJoinHash(b *testing.B) {
+	benchJoin(b, "SELECT c.ID, d.ID FROM cars c JOIN cars2 d ON c.ID = d.ID")
+}
+
+// BenchmarkAblationJoinNestedLoop forces the quadratic path with a
+// condition the key extractor cannot use. The gap against the hash variant
+// quantifies why the extractor exists.
+func BenchmarkAblationJoinNestedLoop(b *testing.B) {
+	benchJoin(b, "SELECT c.ID, d.ID FROM cars c JOIN cars2 d ON (c.ID = d.ID OR c.ID < 0)")
+}
+
+func benchJoin(b *testing.B, query string) {
+	b.Helper()
+	db := sql.NewDB()
+	left := dataset.RandomCars(1000, 1)
+	right := dataset.RandomCars(1000, 2)
+	right.Name = "cars2"
+	db.Register(left)
+	db.Register(right)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEvaluatePerStep measures the direct-manipulation
+// discipline: the sheet re-evaluates after every one of the six operators
+// (what an interactive session pays), against evaluating once at the end.
+func BenchmarkAblationEvaluatePerStep(b *testing.B) {
+	for _, mode := range []string{"after-every-step", "once-at-end"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			base := dataset.RandomCars(5000, 7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := core.New(base)
+				step := func(err error) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "after-every-step" {
+						if _, err := s.Evaluate(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				_, err := s.Select("Year >= 2003")
+				step(err)
+				step(s.GroupBy(core.Asc, "Model"))
+				step(s.Sort("Price", core.Asc))
+				_, err = s.AggregateAs("AvgP", relation.AggAvg, "Price", 2)
+				step(err)
+				_, err = s.Formula("Delta", "Price - AvgP")
+				step(err)
+				_, err = s.Select("Delta < 0")
+				step(err)
+				if mode == "once-at-end" {
+					if _, err := s.Evaluate(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggregateBucketing compares N aggregates sharing one
+// grouping basis (one pass per Evaluate) against N aggregates over N
+// distinct bases (N passes) — the cost model behind storing aggregates as
+// repeated computed columns.
+func BenchmarkAblationAggregateBucketing(b *testing.B) {
+	funcs := []relation.AggFunc{relation.AggAvg, relation.AggSum, relation.AggMin, relation.AggMax}
+	b.Run("shared-basis", func(b *testing.B) {
+		base := dataset.RandomCars(5000, 7)
+		s := core.New(base)
+		if err := s.GroupBy(core.Asc, "Model"); err != nil {
+			b.Fatal(err)
+		}
+		for i, fn := range funcs {
+			if _, err := s.AggregateAs(fmt.Sprintf("A%d", i), fn, "Price", 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Evaluate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("distinct-bases", func(b *testing.B) {
+		base := dataset.RandomCars(5000, 7)
+		s := core.New(base)
+		for _, col := range []string{"Model", "Year", "Condition"} {
+			if err := s.GroupBy(core.Asc, col); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i, fn := range funcs {
+			if _, err := s.AggregateAs(fmt.Sprintf("A%d", i), fn, "Price", 1+i%4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Evaluate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSubqueryCache quantifies the correlated-subquery
+// memoisation: the Q17-style query re-executes its inner aggregate once per
+// distinct part rather than once per outer row.
+func BenchmarkAblationSubqueryCache(b *testing.B) {
+	base := dataset.RandomCars(3000, 3)
+	db := sql.NewDB()
+	db.Register(base)
+	const q = "SELECT c.ID FROM cars c WHERE c.Price < " +
+		"(SELECT AVG(b.Price) FROM cars b WHERE b.Model = c.Model)"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPushdown measures predicate pushdown on a three-way
+// join with selective single-source filters.
+func BenchmarkAblationPushdown(b *testing.B) {
+	tables := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 5})
+	const q = "SELECT c_name, SUM(l_extendedprice) AS rev FROM customer " +
+		"JOIN orders ON c_custkey = o_custkey JOIN lineitem ON o_orderkey = l_orderkey " +
+		"WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1994-01-01' " +
+		"GROUP BY c_name ORDER BY c_name"
+	for _, mode := range []string{"on", "off"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			db := tpch.BuildDB(tables)
+			db.DisablePushdown = mode == "off"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

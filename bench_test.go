@@ -1,0 +1,403 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (Tables I–VI, Figures 3–5), plus operator-level and substrate benchmarks
+// that characterise the implementation at scale.
+//
+//	go test -bench=. -benchmem
+package sheetmusiq
+
+import (
+	"sync"
+	"testing"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/sql"
+	"sheetmusiq/internal/sqlgen"
+	"sheetmusiq/internal/stats"
+	"sheetmusiq/internal/theorem1"
+	"sheetmusiq/internal/tpch"
+	"sheetmusiq/internal/uistudy"
+)
+
+func evaluate(b *testing.B, s *core.Spreadsheet) *core.Result {
+	b.Helper()
+	res, err := s.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTableI_BaseSpreadsheet prices presenting a base relation
+// unchanged (paper Table I).
+func BenchmarkTableI_BaseSpreadsheet(b *testing.B) {
+	cars := dataset.UsedCars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, core.New(cars))
+	}
+}
+
+// paperSheet builds the Sec. III configuration shared by Tables II and III.
+func paperSheet(b *testing.B) *core.Spreadsheet {
+	b.Helper()
+	s := core.New(dataset.UsedCars())
+	if err := s.GroupBy(core.Desc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.GroupBy(core.Asc, "Year"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Sort("Price", core.Asc); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTableII_Grouping prices adding a grouping level and re-rendering
+// (paper Table II / Example 1).
+func BenchmarkTableII_Grouping(b *testing.B) {
+	base := paperSheet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if err := s.GroupBy(core.Asc, "Condition"); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+// BenchmarkTableIII_Aggregation prices η(avg, Price, level 3) with its
+// repeated-per-group computed column (paper Table III).
+func BenchmarkTableIII_Aggregation(b *testing.B) {
+	base := paperSheet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+// BenchmarkTableIV_QueryState prices Sam's three-selection grouped query
+// (paper Table IV).
+func BenchmarkTableIV_QueryState(b *testing.B) {
+	cars := dataset.UsedCars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.New(cars)
+		for _, p := range []string{"Year = 2005", "Model = 'Jetta'", "Mileage < 80000"} {
+			if _, err := s.Select(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.GroupBy(core.Asc, "Condition"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Sort("Price", core.Asc); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+// BenchmarkTableV_QueryModification prices the Sec. V replace-and-replay
+// cycle (paper Table V): one predicate modification plus re-evaluation.
+func BenchmarkTableV_QueryModification(b *testing.B) {
+	s := core.New(dataset.UsedCars())
+	yearID, err := s.Select("Year = 2005")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Select("Model = 'Jetta'"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.GroupBy(core.Asc, "Condition"); err != nil {
+		b.Fatal(err)
+	}
+	years := []string{"Year = 2006", "Year = 2005"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReplaceSelection(yearID, years[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+// BenchmarkFig3_SpeedResult regenerates Figure 3: the full simulated
+// 10-subject × 10-task × 2-interface study with per-task Mann-Whitney
+// tests.
+func BenchmarkFig3_SpeedResult(b *testing.B) {
+	cfg := uistudy.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := uistudy.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Tasks) != 10 {
+			b.Fatal("study shape wrong")
+		}
+	}
+}
+
+// BenchmarkFig4_SpeedStdDev regenerates Figure 4 (per-task standard
+// deviations over the study trials).
+func BenchmarkFig4_SpeedStdDev(b *testing.B) {
+	st, err := uistudy.Run(uistudy.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := make(map[int][]float64)
+	for _, tr := range st.Trials {
+		if tr.Iface == uistudy.SheetMusiq {
+			times[tr.Task] = append(times[tr.Task], tr.Seconds)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, xs := range times {
+			stats.StdDev(xs)
+		}
+	}
+}
+
+// BenchmarkFig5_Correctness regenerates Figure 5's correctness totals and
+// the Fisher exact test the paper applies to them.
+func BenchmarkFig5_Correctness(b *testing.B) {
+	st, err := uistudy.Run(uistudy.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(st.Panel) * len(st.Tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FisherExact(st.TotalSM, n-st.TotalSM, st.TotalNav, n-st.TotalNav); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVI_Subjective regenerates Table VI (the questionnaire is
+// derived from the measured outcomes, so this re-runs the study).
+func BenchmarkTableVI_Subjective(b *testing.B) {
+	cfg := uistudy.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := uistudy.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Survey.PreferSheetMusiq[0]+st.Survey.PreferSheetMusiq[1] != len(st.Panel) {
+			b.Fatal("survey shape wrong")
+		}
+	}
+}
+
+// --- operator benchmarks at scale -----------------------------------------
+
+func scaleSheet(b *testing.B, n int) *core.Spreadsheet {
+	b.Helper()
+	return core.New(dataset.RandomCars(n, 42))
+}
+
+func BenchmarkSelection10k(b *testing.B) {
+	base := scaleSheet(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.Select("Price < 20000 AND Condition IN ('Good','Excellent')"); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+func BenchmarkGroupAggregate10k(b *testing.B) {
+	base := scaleSheet(b, 10000)
+	if err := base.GroupBy(core.Asc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if err := base.GroupBy(core.Asc, "Year"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+func BenchmarkSortEvaluate10k(b *testing.B) {
+	base := scaleSheet(b, 10000)
+	if err := base.Sort("Price", core.Desc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, base)
+	}
+}
+
+func BenchmarkFormulaEvaluate10k(b *testing.B) {
+	base := scaleSheet(b, 10000)
+	if _, err := base.Formula("PerMile", "Price * 1000 / (Mileage + 1)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, base)
+	}
+}
+
+// --- SQL substrate benchmarks ----------------------------------------------
+
+func BenchmarkSQLGenerate(b *testing.B) {
+	s := core.New(dataset.UsedCars())
+	if _, err := s.Select("Year = 2005"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.GroupBy(core.Asc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlgen.Generate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLExecuteGenerated10k(b *testing.B) {
+	base := dataset.RandomCars(10000, 42)
+	s := core.New(base)
+	if _, err := s.Select("Year >= 2003"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.GroupBy(core.Asc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		b.Fatal(err)
+	}
+	stmt, err := sqlgen.Generate(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sql.NewDB()
+	db.Register(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLParse(b *testing.B) {
+	const q = "SELECT Model, AVG(Price) AS ap FROM cars WHERE Year = 2005 GROUP BY Model HAVING AVG(Price) > 1 ORDER BY ap DESC LIMIT 5"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- TPC-H study-task benchmarks --------------------------------------------
+
+var (
+	tpchOnce sync.Once
+	tpchDB   *sql.DB
+)
+
+func studyDB(b *testing.B) *sql.DB {
+	b.Helper()
+	tpchOnce.Do(func() {
+		tables := tpch.Generate(tpch.DefaultConfig())
+		tpchDB = tpch.BuildDB(tables)
+		if err := tpch.BuildViews(tpchDB); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return tpchDB
+}
+
+// BenchmarkTPCHGenerate prices the dbgen substitute at the default scale.
+func BenchmarkTPCHGenerate(b *testing.B) {
+	cfg := tpch.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tpch.Generate(cfg)
+	}
+}
+
+// BenchmarkStudyTasks runs every study task through both routes: the
+// spreadsheet-algebra program and the reference SQL.
+func BenchmarkStudyTasks(b *testing.B) {
+	db := studyDB(b)
+	for _, task := range tpch.Tasks() {
+		task := task
+		b.Run(task.Name+"/algebra", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := task.Run(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Evaluate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(task.Name+"/sql", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(task.Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem1Compile prices the mechanised Theorem 1 construction:
+// SQL text to a ready spreadsheet program.
+func BenchmarkTheorem1Compile(b *testing.B) {
+	base := dataset.UsedCars()
+	stmt := sql.MustParse("SELECT Model, AVG(Price) AS ap, COUNT(*) AS n FROM cars " +
+		"WHERE Year >= 2005 GROUP BY Model HAVING AVG(Price) > 14000 ORDER BY ap DESC")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := theorem1.Compile(base, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := prog.Collapse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

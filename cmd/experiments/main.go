@@ -1,0 +1,175 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VII) plus the running-example tables of Secs. I–V.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table 1|2|3|4|5|6
+//	experiments -fig 3|4|5
+//	experiments -seed 42 -subjects 10
+//	experiments -sweep 100    # robustness across 100 simulated panels
+//
+// Absolute numbers differ from the paper (the subjects are simulated; see
+// DESIGN.md), but the shapes — who wins, by what factor, where the
+// comparable queries fall — reproduce the published results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/report"
+	"sheetmusiq/internal/tpch"
+	"sheetmusiq/internal/uistudy"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate paper table 1-6")
+		fig      = flag.Int("fig", 0, "regenerate paper figure 3-5")
+		all      = flag.Bool("all", false, "regenerate everything")
+		subjects = flag.Int("subjects", 10, "simulated panel size")
+		seed     = flag.Int64("seed", uistudy.DefaultConfig().Seed, "simulation seed")
+		sweep    = flag.Int("sweep", 0, "robustness sweep: re-run the study N times over fresh panels")
+	)
+	flag.Parse()
+	if *sweep > 0 {
+		res, err := uistudy.Sweep(*sweep, *seed, *subjects)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		return
+	}
+	if !*all && *table == 0 && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*all, *table, *fig, *subjects, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all bool, table, fig, subjects int, seed int64) error {
+	if all || table >= 1 && table <= 5 {
+		if err := paperTables(table, all); err != nil {
+			return err
+		}
+	}
+	if all || fig != 0 || table == 6 {
+		study, err := uistudy.Run(uistudy.Config{
+			Subjects: subjects, Seed: seed, Tasks: tpch.Tasks(),
+		})
+		if err != nil {
+			return err
+		}
+		if all || fig == 3 {
+			report.Fig3(os.Stdout, study)
+		}
+		if all || fig == 4 {
+			report.Fig4(os.Stdout, study)
+		}
+		if all || fig == 5 {
+			report.Fig5(os.Stdout, study)
+		}
+		if all || table == 6 {
+			report.TableVI(os.Stdout, study)
+		}
+		if all {
+			report.Analysis(os.Stdout, study)
+		}
+	}
+	return nil
+}
+
+// paperTables replays the used-car walkthrough of Secs. I–V.
+func paperTables(which int, all bool) error {
+	show := func(n int, title string, res *core.Result) {
+		if !all && which != n {
+			return
+		}
+		fmt.Printf("== Table %s — %s ==\n%s\n", roman(n), title, res.RenderGrouped())
+	}
+
+	base := core.New(dataset.UsedCars())
+	res, err := base.Evaluate()
+	if err != nil {
+		return err
+	}
+	show(1, "sample used car database", res)
+
+	// Table II: grouped by Model DESC, Year ASC, Condition ASC; Price ASC.
+	s := core.New(dataset.UsedCars())
+	if err := s.GroupBy(core.Desc, "Model"); err != nil {
+		return err
+	}
+	if err := s.GroupBy(core.Asc, "Year"); err != nil {
+		return err
+	}
+	if err := s.Sort("Price", core.Asc); err != nil {
+		return err
+	}
+	t2 := s.Clone()
+	if err := t2.GroupBy(core.Asc, "Condition"); err != nil {
+		return err
+	}
+	if res, err = t2.Evaluate(); err != nil {
+		return err
+	}
+	show(2, "car database after grouping by condition", res)
+
+	// Table III: average price per (Model, Year).
+	t3 := s.Clone()
+	if _, err := t3.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+		return err
+	}
+	if err := t3.Hide("Condition"); err != nil {
+		return err
+	}
+	if res, err = t3.Evaluate(); err != nil {
+		return err
+	}
+	show(3, "car database with computed column Avg_Price", res)
+
+	// Tables IV and V: Sam's query, then the Year modification.
+	t4 := core.New(dataset.UsedCars())
+	yearID, err := t4.Select("Year = 2005")
+	if err != nil {
+		return err
+	}
+	if _, err := t4.Select("Model = 'Jetta'"); err != nil {
+		return err
+	}
+	if _, err := t4.Select("Mileage < 80000"); err != nil {
+		return err
+	}
+	if err := t4.GroupBy(core.Asc, "Condition"); err != nil {
+		return err
+	}
+	if err := t4.Sort("Price", core.Asc); err != nil {
+		return err
+	}
+	if res, err = t4.Evaluate(); err != nil {
+		return err
+	}
+	show(4, "results before query modification", res)
+
+	if err := t4.ReplaceSelection(yearID, "Year = 2006"); err != nil {
+		return err
+	}
+	if res, err = t4.Evaluate(); err != nil {
+		return err
+	}
+	show(5, "results after query modification", res)
+	return nil
+}
+
+func roman(n int) string {
+	return [...]string{"", "I", "II", "III", "IV", "V", "VI"}[n]
+}

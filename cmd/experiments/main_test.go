@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"sheetmusiq/internal/uistudy"
+)
+
+// TestRunAllArtifacts smoke-runs every artifact path (output goes to the
+// test's stdout; content is covered by internal/report's tests and the
+// golden table tests in internal/core).
+func TestRunAllArtifacts(t *testing.T) {
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	if err := run(true, 0, 0, 10, uistudy.DefaultConfig().Seed); err != nil {
+		t.Fatal(err)
+	}
+	for table := 1; table <= 6; table++ {
+		if err := run(false, table, 0, 10, 1); err != nil {
+			t.Fatalf("table %d: %v", table, err)
+		}
+	}
+	for fig := 3; fig <= 5; fig++ {
+		if err := run(false, 0, fig, 10, 1); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+	}
+}

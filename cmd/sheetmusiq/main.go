@@ -1,0 +1,33 @@
+// Command sheetmusiq is the interactive direct-manipulation query
+// interface: a textual rendition of the paper's SheetMusiq prototype
+// (Sec. VI). Start it, type "demo cars" (the paper's running example) or
+// "demo tpch" (the user-study dataset), and manipulate the sheet one
+// algebra operator at a time; "help" lists every command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sheetmusiq/internal/repl"
+)
+
+func main() {
+	script := flag.String("script", "", "run commands from a file instead of stdin")
+	flag.Parse()
+	in := os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sheetmusiq:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := repl.New(os.Stdout).Run(in); err != nil {
+		fmt.Fprintln(os.Stderr, "sheetmusiq:", err)
+		os.Exit(1)
+	}
+}

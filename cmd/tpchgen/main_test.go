@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sheetmusiq/internal/relation"
+)
+
+func TestRunWritesTables(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0.001, dir, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"region", "nation", "supplier", "customer",
+		"part", "partsupp", "orders", "lineitem"} {
+		path := filepath.Join(dir, name+".csv")
+		rel, err := relation.LoadCSV(name, path, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.Len() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v_stock.csv")); err == nil {
+		t.Fatal("views must not be written without -views")
+	}
+}
+
+func TestRunWritesViews(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0.001, dir, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "v_") {
+			views++
+		}
+	}
+	if views < 5 {
+		t.Fatalf("expected the study views, found %d v_* files", views)
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run(0.001, "/proc/definitely/not/writable", 7, false); err == nil {
+		t.Fatal("unwritable output directory must error")
+	}
+}

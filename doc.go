@@ -1,0 +1,14 @@
+// Package sheetmusiq reproduces "A Spreadsheet Algebra for a Direct Data
+// Manipulation Query Interface" (Liu & Jagadish, ICDE 2009): a query
+// algebra over recursively grouped ordered multi-sets whose unary operators
+// commute, enabling a spreadsheet-style interface where queries are
+// composed one small step at a time and any earlier step can be modified in
+// place.
+//
+// The algebra lives in internal/core; internal/sql and internal/sqlgen form
+// the SQL substrate the paper's prototype compiled to; internal/tpch and
+// internal/uistudy reproduce the Sec. VII evaluation. See README.md for the
+// tour and DESIGN.md for the system inventory. This root package holds the
+// benchmark harness (bench_test.go) that regenerates every table and figure
+// of the paper.
+package sheetmusiq

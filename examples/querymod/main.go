@@ -1,0 +1,80 @@
+// Querymod demonstrates the interactive facilities around the algebra:
+// undo/redo, stored spreadsheets, binary operators, and the query-state
+// modification API — including the point of non-commutativity a binary
+// operator creates (paper Secs. IV-B and V).
+//
+//	go run ./examples/querymod
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func rows(s *core.Spreadsheet) int {
+	res, err := s.Evaluate()
+	must(err)
+	return res.Table.Len()
+}
+
+func main() {
+	catalog := core.NewCatalog()
+
+	// Build and store a sheet of excellent-condition cars.
+	excellent := core.New(dataset.UsedCars())
+	_, err := excellent.Select("Condition = 'Excellent'")
+	must(err)
+	must(catalog.Save("excellent", excellent))
+	fmt.Printf("stored sheet %q with %d rows\n", "excellent", rows(excellent))
+
+	// Current sheet: cheap cars.
+	sheet := core.New(dataset.UsedCars())
+	cheapID, err := sheet.Select("Price < 17000")
+	must(err)
+	fmt.Printf("cheap cars: %d rows\n", rows(sheet))
+
+	// Undo and redo are one call each.
+	entry, err := sheet.Undo()
+	must(err)
+	fmt.Printf("undid %q -> %d rows\n", entry, rows(sheet))
+	_, err = sheet.Redo()
+	must(err)
+	fmt.Printf("redone -> %d rows\n", rows(sheet))
+
+	// Loosen the predicate in place: history is rewritten, not replayed.
+	must(sheet.ReplaceSelection(cheapID, "Price < 18000"))
+	fmt.Printf("after modifying the price cap: %d rows\n", rows(sheet))
+
+	// A binary operator folds the current state into a new base relation —
+	// the point of non-commutativity.
+	stored, err := catalog.Stored("excellent")
+	must(err)
+	must(sheet.Difference(stored))
+	fmt.Printf("cheap − excellent: %d rows; live selections now: %d\n",
+		rows(sheet), len(sheet.Selections("")))
+
+	// The query state is rewritable again after the fold.
+	_, err = sheet.Select("Model = 'Civic'")
+	must(err)
+	fmt.Printf("cheap − excellent, Civics only: %d rows\n", rows(sheet))
+
+	// Reinstating a projected column rewrites history as if π never ran.
+	must(sheet.Hide("Mileage"))
+	fmt.Printf("columns with Mileage hidden: %v\n", sheet.VisibleSchema().Names())
+	must(sheet.Reinstate("Mileage"))
+	fmt.Printf("columns after reinstate:     %v\n", sheet.VisibleSchema().Names())
+
+	fmt.Println("\nfull history:")
+	for i, h := range sheet.History() {
+		fmt.Printf("  %d. %s\n", i+1, h)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: build a spreadsheet over a small relation and compose a query
+// one direct-manipulation operator at a time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+func main() {
+	// 1. A base relation (normally loaded from CSV or generated).
+	books := relation.New("books", relation.Schema{
+		{Name: "Title", Kind: value.KindString},
+		{Name: "Genre", Kind: value.KindString},
+		{Name: "Pages", Kind: value.KindInt},
+		{Name: "Price", Kind: value.KindFloat},
+	})
+	add := func(title, genre string, pages int64, price float64) {
+		books.MustAppend(value.NewString(title), value.NewString(genre),
+			value.NewInt(pages), value.NewFloat(price))
+	}
+	add("The Pragmatic Programmer", "software", 352, 39.99)
+	add("A Pattern Language", "architecture", 1171, 65.00)
+	add("The Art of Computer Programming", "software", 650, 79.99)
+	add("Structure and Interpretation", "software", 657, 42.00)
+	add("Invisible Cities", "fiction", 165, 12.99)
+	add("The Dispossessed", "fiction", 387, 15.99)
+
+	// 2. The base spreadsheet S⁰ (paper Def. 2).
+	sheet := core.New(books)
+
+	// 3. Manipulate it step by step; each call edits the query state and
+	//    Evaluate replays it.
+	if _, err := sheet.Select("Price < 70"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.GroupBy(core.Asc, "Genre"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.Sort("Price", core.Asc); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sheet.AggregateAs("AvgPages", relation.AggAvg, "Pages", 2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sheet.Formula("PerPage", "Price / Pages"); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sheet.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Books under $70, grouped by genre, with the genre's average page count:")
+	fmt.Println(res.RenderGrouped())
+
+	// 4. Query modification (paper Sec. V): change the price cap without
+	//    redoing anything else.
+	sel := sheet.Selections("Price")[0]
+	if err := sheet.ReplaceSelection(sel.ID, "Price < 45"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = sheet.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Same sheet after tightening the price filter to $45:")
+	fmt.Println(res.RenderGrouped())
+
+	fmt.Println("Operation history:")
+	for i, h := range sheet.History() {
+		fmt.Printf("  %d. %s\n", i+1, h)
+	}
+}

@@ -1,0 +1,3 @@
+module sheetmusiq
+
+go 1.22

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog implements the housekeeping operators of Sec. III-C: Save, Open
+// and Close over stored spreadsheets. A spreadsheet "can be stored and
+// later re-loaded, regardless of the number of operations it went through",
+// and binary operators take their second operand from here.
+type Catalog struct {
+	sheets map[string]*Spreadsheet
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{sheets: map[string]*Spreadsheet{}} }
+
+// Save stores an independent snapshot of the spreadsheet under name,
+// overwriting any previous sheet with that name.
+func (c *Catalog) Save(name string, s *Spreadsheet) error {
+	if name == "" {
+		return fmt.Errorf("core: stored spreadsheet needs a name")
+	}
+	snap := s.Clone()
+	snap.SetName(name)
+	c.sheets[name] = snap
+	return nil
+}
+
+// Open returns a working copy of a stored spreadsheet; edits to the copy do
+// not affect the stored version until it is saved again.
+func (c *Catalog) Open(name string) (*Spreadsheet, error) {
+	s, ok := c.sheets[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no stored spreadsheet %q", name)
+	}
+	return s.Clone(), nil
+}
+
+// Stored returns the stored sheet itself for use as a binary-operator
+// operand (read-only by convention).
+func (c *Catalog) Stored(name string) (*Spreadsheet, error) {
+	s, ok := c.sheets[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no stored spreadsheet %q", name)
+	}
+	return s, nil
+}
+
+// Close removes a stored spreadsheet.
+func (c *Catalog) Close(name string) error {
+	if _, ok := c.sheets[name]; !ok {
+		return fmt.Errorf("core: no stored spreadsheet %q", name)
+	}
+	delete(c.sheets, name)
+	return nil
+}
+
+// Names lists the stored spreadsheets in lexical order (the interface's
+// "all stored-relations listed in a pop-up menu").
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.sheets))
+	for n := range c.sheets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+)
+
+// op is one operator instance with explicit precedence edges (deps are
+// indexes of ops that must be applied earlier because they create columns
+// or grouping levels this op requires).
+type op struct {
+	name  string
+	deps  []int
+	apply func(s *Spreadsheet) error
+}
+
+// applyProgram runs ops in the given order and returns the rendered result.
+func applyProgram(t *testing.T, ops []op, order []int) string {
+	t.Helper()
+	s := New(dataset.UsedCars())
+	for _, i := range order {
+		if err := ops[i].apply(s); err != nil {
+			t.Fatalf("order %v: op %s: %v", order, ops[i].name, err)
+		}
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatalf("order %v: evaluate: %v", order, err)
+	}
+	return res.Render()
+}
+
+// validOrders enumerates permutations of 0..n-1 that respect the deps
+// partial order, up to limit.
+func validOrders(ops []op, limit int) [][]int {
+	n := len(ops)
+	var out [][]int
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(out) >= limit {
+			return
+		}
+		if len(perm) == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for _, d := range ops[i].deps {
+				if !used[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// TestTheorem2Commutativity checks the paper's Theorem 2 on a program that
+// exercises all five unary data-manipulation operators plus grouping and
+// ordering: every precedence-respecting application order must produce the
+// identical spreadsheet.
+func TestTheorem2Commutativity(t *testing.T) {
+	sel := func(pred string) func(*Spreadsheet) error {
+		return func(s *Spreadsheet) error { _, err := s.Select(pred); return err }
+	}
+	ops := []op{
+		0: {name: "τ Model", apply: func(s *Spreadsheet) error { return s.GroupBy(Desc, "Model") }},
+		1: {name: "τ Year", deps: []int{0}, apply: func(s *Spreadsheet) error { return s.GroupBy(Asc, "Year") }},
+		2: {name: "λ Price", apply: func(s *Spreadsheet) error { return s.Sort("Price", Asc) }},
+		3: {name: "σ cond", apply: sel("Condition = 'Good' OR Condition = 'Excellent'")},
+		4: {name: "η avg", deps: []int{1}, apply: func(s *Spreadsheet) error {
+			_, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 3)
+			return err
+		}},
+		5: {name: "θ ratio", deps: []int{4}, apply: func(s *Spreadsheet) error {
+			_, err := s.Formula("Ratio", "Price / AvgP")
+			return err
+		}},
+		6: {name: "σ having", deps: []int{4}, apply: sel("AvgP > 14000")},
+		7: {name: "π Mileage", apply: func(s *Spreadsheet) error { return s.Hide("Mileage") }},
+	}
+	orders := validOrders(ops, 200)
+	if len(orders) < 10 {
+		t.Fatalf("only %d valid orders; dependency spec too tight", len(orders))
+	}
+	want := applyProgram(t, ops, orders[0])
+	for _, order := range orders[1:] {
+		if got := applyProgram(t, ops, order); got != want {
+			t.Fatalf("order %v diverged:\n%s\nwant:\n%s", order, got, want)
+		}
+	}
+}
+
+// TestTheorem2SelectionAggregationCommute pins the pair the paper calls out
+// as surprising: σ and η commute because the aggregate column recomputes.
+func TestTheorem2SelectionAggregationCommute(t *testing.T) {
+	run := func(selFirst bool) string {
+		s := New(dataset.UsedCars())
+		do := func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		agg := func() {
+			_, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 1)
+			do(err)
+		}
+		select2005 := func() {
+			_, err := s.Select("Year = 2005")
+			do(err)
+		}
+		if selFirst {
+			select2005()
+			agg()
+		} else {
+			agg()
+			select2005()
+		}
+		res, err := s.Evaluate()
+		do(err)
+		return res.Render()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("σ/η do not commute:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTheorem2DEAggregationCommute pins δ/η commutativity.
+func TestTheorem2DEAggregationCommute(t *testing.T) {
+	run := func(deFirst bool) string {
+		s := New(dataset.UsedCars())
+		if err := s.Hide("ID"); err != nil {
+			t.Fatal(err)
+		}
+		de := func() {
+			if err := s.Distinct(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		agg := func() {
+			if _, err := s.AggregateAs("N", relation.AggCount, "Model", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if deFirst {
+			de()
+			agg()
+		} else {
+			agg()
+			de()
+		}
+		res, err := s.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("δ/η do not commute:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRandomizedCommutativity fuzzes random unary programs over the larger
+// synthetic car relation: shuffled precedence-respecting orders must agree.
+func TestRandomizedCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{
+		"Price < 25000", "Price >= 12000", "Year <> 2003",
+		"Mileage < 150000", "Condition IN ('Excellent','Good','Fair')",
+		"Model LIKE '%a%'", "Year BETWEEN 2001 AND 2008",
+	}
+	for trial := 0; trial < 25; trial++ {
+		var ops []op
+		sel := func(pred string) {
+			p := pred
+			ops = append(ops, op{name: "σ " + p, apply: func(s *Spreadsheet) error {
+				_, err := s.Select(p)
+				return err
+			}})
+		}
+		nsel := 1 + rng.Intn(3)
+		for i := 0; i < nsel; i++ {
+			sel(preds[rng.Intn(len(preds))])
+		}
+		grouped := rng.Intn(2) == 0
+		gIdx := -1
+		if grouped {
+			gIdx = len(ops)
+			ops = append(ops, op{name: "τ Model", apply: func(s *Spreadsheet) error {
+				return s.GroupBy(Asc, "Model")
+			}})
+		}
+		if rng.Intn(2) == 0 {
+			level := 1
+			var deps []int
+			if grouped {
+				level = 2
+				deps = []int{gIdx}
+			}
+			lv := level
+			aIdx := len(ops)
+			ops = append(ops, op{name: "η", deps: deps, apply: func(s *Spreadsheet) error {
+				_, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", lv)
+				return err
+			}})
+			if rng.Intn(2) == 0 {
+				ops = append(ops, op{name: "σ AvgP", deps: []int{aIdx}, apply: func(s *Spreadsheet) error {
+					_, err := s.Select("AvgP > 15000")
+					return err
+				}})
+			}
+		}
+		if rng.Intn(2) == 0 {
+			ops = append(ops, op{name: "λ", apply: func(s *Spreadsheet) error {
+				return s.Sort("Price", Desc)
+			}})
+		}
+		if rng.Intn(2) == 0 {
+			ops = append(ops, op{name: "π", apply: func(s *Spreadsheet) error {
+				return s.Hide("Mileage")
+			}})
+		}
+
+		base := dataset.RandomCars(60, int64(trial))
+		apply := func(order []int) string {
+			s := New(base)
+			for _, i := range order {
+				if err := ops[i].apply(s); err != nil {
+					t.Fatalf("trial %d op %s: %v", trial, ops[i].name, err)
+				}
+			}
+			res, err := s.Evaluate()
+			if err != nil {
+				t.Fatalf("trial %d evaluate: %v", trial, err)
+			}
+			return res.Render()
+		}
+		orders := validOrders(ops, 24)
+		want := apply(orders[0])
+		for _, order := range orders[1:] {
+			if got := apply(order); got != want {
+				t.Fatalf("trial %d order %v diverged", trial, order)
+			}
+		}
+	}
+}
+
+// TestTheorem3ModificationEqualsReplay: modifying one stored operator and
+// re-evaluating equals re-running the rewritten program from scratch.
+func TestTheorem3ModificationEqualsReplay(t *testing.T) {
+	build := func(yearPred string) string {
+		s := New(dataset.UsedCars())
+		for _, p := range []string{yearPred, "Model = 'Jetta'", "Mileage < 80000"} {
+			if _, err := s.Select(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.GroupBy(Asc, "Condition"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sort("Price", Asc); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+
+	s := New(dataset.UsedCars())
+	yearID, err := s.Select("Year = 2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"Model = 'Jetta'", "Mileage < 80000"} {
+		if _, err := s.Select(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.GroupBy(Asc, "Condition"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	for _, year := range []int{2006, 2005, 2006} {
+		pred := fmt.Sprintf("Year = %d", year)
+		if err := s.ReplaceSelection(yearID, pred); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Render(), build(pred); got != want {
+			t.Fatalf("modified state ≠ replay for %s:\n%s\nvs\n%s", pred, got, want)
+		}
+	}
+}

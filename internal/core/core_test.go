@@ -1,0 +1,759 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// sheet returns a fresh spreadsheet over the paper's Table I car data.
+func sheet() *Spreadsheet { return New(dataset.UsedCars()) }
+
+// tableIDs extracts the ID column of an evaluated result, in display order.
+func tableIDs(t *testing.T, s *Spreadsheet) []int64 {
+	t.Helper()
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.Table.Schema.IndexOf("ID")
+	if i < 0 {
+		t.Fatal("result lost the ID column")
+	}
+	out := make([]int64, res.Table.Len())
+	for r, row := range res.Table.Rows {
+		out[r] = row[i].Int()
+	}
+	return out
+}
+
+func wantIDs(t *testing.T, got []int64, want ...int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count = %d, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d (%v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// paperSheet builds the Sec. III running configuration: grouped by Model
+// (DESC) then Year (ASC), ordered by Price (ASC) inside the finest groups.
+func paperSheet(t *testing.T) *Spreadsheet {
+	t.Helper()
+	s := sheet()
+	if err := s.GroupBy(Desc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Year"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPaperTableI(t *testing.T) {
+	// The base spreadsheet presents Table I unchanged, in insertion order.
+	wantIDs(t, tableIDs(t, sheet()), 304, 872, 901, 423, 723, 725, 132, 879, 322)
+}
+
+func TestPaperTableII(t *testing.T) {
+	// Example 1: adding a Condition grouping level below (Model, Year)
+	// produces exactly Table II's row order.
+	s := paperSheet(t)
+	if err := s.GroupBy(Asc, "Condition"); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, tableIDs(t, s), 872, 901, 304, 723, 725, 423, 132, 879, 322)
+}
+
+func TestPaperTableIII(t *testing.T) {
+	// η(avg, Price, level 3) repeats the group average per row (Table III).
+	s := paperSheet(t)
+	name, err := s.Aggregate(relation.AggAvg, "Price", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "Avg_Price" {
+		t.Fatalf("aggregate column name = %q, want Avg_Price", name)
+	}
+	if err := s.Hide("Condition"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.Schema.Names(); strings.Join(got, ",") != "ID,Model,Price,Year,Mileage,Avg_Price" {
+		t.Fatalf("visible columns = %v", got)
+	}
+	wantAvg := []float64{
+		15166.666666666666, 15166.666666666666, 15166.666666666666,
+		17500, 17500, 17500,
+		13500, 15500, 15500,
+	}
+	ai := res.Table.Schema.IndexOf("Avg_Price")
+	for i, row := range res.Table.Rows {
+		if row[ai].Float() != wantAvg[i] {
+			t.Errorf("row %d Avg_Price = %v, want %v", i, row[ai], wantAvg[i])
+		}
+	}
+	wantIDs(t, tableIDs(t, s), 304, 872, 901, 423, 723, 725, 132, 879, 322)
+}
+
+func TestPaperTableIVAndV(t *testing.T) {
+	// Sec. V-B: Sam's query, then modifying Year = 2005 to Year = 2006.
+	s := sheet()
+	yearID, err := s.Select("Year = 2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Model = 'Jetta'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Mileage < 80000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Condition"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	// Table IV.
+	wantIDs(t, tableIDs(t, s), 872, 901, 304)
+
+	// One state change replays the whole history (Theorem 3): Table V.
+	if err := s.ReplaceSelection(yearID, "Year = 2006"); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, tableIDs(t, s), 723, 725, 423)
+}
+
+func TestSelectionFilters(t *testing.T) {
+	s := sheet()
+	if _, err := s.Select("Condition = 'Good' OR Condition = 'Excellent'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Year >= 2005"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 9 {
+		t.Fatalf("all 9 cars qualify, got %d", res.Table.Len())
+	}
+	if _, err := s.Select("Price < 15000"); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, tableIDs(t, s), 304, 132)
+}
+
+func TestSelectRejectsBadPredicates(t *testing.T) {
+	s := sheet()
+	cases := []string{
+		"Price",          // not boolean
+		"Nope = 1",       // unknown column
+		"Model > 5",      // type mismatch
+		"SUM(Price) > 1", // aggregate inline
+		"Price <",        // syntax error
+		"Model LIKE 5",   // LIKE over int
+	}
+	for _, pred := range cases {
+		if _, err := s.Select(pred); err == nil {
+			t.Errorf("Select(%q) should fail", pred)
+		}
+	}
+	if s.Version() != 0 {
+		t.Error("failed operators must not bump the version")
+	}
+}
+
+func TestGroupingValidation(t *testing.T) {
+	s := sheet()
+	if err := s.GroupBy(Asc); err == nil {
+		t.Error("empty grouping must fail")
+	}
+	if err := s.GroupBy(Asc, "Nope"); err == nil {
+		t.Error("grouping unknown column must fail")
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err == nil {
+		t.Error("re-grouping an already grouped column must fail")
+	}
+	if err := s.GroupBy(Asc, "Year", "Year"); err == nil {
+		t.Error("duplicate attributes in one τ must fail")
+	}
+	if _, err := s.Aggregate(relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Avg_Price"); err == nil {
+		t.Error("grouping by an aggregate-derived column must fail")
+	}
+}
+
+func TestGroupingSubtractsFinestOrder(t *testing.T) {
+	// Def. 3: o_L = L − grouping-basis.
+	s := sheet()
+	if err := s.Sort("Year", Asc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Desc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Year"); err != nil {
+		t.Fatal(err)
+	}
+	fo := s.FinestOrder()
+	if len(fo) != 1 || fo[0].Column != "Price" || fo[0].Dir != Desc {
+		t.Fatalf("finest order after τ = %v, want [Price DESC]", fo)
+	}
+}
+
+func TestOrderingCases(t *testing.T) {
+	s := paperSheet(t) // groups: Model desc, Year asc; finest: Price asc
+
+	// Case 3: ordering a grouped attribute at the finest level is a no-op.
+	if err := s.OrderBy("Model", Asc, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FinestOrder()) != 1 {
+		t.Fatal("no-op ordering changed the finest order")
+	}
+
+	// Finest-level ordering replaces direction for an existing key.
+	if err := s.OrderBy("Price", Desc, 3); err != nil {
+		t.Fatal(err)
+	}
+	if fo := s.FinestOrder(); fo[0].Dir != Desc {
+		t.Fatal("re-ordering Price should flip its direction")
+	}
+
+	// Case 2: ordering level 1 by Model flips the level-2 group direction.
+	if err := s.OrderBy("Model", Asc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Grouping(); g[0].Dir != Asc {
+		t.Fatal("case-2 ordering should flip the group direction")
+	}
+
+	// Case 1: ordering level 1 by Price destroys levels 2..n.
+	if err := s.OrderBy("Price", Asc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Grouping()) != 0 {
+		t.Fatal("case-1 ordering should destroy the grouping")
+	}
+	if fo := s.FinestOrder(); len(fo) != 1 || fo[0].Column != "Price" {
+		t.Fatalf("finest order after destroy = %v", fo)
+	}
+}
+
+func TestOrderingRefusedWhenAggregatesDepend(t *testing.T) {
+	s := paperSheet(t)
+	if _, err := s.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Destroying level 3 while Avg_Price depends on it must be refused.
+	if err := s.OrderBy("Price", Asc, 1); err == nil {
+		t.Fatal("grouping destruction with dependent aggregates must fail")
+	}
+	// After removing the aggregate it is allowed.
+	if err := s.RemoveComputed("Avg_Price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderBy("Price", Asc, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionHidesButKeepsPredicates(t *testing.T) {
+	s := sheet()
+	if _, err := s.Select("Price < 15000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide("Price"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Schema.Has("Price") {
+		t.Fatal("hidden column still visible")
+	}
+	if res.Table.Len() != 2 {
+		t.Fatalf("selection on hidden column must stay active: %d rows", res.Table.Len())
+	}
+	// Reinstate rewrites history as if π never happened.
+	if err := s.Reinstate("Price"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Evaluate()
+	if !res.Table.Schema.Has("Price") {
+		t.Fatal("reinstate did not restore the column")
+	}
+}
+
+func TestProjectionValidation(t *testing.T) {
+	s := sheet()
+	if err := s.Hide("Nope"); err == nil {
+		t.Error("hiding unknown column must fail")
+	}
+	if err := s.Hide("Price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide("Price"); err == nil {
+		t.Error("double hide must fail")
+	}
+	if err := s.Reinstate("Model"); err == nil {
+		t.Error("reinstating a visible column must fail")
+	}
+	for _, c := range []string{"ID", "Model", "Year", "Mileage"} {
+		if err := s.Hide(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Hide("Condition"); err == nil {
+		t.Error("hiding the last visible column must fail")
+	}
+}
+
+func TestAggregateLevels(t *testing.T) {
+	s := paperSheet(t)
+	// Level 1 aggregates across the whole sheet.
+	if _, err := s.AggregateAs("AvgAll", relation.AggAvg, "Price", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Level 2 per Model, level 3 per (Model, Year).
+	if _, err := s.AggregateAs("AvgModel", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("CntMY", relation.AggCount, "ID", 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(row int, col string) value.Value {
+		return res.Table.Rows[row][res.Table.Schema.IndexOf(col)]
+	}
+	wantAll := (14500.0 + 15000 + 16000 + 17000 + 17500 + 18000 + 13500 + 15000 + 16000) / 9
+	for r := 0; r < res.Table.Len(); r++ {
+		if got := get(r, "AvgAll").Float(); got != wantAll {
+			t.Fatalf("row %d AvgAll = %v, want %v", r, got, wantAll)
+		}
+	}
+	// First row is a Jetta (Model desc): avg Jetta price = 16333.33...
+	if got := get(0, "AvgModel").Float(); got != (14500.0+15000+16000+17000+17500+18000)/6 {
+		t.Fatalf("AvgModel first row = %v", got)
+	}
+	if got := get(0, "CntMY").Int(); got != 3 {
+		t.Fatalf("CntMY first row = %d, want 3", got)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	s := sheet()
+	if _, err := s.Aggregate(relation.AggAvg, "Nope", 1); err == nil {
+		t.Error("aggregating unknown column must fail")
+	}
+	if _, err := s.Aggregate(relation.AggAvg, "Model", 1); err == nil {
+		t.Error("AVG over TEXT must fail")
+	}
+	if _, err := s.Aggregate(relation.AggAvg, "Price", 2); err == nil {
+		t.Error("aggregate at nonexistent level must fail")
+	}
+	if _, err := s.AggregateAs("Price", relation.AggAvg, "Price", 1); err == nil {
+		t.Error("name collision must fail")
+	}
+	if _, err := s.Aggregate(relation.AggMin, "Model", 1); err != nil {
+		t.Errorf("MIN over TEXT is fine: %v", err)
+	}
+}
+
+func TestAggregateNameUniquified(t *testing.T) {
+	s := sheet()
+	n1, err := s.Aggregate(relation.AggAvg, "Price", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := s.Aggregate(relation.AggAvg, "Price", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == n2 {
+		t.Fatalf("duplicate aggregate names: %q", n1)
+	}
+}
+
+func TestFormulaComputation(t *testing.T) {
+	s := sheet()
+	name, err := s.Formula("PricePerMile", "Price * 1000 / Mileage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.Table.Schema.IndexOf(name)
+	// First row: 14500*1000/76000.
+	want := 14500000.0 / 76000
+	if got := res.Table.Rows[0][i].Float(); got != want {
+		t.Fatalf("formula value = %v, want %v", got, want)
+	}
+	// Formulas can feed selections.
+	if _, err := s.Select("PricePerMile > 400"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Evaluate()
+	for _, row := range res.Table.Rows {
+		if row[i].Float() <= 400 {
+			t.Fatalf("selection over formula failed: %v", row)
+		}
+	}
+}
+
+func TestFormulaValidation(t *testing.T) {
+	s := sheet()
+	if _, err := s.Formula("x", "Nope + 1"); err == nil {
+		t.Error("formula over unknown column must fail")
+	}
+	if _, err := s.Formula("x", "SUM(Price)"); err == nil {
+		t.Error("aggregate inside formula must fail")
+	}
+	if _, err := s.Formula("Model", "Price + 1"); err == nil {
+		t.Error("name collision must fail")
+	}
+	if _, err := s.Formula("", "Price + 1"); err != nil {
+		t.Error("auto-named formula should work")
+	}
+}
+
+func TestFormulaOverAggregate(t *testing.T) {
+	// The paper's Fig. 2 flow: compare Price with Avg_Price.
+	s := paperSheet(t)
+	if _, err := s.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Price < Avg_Price"); err != nil {
+		t.Fatal(err)
+	}
+	// Cars cheaper than their (Model, Year) average: 304 (14500 < 15167),
+	// 872 (15000 < 15167), 423 (17000 < 17500), 879 (15000 < 15500).
+	wantIDs(t, tableIDs(t, s), 304, 872, 423, 879)
+}
+
+func TestHavingStyleSelection(t *testing.T) {
+	// HAVING-emulation (Theorem 1, step 5): keep models whose average
+	// price exceeds 15500 — all Jetta rows qualify, Civics do not.
+	s := sheet()
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("AvgP > 15500"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 6 {
+		t.Fatalf("HAVING kept %d rows, want the 6 Jettas", res.Table.Len())
+	}
+	mi := res.Table.Schema.IndexOf("Model")
+	for _, row := range res.Table.Rows {
+		if row[mi].Str() != "Jetta" {
+			t.Fatalf("non-Jetta row survived: %v", row)
+		}
+	}
+	// The HAVING selection must not retroactively change AvgP (it is a
+	// depth-1 predicate over a depth-1 column; SQL HAVING semantics).
+	ai := res.Table.Schema.IndexOf("AvgP")
+	wantJetta := (14500.0 + 15000 + 16000 + 17000 + 17500 + 18000) / 6
+	if got := res.Table.Rows[0][ai].Float(); got != wantJetta {
+		t.Fatalf("AvgP = %v, want %v (must not recompute after HAVING)", got, wantJetta)
+	}
+}
+
+func TestWhereRecomputesAggregates(t *testing.T) {
+	// Theorem 2's motivating example: a later base-column selection
+	// recomputes earlier aggregates, as if the selection came first.
+	s := sheet()
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Year = 2005"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := res.Table.Schema.IndexOf("AvgP")
+	want := (14500.0 + 15000 + 16000 + 13500) / 4 // the four 2005 cars
+	if got := res.Table.Rows[0][ai].Float(); got != want {
+		t.Fatalf("AvgP = %v, want %v (aggregate must track the selection)", got, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := sheet()
+	// Hide everything but Model, then DE: two rows remain.
+	for _, c := range []string{"ID", "Price", "Year", "Mileage", "Condition"} {
+		if err := s.Hide(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Distinct(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 2 {
+		t.Fatalf("distinct models = %d rows, want 2", res.Table.Len())
+	}
+	// Aggregates recompute over the deduplicated rows (Def. 13).
+	if _, err := s.AggregateAs("N", relation.AggCount, "Model", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Evaluate()
+	if got := res.Table.Rows[0][res.Table.Schema.IndexOf("N")].Int(); got != 2 {
+		t.Fatalf("COUNT after DE = %d, want 2", got)
+	}
+	if err := s.RemoveDistinct(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Evaluate()
+	if res.Table.Len() != 9 {
+		t.Fatalf("RemoveDistinct should restore all rows, got %d", res.Table.Len())
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := sheet()
+	if _, err := s.Select("Price < 16000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Formula("Double", "Price * 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("Price", "Cost"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Table.Schema.Has("Cost") || res.Table.Schema.Has("Price") {
+		t.Fatal("rename did not take effect in the schema")
+	}
+	// The selection must keep filtering via the renamed column.
+	if res.Table.Len() != 4 {
+		t.Fatalf("rows after rename = %d, want 4", res.Table.Len())
+	}
+	if sels := s.Selections("Cost"); len(sels) != 1 {
+		t.Fatal("selection should now reference Cost")
+	}
+	if err := s.Rename("Nope", "X"); err == nil {
+		t.Error("renaming unknown column must fail")
+	}
+	if err := s.Rename("Cost", "Model"); err == nil {
+		t.Error("renaming onto an existing column must fail")
+	}
+}
+
+func TestGroupTree(t *testing.T) {
+	s := paperSheet(t)
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Root
+	if len(root.Children) != 2 {
+		t.Fatalf("level-2 groups = %d, want 2 (Jetta, Civic)", len(root.Children))
+	}
+	jetta := root.Children[0]
+	if jetta.Key[0].Str() != "Jetta" || jetta.Rows() != 6 {
+		t.Fatalf("first group = %v with %d rows", jetta.Key, jetta.Rows())
+	}
+	if len(jetta.Children) != 2 {
+		t.Fatalf("Jetta year groups = %d, want 2", len(jetta.Children))
+	}
+	if y := jetta.Children[0]; y.Key[0].Int() != 2005 || y.Rows() != 3 {
+		t.Fatalf("Jetta 2005 group = %v with %d rows", y.Key, y.Rows())
+	}
+	civic := root.Children[1]
+	if civic.Key[0].Str() != "Civic" || civic.Rows() != 3 {
+		t.Fatalf("second group = %v with %d rows", civic.Key, civic.Rows())
+	}
+	// Civic has one 2005 car and two 2006 cars.
+	if len(civic.Children) != 2 || civic.Children[0].Rows() != 1 || civic.Children[1].Rows() != 2 {
+		t.Fatalf("Civic year groups wrong: %+v", civic.Children)
+	}
+}
+
+func TestRenderGrouped(t *testing.T) {
+	s := paperSheet(t)
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.RenderGrouped()
+	if !strings.Contains(out, "\n\n") {
+		t.Error("grouped rendering should separate top-level groups")
+	}
+	if res.RenderGrouped() == "" || res.Render() == "" {
+		t.Error("render output empty")
+	}
+}
+
+func TestUndoRedo(t *testing.T) {
+	s := sheet()
+	if _, err := s.Select("Year = 2005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.History()) != 2 {
+		t.Fatalf("history = %v", s.History())
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Grouping()) != 0 {
+		t.Fatal("undo did not revert grouping")
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := s.Evaluate()
+	if res.Table.Len() != 9 {
+		t.Fatal("undo did not revert selection")
+	}
+	if _, err := s.Undo(); err == nil {
+		t.Fatal("undo past the beginning must fail")
+	}
+	if _, err := s.Redo(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Evaluate()
+	if res.Table.Len() != 4 {
+		t.Fatalf("redo did not restore selection: %d rows", res.Table.Len())
+	}
+	if _, err := s.Redo(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Grouping()) != 1 {
+		t.Fatal("redo did not restore grouping")
+	}
+	if _, err := s.Redo(); err == nil {
+		t.Fatal("redo past the end must fail")
+	}
+	// A new operator clears the redo stack.
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Price > 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Redo(); err == nil {
+		t.Fatal("redo after a new operator must fail")
+	}
+}
+
+func TestUndoAfterRename(t *testing.T) {
+	s := sheet()
+	if _, err := s.Select("Price < 16000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("Price", "Cost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot's predicate must still reference Price.
+	sels := s.Selections("Price")
+	if len(sels) != 1 {
+		t.Fatalf("after undoing rename, selection should reference Price again: %v", s.Selections(""))
+	}
+	if res, err := s.Evaluate(); err != nil || res.Table.Len() != 4 {
+		t.Fatalf("evaluate after undo: %v", err)
+	}
+}
+
+func TestSelectionsByColumn(t *testing.T) {
+	s := sheet()
+	id1, _ := s.Select("Price < 18000")
+	id2, _ := s.Select("Year = 2005 AND Price > 14000")
+	if _, err := s.Select("Model = 'Jetta'"); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Selections("Price")
+	if len(got) != 2 || got[0].ID != id1 || got[1].ID != id2 {
+		t.Fatalf("Selections(Price) = %v", got)
+	}
+	if all := s.Selections(""); len(all) != 3 {
+		t.Fatalf("Selections(\"\") = %v", all)
+	}
+}
+
+func TestVersionCounting(t *testing.T) {
+	s := sheet()
+	if s.Version() != 0 {
+		t.Fatal("base spreadsheet is version 0")
+	}
+	if _, err := s.Select("Year = 2005"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 2 {
+		t.Fatalf("version = %d, want 2", s.Version())
+	}
+}
+
+func TestEmptyRelationEvaluates(t *testing.T) {
+	empty := relation.New("empty", dataset.CarSchema())
+	s := New(empty)
+	if _, err := s.Select("Price < 10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Aggregate(relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 0 || len(res.Root.Children) != 0 {
+		t.Fatal("empty relation should evaluate to an empty result")
+	}
+}

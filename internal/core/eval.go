@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// Group is one node of the recursive grouping tree (Sec. II-A). The root is
+// level 1 (the paper's grouping by {NULL}); each child level refines its
+// parent by the level's relative basis. Start/End delimit the group's rows
+// in Result.Table ([Start, End)).
+type Group struct {
+	Level    int
+	Key      []value.Value // values of this level's relative basis
+	Children []*Group      // nil at the finest level
+	Start    int
+	End      int
+}
+
+// Rows returns how many tuples the group spans.
+func (g *Group) Rows() int { return g.End - g.Start }
+
+// Result is a fully evaluated spreadsheet: the visible table in display
+// order plus the group tree over it.
+type Result struct {
+	Table  *relation.Relation
+	Root   *Group
+	Levels []GroupLevel // the grouping specification the tree reflects
+}
+
+// rowEnv adapts one working row to the expression evaluator.
+type rowEnv struct {
+	schema relation.Schema
+	row    relation.Tuple
+}
+
+func (e rowEnv) Lookup(name string) (value.Value, bool) {
+	if i := e.schema.IndexOf(name); i >= 0 {
+		return e.row[i], true
+	}
+	return value.Null, false
+}
+
+// Evaluate replays the query state against the base relation and returns
+// the resulting spreadsheet view.
+//
+// The state is unordered, so evaluation follows the deterministic staged
+// semantics of DESIGN.md §3.1: columns and predicates are stratified by
+// aggregate depth; stage d first materialises aggregate columns of depth d
+// over the rows surviving all shallower selections, then formula columns of
+// depth d, then applies the depth-d selections (duplicate elimination runs
+// at the end of stage 0). This realises the paper's "computed columns
+// update when the underlying data changes" and makes the unary operators
+// commute exactly as Theorem 2 states.
+//
+// The result is memoised until the next operator: treat it as read-only
+// (copy the table before mutating it).
+func (s *Spreadsheet) Evaluate() (*Result, error) {
+	if s.cacheResult != nil && s.cacheVersion == s.version {
+		return s.cacheResult, nil
+	}
+	res, err := s.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	s.cacheVersion = s.version
+	s.cacheResult = res
+	return res, nil
+}
+
+// evaluate is the uncached evaluation.
+func (s *Spreadsheet) evaluate() (*Result, error) {
+	// Working schema: every base column (hidden ones still participate in
+	// predicates) followed by the computed columns.
+	work := relation.New(s.name, s.base.Schema)
+	for _, c := range s.state.computed {
+		work.Schema = append(work.Schema, relation.Column{Name: c.Name, Kind: c.ResultKind})
+	}
+	nBase := len(s.base.Schema)
+	rows := make([]relation.Tuple, 0, s.base.Len())
+	for _, t := range s.base.Rows {
+		row := make(relation.Tuple, len(work.Schema))
+		copy(row, t)
+		for i := nBase; i < len(row); i++ {
+			row[i] = value.Null
+		}
+		rows = append(rows, row)
+	}
+	work.Rows = rows
+
+	// Stratify computed columns and selections by depth.
+	maxD := 0
+	colDepth := make(map[string]int, len(s.state.computed))
+	for _, c := range s.state.computed {
+		d, err := s.aggDepth(c.Name, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		colDepth[strings.ToLower(c.Name)] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	selDepth := make([]int, len(s.state.selections))
+	for i, sel := range s.state.selections {
+		d, err := s.exprDepth(sel.Pred)
+		if err != nil {
+			return nil, err
+		}
+		selDepth[i] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+
+	for d := 0; d <= maxD; d++ {
+		// Aggregate columns of depth d see rows surviving selections < d.
+		for _, c := range s.state.computed {
+			if c.Kind == KindAggregate && colDepth[strings.ToLower(c.Name)] == d {
+				if err := s.fillAggregate(work, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Formula columns of depth d, in creation order (later formulas may
+		// reference earlier ones of the same depth).
+		for _, c := range s.state.computed {
+			if c.Kind == KindFormula && colDepth[strings.ToLower(c.Name)] == d {
+				if err := fillFormula(work, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Selections of depth d.
+		for i, sel := range s.state.selections {
+			if selDepth[i] != d {
+				continue
+			}
+			kept := work.Rows[:0]
+			for _, row := range work.Rows {
+				ok, err := expr.EvalBool(sel.Pred, rowEnv{schema: work.Schema, row: row})
+				if err != nil {
+					return nil, fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			work.Rows = kept
+		}
+		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
+		if d == 0 && s.state.distinctOn != nil {
+			idx, err := work.ColumnIndexes(s.state.distinctOn)
+			if err != nil {
+				return nil, fmt.Errorf("core: distinct: %w", err)
+			}
+			seen := make(map[string]bool, len(work.Rows))
+			kept := work.Rows[:0]
+			for _, row := range work.Rows {
+				k := row.KeyOn(idx)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				kept = append(kept, row)
+			}
+			work.Rows = kept
+		}
+	}
+
+	// Presentation order: each grouping level's relative basis in the
+	// level's direction, then the finest-level keys — the Sec. II-A remark
+	// that any recursive grouping can be emulated by one ordering.
+	var keys []relation.SortKey
+	for _, g := range s.state.grouping {
+		if g.By != "" {
+			// OrderGroupsBy extension: groups sort by a per-group-constant
+			// column, with the relative basis as the tiebreak.
+			keys = append(keys, relation.SortKey{Column: g.By, Desc: g.Dir == Desc})
+			for _, a := range g.Rel {
+				keys = append(keys, relation.SortKey{Column: a})
+			}
+			continue
+		}
+		for _, a := range g.Rel {
+			keys = append(keys, relation.SortKey{Column: a, Desc: g.Dir == Desc})
+		}
+	}
+	for _, k := range s.state.finest {
+		keys = append(keys, relation.SortKey{Column: k.Column, Desc: k.Dir == Desc})
+	}
+	if err := work.Sort(keys); err != nil {
+		return nil, err
+	}
+
+	// Project to the visible schema.
+	visible := s.VisibleSchema()
+	table, err := work.Project(visible.Names())
+	if err != nil {
+		return nil, err
+	}
+	table.Name = s.name
+
+	root, err := s.buildGroups(work)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: table, Root: root, Levels: s.Grouping()}, nil
+}
+
+// fillAggregate computes one η column over the current working rows,
+// writing the group's value into every member row (Def. 11 / Table III).
+func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) error {
+	out := work.Schema.IndexOf(c.Name)
+	in := work.Schema.IndexOf(c.Input)
+	if out < 0 || in < 0 {
+		return fmt.Errorf("core: aggregate %s references missing column", c.Name)
+	}
+	basis := s.state.cumulativeBasis(c.Level)
+	bidx, err := work.ColumnIndexes(basis)
+	if err != nil {
+		return err
+	}
+	accs := map[string]*relation.Accumulator{}
+	for _, row := range work.Rows {
+		k := row.KeyOn(bidx)
+		acc := accs[k]
+		if acc == nil {
+			acc = relation.NewAccumulator(c.Agg)
+			accs[k] = acc
+		}
+		if err := acc.Add(row[in]); err != nil {
+			return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+		}
+	}
+	for _, row := range work.Rows {
+		row[out] = coerce(accs[row.KeyOn(bidx)].Result(), c.ResultKind)
+	}
+	return nil
+}
+
+// fillFormula computes one θ column row-locally (Def. 12).
+func fillFormula(work *relation.Relation, c *ComputedColumn) error {
+	out := work.Schema.IndexOf(c.Name)
+	if out < 0 {
+		return fmt.Errorf("core: formula %s column missing", c.Name)
+	}
+	for _, row := range work.Rows {
+		v, err := expr.Eval(c.Formula, rowEnv{schema: work.Schema, row: row})
+		if err != nil {
+			return fmt.Errorf("core: formula %s: %w", c.Name, err)
+		}
+		row[out] = coerce(v, c.ResultKind)
+	}
+	return nil
+}
+
+// coerce widens an integer into a float-typed column so computed columns
+// stay kind-consistent (exact integer division yields INTEGER values).
+func coerce(v value.Value, kind value.Kind) value.Value {
+	if kind == value.KindFloat && v.Kind() == value.KindInt {
+		return value.NewFloat(float64(v.Int()))
+	}
+	return v
+}
+
+// buildGroups partitions the sorted working rows into the recursive group
+// tree.
+func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
+	root := &Group{Level: 1, Start: 0, End: len(work.Rows)}
+	var build func(g *Group, levelIdx int) error
+	build = func(g *Group, levelIdx int) error {
+		if levelIdx >= len(s.state.grouping) {
+			return nil
+		}
+		rel := s.state.grouping[levelIdx].Rel
+		idx, err := work.ColumnIndexes(rel)
+		if err != nil {
+			return err
+		}
+		i := g.Start
+		for i < g.End {
+			j := i + 1
+			for j < g.End && work.Rows[j].KeyOn(idx) == work.Rows[i].KeyOn(idx) {
+				j++
+			}
+			key := make([]value.Value, len(idx))
+			for k, ci := range idx {
+				key[k] = work.Rows[i][ci]
+			}
+			child := &Group{Level: levelIdx + 2, Key: key, Start: i, End: j}
+			if err := build(child, levelIdx+1); err != nil {
+				return err
+			}
+			g.Children = append(g.Children, child)
+			i = j
+		}
+		return nil
+	}
+	if err := build(root, 0); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// Render formats the result as an aligned text table; golden tests compare
+// it against the paper's printed tables.
+func (r *Result) Render() string { return r.Table.String() }
+
+// RenderGrouped formats the result with one blank line between top-level
+// groups, the way a grouped spreadsheet reads.
+func (r *Result) RenderGrouped() string {
+	if len(r.Root.Children) == 0 {
+		return r.Table.String()
+	}
+	full := strings.Split(strings.TrimRight(r.Table.String(), "\n"), "\n")
+	header, body := full[0], full[1:]
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for gi, g := range r.Root.Children {
+		if gi > 0 {
+			b.WriteByte('\n')
+		}
+		for i := g.Start; i < g.End && i < len(body); i++ {
+			b.WriteString(body[i])
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

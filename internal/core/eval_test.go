@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// nullCars builds a car relation with NULLs sprinkled into Price and
+// Condition.
+func nullCars() *relation.Relation {
+	r := relation.New("cars", dataset.CarSchema())
+	add := func(id int64, model string, price value.Value, year int64, cond value.Value) {
+		r.MustAppend(value.NewInt(id), value.NewString(model), price,
+			value.NewInt(year), value.NewInt(10000), cond)
+	}
+	add(1, "Jetta", value.NewInt(15000), 2005, value.NewString("Good"))
+	add(2, "Jetta", value.Null, 2005, value.NewString("Good"))
+	add(3, "Jetta", value.NewInt(17000), 2006, value.Null)
+	add(4, "Civic", value.Null, 2006, value.Null)
+	add(5, "Civic", value.NewInt(13000), 2005, value.NewString("Fair"))
+	return r
+}
+
+func TestEvaluateWithNullData(t *testing.T) {
+	s := New(nullCars())
+	// NULL Price fails Price < 16000 (unknown is not true).
+	if _, err := s.Select("Price < 16000"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 2 {
+		t.Fatalf("rows = %d, want 2 (ids 1 and 5)", res.Table.Len())
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	s := New(nullCars())
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("N", relation.AggCount, "ID", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := res.Table.Schema.IndexOf("AvgP")
+	want := (15000.0 + 17000 + 13000) / 3
+	if got := res.Table.Rows[0][ai].Float(); got != want {
+		t.Fatalf("AvgP = %v, want %v (NULLs skipped)", got, want)
+	}
+	ni := res.Table.Schema.IndexOf("N")
+	if res.Table.Rows[0][ni].Int() != 5 {
+		t.Fatal("COUNT counts all tuples")
+	}
+}
+
+func TestGroupingWithNullKeys(t *testing.T) {
+	// NULL Condition forms its own group, ordered first ascending.
+	s := New(nullCars())
+	if err := s.GroupBy(Asc, "Condition"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("N", relation.AggCount, "ID", 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Root.Children
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (NULL, Fair, Good)", len(groups))
+	}
+	if !groups[0].Key[0].IsNull() || groups[0].Rows() != 2 {
+		t.Fatalf("first group = %v (%d rows), want NULL group of 2", groups[0].Key, groups[0].Rows())
+	}
+	ni := res.Table.Schema.IndexOf("N")
+	if res.Table.Rows[0][ni].Int() != 2 {
+		t.Fatal("aggregate over the NULL group wrong")
+	}
+}
+
+func TestFormulaOverNulls(t *testing.T) {
+	s := New(nullCars())
+	if _, err := s.Formula("Double", "Price * 2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := res.Table.Schema.IndexOf("Double")
+	ii := res.Table.Schema.IndexOf("ID")
+	for _, row := range res.Table.Rows {
+		if row[ii].Int() == 2 && !row[di].IsNull() {
+			t.Fatal("NULL input must yield NULL formula output")
+		}
+		if row[ii].Int() == 1 && row[di].Int() != 30000 {
+			t.Fatalf("Double = %v", row[di])
+		}
+	}
+}
+
+func TestOrderingByHiddenColumn(t *testing.T) {
+	// Grouping and ordering survive the projection of their column (π only
+	// affects C, not R).
+	s := New(dataset.UsedCars())
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Desc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide("Price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide("Model"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Civic group first (asc), most expensive Civic (322, $16000) first.
+	ii := res.Table.Schema.IndexOf("ID")
+	if res.Table.Rows[0][ii].Int() != 322 {
+		t.Fatalf("first row = %v", res.Table.Rows[0])
+	}
+	if res.Table.Schema.Has("Price") || res.Table.Schema.Has("Model") {
+		t.Fatal("hidden columns leaked into the result")
+	}
+}
+
+// TestQuickGroupTreeInvariants: for random data and random grouping
+// configurations, the group tree partitions the rows exactly — children
+// tile their parent with no gaps or overlaps, and every leaf group is
+// constant on the cumulative basis.
+func TestQuickGroupTreeInvariants(t *testing.T) {
+	cols := []string{"Model", "Year", "Condition"}
+	f := func(seed int64, levelMask uint8, dirMask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(dataset.RandomCars(40+rng.Intn(60), seed))
+		levels := 1 + int(levelMask)%3
+		for i := 0; i < levels; i++ {
+			if err := s.GroupBy(Dir(dirMask>>i&1 == 1), cols[i]); err != nil {
+				return false
+			}
+		}
+		res, err := s.Evaluate()
+		if err != nil {
+			return false
+		}
+		basisIdx := make([]int, 0, levels)
+		for i := 0; i < levels; i++ {
+			j := res.Table.Schema.IndexOf(cols[i])
+			if j < 0 {
+				return false
+			}
+			basisIdx = append(basisIdx, j)
+		}
+		var check func(g *Group, depth int) bool
+		check = func(g *Group, depth int) bool {
+			if g.Start > g.End || g.Start < 0 || g.End > res.Table.Len() {
+				return false
+			}
+			if len(g.Children) == 0 {
+				if depth <= len(basisIdx) && depth > 0 {
+					// Non-root leaf must sit at the deepest level.
+					if depth != levels {
+						return false
+					}
+				}
+				// All rows in a leaf share the cumulative basis values.
+				if g.Rows() > 0 {
+					ref := res.Table.Rows[g.Start]
+					for r := g.Start; r < g.End; r++ {
+						for _, bi := range basisIdx[:min(depth, len(basisIdx))] {
+							if !value.Equal(res.Table.Rows[r][bi], ref[bi]) {
+								return false
+							}
+						}
+					}
+				}
+				return true
+			}
+			pos := g.Start
+			for _, c := range g.Children {
+				if c.Start != pos {
+					return false // gap or overlap
+				}
+				pos = c.End
+				if !check(c, depth+1) {
+					return false
+				}
+			}
+			return pos == g.End
+		}
+		return check(res.Root, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestQuickSelectionSubset: applying any additional selection never adds
+// rows and the survivors are a subset under every configuration.
+func TestQuickSelectionSubset(t *testing.T) {
+	preds := []string{
+		"Price < 20000", "Year >= 2004", "Model LIKE '%a%'",
+		"Mileage BETWEEN 10000 AND 120000", "Condition <> 'Poor'",
+	}
+	f := func(seed int64, pick uint8) bool {
+		s := New(dataset.RandomCars(80, seed))
+		before, err := s.Evaluate()
+		if err != nil {
+			return false
+		}
+		if _, err := s.Select(preds[int(pick)%len(preds)]); err != nil {
+			return false
+		}
+		after, err := s.Evaluate()
+		if err != nil {
+			return false
+		}
+		if after.Table.Len() > before.Table.Len() {
+			return false
+		}
+		// Every surviving row key existed before.
+		seen := map[string]int{}
+		for _, row := range before.Table.Rows {
+			seen[row.Key()]++
+		}
+		for _, row := range after.Table.Rows {
+			if seen[row.Key()] == 0 {
+				return false
+			}
+			seen[row.Key()]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateMemoised(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if _, err := s.Select("Year = 2005"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("unchanged state should return the memoised result")
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("an operator must invalidate the cache")
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r3 {
+		t.Fatal("undo must invalidate the cache")
+	}
+	if r4.Table.Len() != r1.Table.Len() {
+		t.Fatal("undo result wrong")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if err := s.GroupBy(Desc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Year"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.RenderTree()
+	for _, want := range []string{
+		"▾ Model = Jetta (6 rows)",
+		"▾ Year = 2005 (3 rows)",
+		"▾ Model = Civic (3 rows)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Basis columns live in the headers, not the leaf rows.
+	if strings.Contains(strings.SplitN(out, "\n", 2)[0], "Model") {
+		t.Fatalf("leaf header should omit grouped columns:\n%s", out)
+	}
+	// Ungrouped sheets render as a flat list without headers.
+	flat := New(dataset.UsedCars())
+	fres, err := flat.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fres.RenderTree(), "▾") {
+		t.Fatal("ungrouped tree should have no group headers")
+	}
+}
+
+func TestEvaluateRuntimeError(t *testing.T) {
+	// A formula that divides by zero on some row surfaces the error from
+	// Evaluate rather than producing silent garbage.
+	s := New(dataset.UsedCars())
+	if _, err := s.Formula("Bad", "Price / (Year - 2005)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err == nil {
+		t.Fatal("division by zero during evaluation must error")
+	}
+	// The sheet recovers once the offending column is removed.
+	if err := s.RemoveComputed("Bad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+)
+
+// Example reproduces the paper's motivating interaction: filter, group,
+// aggregate, compare against the aggregate, then modify an earlier step.
+func Example() {
+	sheet := core.New(dataset.UsedCars())
+
+	// Build the query one direct-manipulation operator at a time.
+	yearID, err := sheet.Select("Year = 2005")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.GroupBy(core.Asc, "Model"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sheet.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sheet.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2005 cars:", res.Table.Len())
+
+	// Change the year without re-specifying anything else (Theorem 3).
+	if err := sheet.ReplaceSelection(yearID, "Year = 2006"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = sheet.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2006 cars:", res.Table.Len())
+	// Output:
+	// 2005 cars: 4
+	// 2006 cars: 5
+}
+
+// ExampleSpreadsheet_Evaluate shows the recursive group tree.
+func ExampleSpreadsheet_Evaluate() {
+	sheet := core.New(dataset.UsedCars())
+	if err := sheet.GroupBy(core.Desc, "Model"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.GroupBy(core.Asc, "Year"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sheet.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, model := range res.Root.Children {
+		fmt.Printf("%v: %d cars, %d year groups\n",
+			model.Key[0], model.Rows(), len(model.Children))
+	}
+	// Output:
+	// Jetta: 6 cars, 2 year groups
+	// Civic: 3 cars, 2 year groups
+}
+
+// ExampleSpreadsheet_Suggest shows the contextual menu the interface
+// offers for a column (paper Sec. VI).
+func ExampleSpreadsheet_Suggest() {
+	sheet := core.New(dataset.UsedCars())
+	menu, err := sheet.Suggest("Condition")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(menu.Kind, menu.FilterOps)
+	// Output:
+	// TEXT [= <> LIKE IN IS NULL]
+}

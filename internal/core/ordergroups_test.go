@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+)
+
+func TestOrderGroupsByAggregate(t *testing.T) {
+	// Order the Model groups by their average price, descending — the
+	// "ORDER BY revenue DESC" pattern the paper's workload wants.
+	s := New(dataset.UsedCars())
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderGroupsBy(1, "AvgP", Desc); err != nil {
+		t.Fatal(err)
+	}
+	// Jetta avg (16333) > Civic avg (14833): Jettas first, cheapest first.
+	wantIDs(t, tableIDs(t, s), 304, 872, 901, 423, 723, 725, 132, 879, 322)
+
+	// Flip ascending: Civics first.
+	if err := s.OrderGroupsBy(1, "AvgP", Asc); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, tableIDs(t, s), 132, 879, 322, 304, 872, 901, 423, 723, 725)
+
+	// Restore basis order (Model asc = Civic first too, different reason).
+	if err := s.OrderGroupsBy(1, "", Asc); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Grouping(); g[0].By != "" {
+		t.Fatal("empty column should restore basis ordering")
+	}
+}
+
+func TestOrderGroupsByBasisAttribute(t *testing.T) {
+	// A basis attribute of a deeper level is constant within the group.
+	s := paperSheet(t) // Model desc, Year asc
+	if err := s.OrderGroupsBy(2, "Year", Desc); err != nil {
+		t.Fatal(err)
+	}
+	// Within each Model, 2006 now precedes 2005.
+	wantIDs(t, tableIDs(t, s), 423, 723, 725, 304, 872, 901, 879, 322, 132)
+}
+
+func TestOrderGroupsByValidation(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if err := s.OrderGroupsBy(1, "Price", Asc); err == nil {
+		t.Fatal("ungrouped sheet has no child groups to order")
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderGroupsBy(1, "Price", Asc); err == nil {
+		t.Fatal("Price varies within Model groups; must be rejected")
+	}
+	if err := s.OrderGroupsBy(1, "Nope", Asc); err == nil {
+		t.Fatal("unknown column must be rejected")
+	}
+	if err := s.OrderGroupsBy(2, "Model", Asc); err == nil {
+		t.Fatal("the finest level has no child groups")
+	}
+	// An aggregate at a deeper level varies within the group: reject.
+	if err := s.GroupBy(Asc, "Year"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgMY", relation.AggAvg, "Price", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderGroupsBy(1, "AvgMY", Asc); err == nil {
+		t.Fatal("a level-3 aggregate varies within level-2 groups; must be rejected")
+	}
+	// But it is legal one level down.
+	if err := s.OrderGroupsBy(2, "AvgMY", Desc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderGroupsByBlocksAggregateRemoval(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderGroupsBy(1, "AvgP", Desc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveComputed("AvgP"); err == nil {
+		t.Fatal("removing an aggregate used for group ordering must fail")
+	}
+	if err := s.OrderGroupsBy(1, "", Asc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveComputed("AvgP"); err != nil {
+		t.Fatalf("removal after restoring basis order: %v", err)
+	}
+}
+
+func TestOrderGroupsByUndoAndRename(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OrderGroupsBy(1, "AvgP", Desc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("AvgP", "MeanPrice"); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Grouping(); g[0].By != "MeanPrice" {
+		t.Fatalf("rename did not follow the group ordering: %q", g[0].By)
+	}
+	if _, err := s.Undo(); err != nil { // undo rename
+		t.Fatal(err)
+	}
+	if g := s.Grouping(); g[0].By != "AvgP" {
+		t.Fatalf("undo did not restore the ordering column: %q", g[0].By)
+	}
+	if _, err := s.Undo(); err != nil { // undo OrderGroupsBy
+		t.Fatal(err)
+	}
+	if g := s.Grouping(); g[0].By != "" {
+		t.Fatal("undo did not clear the group ordering")
+	}
+}

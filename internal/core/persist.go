@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+)
+
+// This file persists the query state — the durable half of a spreadsheet
+// session. Because the state is an unordered operator collection (Sec. V-A)
+// and expressions round-trip through their SQL rendering, a session can be
+// saved as a small JSON document and rebuilt against the same base relation
+// later. Undo/redo history is deliberately not persisted: it is interaction
+// state, not query state.
+
+// stateJSON is the serialised form. Expressions are stored as SQL text.
+type stateJSON struct {
+	Format     int            `json:"format"`
+	Name       string         `json:"name"`
+	BaseName   string         `json:"base_name"`
+	BaseSchema []columnJSON   `json:"base_schema"`
+	Selections []selJSON      `json:"selections,omitempty"`
+	Computed   []computedJSON `json:"computed,omitempty"`
+	Hidden     []string       `json:"hidden,omitempty"`
+	Distinct   *[]string      `json:"distinct,omitempty"`
+	Grouping   []groupJSON    `json:"grouping,omitempty"`
+	Finest     []sortJSON     `json:"finest,omitempty"`
+	NextSelID  int            `json:"next_sel_id"`
+	Log        []string       `json:"log,omitempty"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type selJSON struct {
+	ID   int    `json:"id"`
+	Pred string `json:"pred"`
+}
+
+type computedJSON struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "aggregate" or "formula"
+	Agg     string `json:"agg,omitempty"`
+	Input   string `json:"input,omitempty"`
+	Level   int    `json:"level,omitempty"`
+	Formula string `json:"formula,omitempty"`
+}
+
+type groupJSON struct {
+	Rel []string `json:"rel"`
+	Dir string   `json:"dir"`
+	By  string   `json:"by,omitempty"`
+}
+
+type sortJSON struct {
+	Column string `json:"column"`
+	Dir    string `json:"dir"`
+}
+
+// stateFormat versions the persisted layout.
+const stateFormat = 1
+
+// MarshalState serialises the current query state (not the data, not the
+// undo history).
+func (s *Spreadsheet) MarshalState() ([]byte, error) {
+	out := stateJSON{
+		Format:    stateFormat,
+		Name:      s.name,
+		BaseName:  s.base.Name,
+		NextSelID: s.state.nextSelID,
+		Log:       s.log,
+		Hidden:    s.state.hidden,
+	}
+	for _, c := range s.base.Schema {
+		out.BaseSchema = append(out.BaseSchema, columnJSON{Name: c.Name, Kind: c.Kind.String()})
+	}
+	for _, sel := range s.state.selections {
+		out.Selections = append(out.Selections, selJSON{ID: sel.ID, Pred: sel.Pred.SQL()})
+	}
+	for _, c := range s.state.computed {
+		cj := computedJSON{Name: c.Name}
+		if c.Kind == KindAggregate {
+			cj.Kind = "aggregate"
+			cj.Agg = string(c.Agg)
+			cj.Input = c.Input
+			cj.Level = c.Level
+		} else {
+			cj.Kind = "formula"
+			cj.Formula = c.Formula.SQL()
+		}
+		out.Computed = append(out.Computed, cj)
+	}
+	if s.state.distinctOn != nil {
+		d := append([]string(nil), s.state.distinctOn...)
+		out.Distinct = &d
+	}
+	for _, g := range s.state.grouping {
+		out.Grouping = append(out.Grouping, groupJSON{Rel: g.Rel, Dir: g.Dir.String(), By: g.By})
+	}
+	for _, k := range s.state.finest {
+		out.Finest = append(out.Finest, sortJSON{Column: k.Column, Dir: k.Dir.String()})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// RestoreState rebuilds a spreadsheet from serialised state against the
+// given base relation, validating that the base matches the one the state
+// was saved from (same relation name and column layout).
+func RestoreState(base *relation.Relation, data []byte) (*Spreadsheet, error) {
+	var in stateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if in.Format != stateFormat {
+		return nil, fmt.Errorf("core: restore: unsupported state format %d", in.Format)
+	}
+	if !strings.EqualFold(in.BaseName, base.Name) {
+		return nil, fmt.Errorf("core: restore: state was saved over relation %q, not %q", in.BaseName, base.Name)
+	}
+	if len(in.BaseSchema) != len(base.Schema) {
+		return nil, fmt.Errorf("core: restore: base has %d columns, state expects %d", len(base.Schema), len(in.BaseSchema))
+	}
+	for i, c := range in.BaseSchema {
+		if !strings.EqualFold(c.Name, base.Schema[i].Name) || c.Kind != base.Schema[i].Kind.String() {
+			return nil, fmt.Errorf("core: restore: base column %d is %s %s, state expects %s %s",
+				i, base.Schema[i].Name, base.Schema[i].Kind, c.Name, c.Kind)
+		}
+	}
+	s := New(base)
+	s.name = in.Name
+	s.log = in.Log
+	st := s.state
+	st.nextSelID = in.NextSelID
+	st.hidden = in.Hidden
+	for _, sel := range in.Selections {
+		e, err := expr.Parse(sel.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore selection #%d: %w", sel.ID, err)
+		}
+		st.selections = append(st.selections, Selection{ID: sel.ID, Pred: e})
+	}
+	for _, g := range in.Grouping {
+		dir, err := ParseDir(g.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore grouping: %w", err)
+		}
+		st.grouping = append(st.grouping, GroupLevel{Rel: g.Rel, Dir: dir, By: g.By})
+	}
+	for _, c := range in.Computed {
+		switch c.Kind {
+		case "aggregate":
+			fn, err := relation.ParseAggFunc(c.Agg)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			inKind, ok := s.columnKind(c.Input)
+			if !ok {
+				return nil, fmt.Errorf("core: restore column %s: input %q missing", c.Name, c.Input)
+			}
+			if c.Level < 1 || c.Level > st.levelCount() {
+				return nil, fmt.Errorf("core: restore column %s: level %d out of range", c.Name, c.Level)
+			}
+			st.computed = append(st.computed, &ComputedColumn{
+				Name: c.Name, Kind: KindAggregate, Agg: fn, Input: c.Input,
+				Level: c.Level, ResultKind: fn.ResultKind(inKind),
+			})
+		case "formula":
+			e, err := expr.Parse(c.Formula)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			kind, err := expr.Check(e, s.columnKind)
+			if err != nil {
+				return nil, fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			st.computed = append(st.computed, &ComputedColumn{
+				Name: c.Name, Kind: KindFormula, Formula: e, ResultKind: kind,
+			})
+		default:
+			return nil, fmt.Errorf("core: restore: unknown computed kind %q", c.Kind)
+		}
+	}
+	if in.Distinct != nil {
+		st.distinctOn = *in.Distinct
+		if st.distinctOn == nil {
+			st.distinctOn = []string{}
+		}
+	}
+	for _, k := range in.Finest {
+		dir, err := ParseDir(k.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore ordering: %w", err)
+		}
+		st.finest = append(st.finest, SortKey{Column: k.Column, Dir: dir})
+	}
+	// Validate the assembled state end to end: every referenced column must
+	// resolve and depths must be acyclic.
+	for _, sel := range st.selections {
+		if _, err := expr.Check(sel.Pred, s.columnKind); err != nil {
+			return nil, fmt.Errorf("core: restore selection #%d: %w", sel.ID, err)
+		}
+		if _, err := s.exprDepth(sel.Pred); err != nil {
+			return nil, fmt.Errorf("core: restore selection #%d: %w", sel.ID, err)
+		}
+	}
+	for _, c := range st.computed {
+		if _, err := s.aggDepth(c.Name, map[string]bool{}); err != nil {
+			return nil, fmt.Errorf("core: restore: %w", err)
+		}
+	}
+	for _, g := range st.grouping {
+		for _, a := range g.Rel {
+			if !s.hasColumn(a) {
+				return nil, fmt.Errorf("core: restore: grouping attribute %q missing", a)
+			}
+		}
+		if g.By != "" && !s.hasColumn(g.By) {
+			return nil, fmt.Errorf("core: restore: group-order column %q missing", g.By)
+		}
+	}
+	for _, k := range st.finest {
+		if !s.hasColumn(k.Column) {
+			return nil, fmt.Errorf("core: restore: ordering column %q missing", k.Column)
+		}
+	}
+	s.version = len(s.log)
+	return s, nil
+}
+
+// SchemaFingerprint summarises the base schema for external integrity
+// checks (e.g. pairing a state file with a CSV snapshot).
+func (s *Spreadsheet) SchemaFingerprint() string {
+	parts := make([]string, len(s.base.Schema))
+	for i, c := range s.base.Schema {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ",")
+}

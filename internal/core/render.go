@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTree formats the result as an indented group outline — the closest
+// a terminal gets to the paper's grouped spreadsheet view:
+//
+//	▾ Model = Jetta (6 rows)
+//	  ▾ Year = 2005 (3 rows)
+//	      304 | 14500 | ...
+//
+// Group headers name the level's relative basis values; leaf rows render
+// the visible non-basis columns.
+func (r *Result) RenderTree() string {
+	var b strings.Builder
+	// Column widths over the leaf-rendered columns.
+	leafCols := r.leafColumns()
+	widths := make([]int, len(leafCols))
+	for i, ci := range leafCols {
+		widths[i] = len(r.Table.Schema[ci].Name)
+		for _, row := range r.Table.Rows {
+			if n := len(row[ci].String()); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	// Header line for the leaf columns.
+	indentUnit := "  "
+	depth := len(r.Levels)
+	b.WriteString(strings.Repeat(indentUnit, depth+1))
+	for i, ci := range leafCols {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], r.Table.Schema[ci].Name)
+	}
+	b.WriteByte('\n')
+
+	var walk func(g *Group)
+	walk = func(g *Group) {
+		if g.Level > 1 {
+			b.WriteString(strings.Repeat(indentUnit, g.Level-2))
+			b.WriteString("▾ ")
+			rel := r.Levels[g.Level-2].Rel
+			for i, a := range rel {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s = %v", a, g.Key[i])
+			}
+			fmt.Fprintf(&b, " (%d rows)\n", g.Rows())
+		}
+		if len(g.Children) == 0 {
+			for ri := g.Start; ri < g.End; ri++ {
+				b.WriteString(strings.Repeat(indentUnit, depth+1))
+				for i, ci := range leafCols {
+					if i > 0 {
+						b.WriteString(" | ")
+					}
+					fmt.Fprintf(&b, "%-*s", widths[i], r.Table.Rows[ri][ci].String())
+				}
+				b.WriteByte('\n')
+			}
+			return
+		}
+		for _, c := range g.Children {
+			walk(c)
+		}
+	}
+	walk(r.Root)
+	return b.String()
+}
+
+// leafColumns returns the visible column indexes that are not grouping
+// basis attributes (those appear in the group headers instead).
+func (r *Result) leafColumns() []int {
+	basis := map[string]bool{}
+	for _, lvl := range r.Levels {
+		for _, a := range lvl.Rel {
+			basis[strings.ToLower(a)] = true
+		}
+	}
+	var out []int
+	for i, c := range r.Table.Schema {
+		if !basis[strings.ToLower(c.Name)] {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		// Everything is grouped: fall back to all columns.
+		for i := range r.Table.Schema {
+			out = append(out, i)
+		}
+	}
+	return out
+}

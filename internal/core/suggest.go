@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// This file backs the paper's contextual menu (Sec. VI): "it shows only
+// options that are available for the current cell value type under current
+// grouping and ordering". Suggest computes, for one column, exactly the
+// operations the interface should offer.
+
+// Menu lists the operations applicable to a column in the current state.
+type Menu struct {
+	Column string
+	Kind   value.Kind
+	// Filter operators applicable to the column's kind.
+	FilterOps []string
+	// Aggregates applicable to the column's kind.
+	Aggregates []relation.AggFunc
+	// Levels available for a new aggregate (1..current level count).
+	AggregateLevels int
+	// CanGroup: the column can start or extend the grouping.
+	CanGroup bool
+	// CanSortFinest: a header click would order the finest groups by it.
+	CanSortFinest bool
+	// CanHide / CanReinstate for π and its inverse.
+	CanHide      bool
+	CanReinstate bool
+	// ExistingSelections on this column, offered for modification
+	// (Sec. V-B).
+	ExistingSelections []Selection
+}
+
+// Suggest builds the contextual menu for the named column.
+func (s *Spreadsheet) Suggest(column string) (*Menu, error) {
+	kind, ok := s.columnKind(column)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q", column)
+	}
+	m := &Menu{
+		Column:             column,
+		Kind:               kind,
+		AggregateLevels:    s.state.levelCount(),
+		ExistingSelections: s.Selections(column),
+	}
+	switch {
+	case kind.Numeric(), kind == value.KindDate:
+		m.FilterOps = []string{"=", "<>", "<", "<=", ">", ">=", "BETWEEN", "IN", "IS NULL"}
+	case kind == value.KindString:
+		m.FilterOps = []string{"=", "<>", "LIKE", "IN", "IS NULL"}
+	case kind == value.KindBool:
+		m.FilterOps = []string{"=", "<>", "IS NULL"}
+	}
+	m.Aggregates = []relation.AggFunc{relation.AggCount, relation.AggCountDistinct,
+		relation.AggMin, relation.AggMax}
+	if kind.Numeric() {
+		m.Aggregates = append(m.Aggregates, relation.AggSum, relation.AggAvg, relation.AggStdDev)
+	}
+	depth, err := s.aggDepth(column, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	m.CanGroup = depth == 0 && !s.state.inAnyBasis(column)
+	m.CanSortFinest = !s.state.inAnyBasis(column)
+	isComputed := s.state.findComputed(column) != nil
+	hidden := s.state.isHidden(column)
+	m.CanHide = !hidden && (isComputed || len(s.VisibleSchema()) > 1)
+	m.CanReinstate = hidden
+	return m, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+func hasAgg(m *Menu, fn relation.AggFunc) bool {
+	for _, a := range m.Aggregates {
+		if a == fn {
+			return true
+		}
+	}
+	return false
+}
+
+func hasOp(m *Menu, op string) bool {
+	for _, o := range m.FilterOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSuggestNumericColumn(t *testing.T) {
+	s := New(dataset.UsedCars())
+	m, err := s.Suggest("Price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != value.KindInt {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	if !hasOp(m, "BETWEEN") || !hasOp(m, "<") {
+		t.Errorf("numeric filter ops = %v", m.FilterOps)
+	}
+	if !hasAgg(m, relation.AggAvg) || !hasAgg(m, relation.AggSum) {
+		t.Errorf("numeric aggregates = %v", m.Aggregates)
+	}
+	if !m.CanGroup || !m.CanSortFinest || !m.CanHide || m.CanReinstate {
+		t.Errorf("actions = %+v", m)
+	}
+	if m.AggregateLevels != 1 {
+		t.Errorf("levels = %d", m.AggregateLevels)
+	}
+}
+
+func TestSuggestTextColumn(t *testing.T) {
+	s := New(dataset.UsedCars())
+	m, err := s.Suggest("Model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasOp(m, "LIKE") {
+		t.Errorf("text ops = %v", m.FilterOps)
+	}
+	if hasOp(m, "BETWEEN") {
+		t.Errorf("BETWEEN offered for text: %v", m.FilterOps)
+	}
+	if hasAgg(m, relation.AggAvg) {
+		t.Errorf("AVG offered for text: %v", m.Aggregates)
+	}
+	if !hasAgg(m, relation.AggCountDistinct) || !hasAgg(m, relation.AggMin) {
+		t.Errorf("text aggregates = %v", m.Aggregates)
+	}
+}
+
+func TestSuggestReflectsState(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if _, err := s.Select("Price < 16000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide("Mileage"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := s.Suggest("Model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CanGroup {
+		t.Error("already-grouped column must not offer grouping")
+	}
+	if m.CanSortFinest {
+		t.Error("a basis attribute cannot order the finest level (Def. 4 case 3)")
+	}
+	if m.AggregateLevels != 2 {
+		t.Errorf("levels = %d, want 2", m.AggregateLevels)
+	}
+
+	m, err = s.Suggest("Price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ExistingSelections) != 1 {
+		t.Errorf("existing selections = %v", m.ExistingSelections)
+	}
+
+	m, err = s.Suggest("Mileage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanReinstate || m.CanHide {
+		t.Errorf("hidden column actions = %+v", m)
+	}
+
+	m, err = s.Suggest("AvgP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CanGroup {
+		t.Error("aggregate-derived columns cannot be grouped")
+	}
+	if !m.CanHide {
+		t.Error("computed columns can be removed via hide")
+	}
+
+	if _, err := s.Suggest("Nope"); err == nil {
+		t.Error("unknown column must fail")
+	}
+}

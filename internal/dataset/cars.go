@@ -1,0 +1,66 @@
+// Package dataset provides the paper's running-example data: the sample
+// used-car relation of Table I (Sec. I-B). Tests, examples, and benchmarks
+// all draw from here so the fixtures stay byte-identical to the paper.
+package dataset
+
+import (
+	"math/rand"
+
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// CarSchema returns the schema of the used-car relation.
+func CarSchema() relation.Schema {
+	return relation.Schema{
+		{Name: "ID", Kind: value.KindInt},
+		{Name: "Model", Kind: value.KindString},
+		{Name: "Price", Kind: value.KindInt},
+		{Name: "Year", Kind: value.KindInt},
+		{Name: "Mileage", Kind: value.KindInt},
+		{Name: "Condition", Kind: value.KindString},
+	}
+}
+
+// UsedCars returns the nine sample records of Table I, in the paper's
+// printed order.
+func UsedCars() *relation.Relation {
+	r := relation.New("cars", CarSchema())
+	add := func(id int64, model string, price, year, mileage int64, cond string) {
+		r.MustAppend(value.NewInt(id), value.NewString(model), value.NewInt(price),
+			value.NewInt(year), value.NewInt(mileage), value.NewString(cond))
+	}
+	add(304, "Jetta", 14500, 2005, 76000, "Good")
+	add(872, "Jetta", 15000, 2005, 50000, "Excellent")
+	add(901, "Jetta", 16000, 2005, 40000, "Excellent")
+	add(423, "Jetta", 17000, 2006, 42000, "Good")
+	add(723, "Jetta", 17500, 2006, 39000, "Excellent")
+	add(725, "Jetta", 18000, 2006, 30000, "Excellent")
+	add(132, "Civic", 13500, 2005, 86000, "Good")
+	add(879, "Civic", 15000, 2006, 68000, "Good")
+	add(322, "Civic", 16000, 2006, 73000, "Good")
+	return r
+}
+
+var (
+	models     = []string{"Jetta", "Civic", "Corolla", "Accord", "Focus", "Altima", "Passat", "Camry"}
+	conditions = []string{"Excellent", "Good", "Fair", "Poor"}
+)
+
+// RandomCars returns n synthetic used-car rows for scale benchmarks, using
+// a deterministic seed so runs are reproducible.
+func RandomCars(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("cars", CarSchema())
+	for i := 0; i < n; i++ {
+		r.MustAppend(
+			value.NewInt(int64(1000+i)),
+			value.NewString(models[rng.Intn(len(models))]),
+			value.NewInt(8000+int64(rng.Intn(250))*100),
+			value.NewInt(2000+int64(rng.Intn(9))),
+			value.NewInt(int64(rng.Intn(180))*1000),
+			value.NewString(conditions[rng.Intn(len(conditions))]),
+		)
+	}
+	return r
+}

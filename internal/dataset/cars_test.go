@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"testing"
+
+	"sheetmusiq/internal/value"
+)
+
+func TestUsedCarsMatchesTableI(t *testing.T) {
+	r := UsedCars()
+	if r.Len() != 9 {
+		t.Fatalf("rows = %d, want 9", r.Len())
+	}
+	if !r.Schema.Equal(CarSchema()) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+	// Spot-check the first and last printed rows of the paper's Table I.
+	first, last := r.Rows[0], r.Rows[8]
+	if first[0].Int() != 304 || first[1].Str() != "Jetta" || first[2].Int() != 14500 {
+		t.Errorf("first row = %v", first)
+	}
+	if last[0].Int() != 322 || last[1].Str() != "Civic" || last[5].Str() != "Good" {
+		t.Errorf("last row = %v", last)
+	}
+}
+
+func TestUsedCarsIndependentCopies(t *testing.T) {
+	a := UsedCars()
+	b := UsedCars()
+	a.Rows[0][0] = value.NewInt(999)
+	if b.Rows[0][0].Int() == 999 {
+		t.Fatal("UsedCars must return independent relations")
+	}
+}
+
+func TestRandomCarsDeterministic(t *testing.T) {
+	a := RandomCars(100, 7)
+	b := RandomCars(100, 7)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("lengths = %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Key() != b.Rows[i].Key() {
+			t.Fatalf("row %d differs for identical seeds", i)
+		}
+	}
+	c := RandomCars(100, 8)
+	if c.Rows[0].Key() == a.Rows[0].Key() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomCarsSchemaAndRanges(t *testing.T) {
+	r := RandomCars(500, 1)
+	if !r.Schema.Equal(CarSchema()) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+	yi := r.Schema.IndexOf("Year")
+	pi := r.Schema.IndexOf("Price")
+	for _, row := range r.Rows {
+		if y := row[yi].Int(); y < 2000 || y > 2008 {
+			t.Fatalf("year %d out of range", y)
+		}
+		if p := row[pi].Int(); p < 8000 || p > 33000 {
+			t.Fatalf("price %d out of range", p)
+		}
+	}
+}

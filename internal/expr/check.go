@@ -1,0 +1,222 @@
+package expr
+
+import (
+	"fmt"
+
+	"sheetmusiq/internal/value"
+)
+
+// KindResolver maps a column name to its kind. It returns false for unknown
+// columns.
+type KindResolver func(name string) (value.Kind, bool)
+
+// Check infers the result kind of e against the given column kinds,
+// rejecting unknown columns, arity errors, and operand-kind mismatches.
+// NULL literals check as KindNull, which unifies with anything.
+func Check(e Expr, resolve KindResolver) (value.Kind, error) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val.Kind(), nil
+	case *ColumnRef:
+		k, ok := resolve(n.Name)
+		if !ok {
+			return value.KindNull, fmt.Errorf("expr: unknown column %q", n.Name)
+		}
+		return k, nil
+	case *Star:
+		return value.KindNull, fmt.Errorf("expr: * is only valid inside COUNT(*)")
+	case *Unary:
+		k, err := Check(n.X, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		if n.Op == OpNeg {
+			if k != value.KindNull && !k.Numeric() {
+				return value.KindNull, fmt.Errorf("expr: cannot negate %s", k)
+			}
+			return k, nil
+		}
+		if k != value.KindNull && k != value.KindBool {
+			return value.KindNull, fmt.Errorf("expr: NOT over %s", k)
+		}
+		return value.KindBool, nil
+	case *Binary:
+		lk, err := Check(n.L, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		rk, err := Check(n.R, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		return checkBinary(n.Op, lk, rk)
+	case *IsNull:
+		if _, err := Check(n.X, resolve); err != nil {
+			return value.KindNull, err
+		}
+		return value.KindBool, nil
+	case *InList:
+		xk, err := Check(n.X, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		for _, it := range n.Items {
+			ik, err := Check(it, resolve)
+			if err != nil {
+				return value.KindNull, err
+			}
+			if !comparable(xk, ik) {
+				return value.KindNull, fmt.Errorf("expr: IN list item kind %s does not match %s", ik, xk)
+			}
+		}
+		return value.KindBool, nil
+	case *Between:
+		xk, err := Check(n.X, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		lk, err := Check(n.Lo, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		hk, err := Check(n.Hi, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		if !comparable(xk, lk) || !comparable(xk, hk) {
+			return value.KindNull, fmt.Errorf("expr: BETWEEN bounds incompatible with %s", xk)
+		}
+		return value.KindBool, nil
+	case *FuncCall:
+		return checkFunc(n, resolve)
+	case *Subquery:
+		// The inner statement is analysed by the SQL layer at execution;
+		// its scalar result unifies with any kind here.
+		return value.KindNull, nil
+	case *Exists:
+		return value.KindBool, nil
+	case *InSubquery:
+		if _, err := Check(n.X, resolve); err != nil {
+			return value.KindNull, err
+		}
+		return value.KindBool, nil
+	}
+	return value.KindNull, fmt.Errorf("expr: cannot check %T", e)
+}
+
+func comparable(a, b value.Kind) bool {
+	if a == value.KindNull || b == value.KindNull {
+		return true
+	}
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	return a == b
+}
+
+func checkBinary(op BinaryOp, lk, rk value.Kind) (value.Kind, error) {
+	switch op {
+	case OpAnd, OpOr:
+		if (lk != value.KindBool && lk != value.KindNull) || (rk != value.KindBool && rk != value.KindNull) {
+			return value.KindNull, fmt.Errorf("expr: %s requires booleans, got %s and %s", op, lk, rk)
+		}
+		return value.KindBool, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if !comparable(lk, rk) {
+			return value.KindNull, fmt.Errorf("expr: cannot compare %s with %s", lk, rk)
+		}
+		return value.KindBool, nil
+	case OpLike:
+		if (lk != value.KindString && lk != value.KindNull) || (rk != value.KindString && rk != value.KindNull) {
+			return value.KindNull, fmt.Errorf("expr: LIKE requires strings, got %s and %s", lk, rk)
+		}
+		return value.KindBool, nil
+	case OpConcat:
+		return value.KindString, nil
+	case OpAdd, OpSub:
+		// Date arithmetic: date ± int, date − date.
+		if lk == value.KindDate && rk == value.KindInt {
+			return value.KindDate, nil
+		}
+		if op == OpSub && lk == value.KindDate && rk == value.KindDate {
+			return value.KindInt, nil
+		}
+		fallthrough
+	case OpMul, OpDiv, OpMod:
+		if lk == value.KindNull || rk == value.KindNull {
+			return value.KindNull, nil
+		}
+		if !lk.Numeric() || !rk.Numeric() {
+			return value.KindNull, fmt.Errorf("expr: %s requires numerics, got %s and %s", op, lk, rk)
+		}
+		if op == OpDiv {
+			// Division may promote; report FLOAT conservatively.
+			return value.KindFloat, nil
+		}
+		if lk == value.KindInt && rk == value.KindInt {
+			return value.KindInt, nil
+		}
+		return value.KindFloat, nil
+	}
+	return value.KindNull, fmt.Errorf("expr: unknown operator %q", op)
+}
+
+func checkFunc(f *FuncCall, resolve KindResolver) (value.Kind, error) {
+	if AggregateNames[f.Name] {
+		return value.KindNull, fmt.Errorf("expr: aggregate %s not allowed in a row context", f.Name)
+	}
+	kinds := make([]value.Kind, len(f.Args))
+	for i, a := range f.Args {
+		k, err := Check(a, resolve)
+		if err != nil {
+			return value.KindNull, err
+		}
+		kinds[i] = k
+	}
+	switch f.Name {
+	case "ABS":
+		if len(kinds) == 1 {
+			return kinds[0], nil
+		}
+	case "ROUND":
+		if len(kinds) == 1 || len(kinds) == 2 {
+			return value.KindFloat, nil
+		}
+	case "FLOOR", "CEIL", "LENGTH", "YEAR", "MONTH", "DAY":
+		if len(kinds) == 1 {
+			return value.KindInt, nil
+		}
+	case "UPPER", "LOWER", "TRIM":
+		if len(kinds) == 1 {
+			return value.KindString, nil
+		}
+	case "REPLACE":
+		if len(kinds) == 3 {
+			return value.KindString, nil
+		}
+	case "SIGN":
+		if len(kinds) == 1 {
+			return value.KindInt, nil
+		}
+	case "POWER":
+		if len(kinds) == 2 {
+			return value.KindFloat, nil
+		}
+	case "SUBSTR":
+		if len(kinds) == 2 || len(kinds) == 3 {
+			return value.KindString, nil
+		}
+	case "COALESCE":
+		if len(kinds) >= 1 {
+			for _, k := range kinds {
+				if k != value.KindNull {
+					return k, nil
+				}
+			}
+			return value.KindNull, nil
+		}
+	default:
+		return value.KindNull, fmt.Errorf("expr: unknown function %s", f.Name)
+	}
+	return value.KindNull, fmt.Errorf("expr: wrong arity for %s", f.Name)
+}

@@ -1,0 +1,154 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp      // punctuation operator
+	TokKeyword // reserved word, upper-cased
+)
+
+// Token is one lexeme of expression or SQL text.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IN": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"DATE": true,
+	// SQL statement keywords, reserved here so the SQL parser can share the
+	// lexer and so that bare column names never shadow them.
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DISTINCT": true, "AS": true, "JOIN": true, "ON": true, "CROSS": true,
+	"INNER": true, "UNION": true, "EXCEPT": true, "ALL": true, "EXISTS": true,
+	"OFFSET": true,
+}
+
+func keyword(s string) bool { return keywords[s] }
+
+// Lex scans src fully, returning the token stream terminated by TokEOF, or
+// an error with byte position on bad input.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if keyword(strings.ToUpper(word)) {
+			return Token{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	case c == '\'':
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("expr: unterminated string at %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+	case c == '"':
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("expr: unterminated quoted identifier at %d", start)
+			}
+			if l.src[l.pos] == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					b.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokIdent, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+	}
+	if l.pos+1 < len(l.src) {
+		switch two := l.src[l.pos : l.pos+2]; two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', ';':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("expr: unexpected character %q at %d", c, start)
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '.' }

@@ -1,0 +1,458 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sheetmusiq/internal/value"
+)
+
+// Parser consumes a token stream. The SQL engine drives the same Parser for
+// statement structure and delegates expression positions to ParseExpr.
+type Parser struct {
+	toks []Token
+	i    int
+	// SubParser, when set, parses a nested SELECT at the current position
+	// and returns the opaque statement plus its SQL text. The SQL layer
+	// installs it; plain expression contexts (the spreadsheet algebra)
+	// leave it nil, so nested queries are rejected there — matching the
+	// paper's SheetMusiq, which "does not support nested queries".
+	SubParser func(*Parser) (stmt any, text string, err error)
+}
+
+// NewParser wraps a token stream produced by Lex.
+func NewParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// Peek returns the current token without consuming it.
+func (p *Parser) Peek() Token { return p.toks[p.i] }
+
+// Next consumes and returns the current token.
+func (p *Parser) Next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+// AcceptKeyword consumes the keyword if it is next and reports success.
+func (p *Parser) AcceptKeyword(kw string) bool {
+	if t := p.Peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// AcceptOp consumes the operator if it is next and reports success.
+func (p *Parser) AcceptOp(op string) bool {
+	if t := p.Peek(); t.Kind == TokOp && t.Text == op {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// ExpectKeyword consumes the keyword or errors.
+func (p *Parser) ExpectKeyword(kw string) error {
+	if !p.AcceptKeyword(kw) {
+		t := p.Peek()
+		return fmt.Errorf("expr: expected %s at %d, found %q", kw, t.Pos, t.Text)
+	}
+	return nil
+}
+
+// ExpectOp consumes the operator or errors.
+func (p *Parser) ExpectOp(op string) error {
+	if !p.AcceptOp(op) {
+		t := p.Peek()
+		return fmt.Errorf("expr: expected %q at %d, found %q", op, t.Pos, t.Text)
+	}
+	return nil
+}
+
+// AtEOF reports whether the stream is exhausted (semicolons are skipped).
+func (p *Parser) AtEOF() bool {
+	for p.Peek().Kind == TokOp && p.Peek().Text == ";" {
+		p.i++
+	}
+	return p.Peek().Kind == TokEOF
+}
+
+// Parse parses a complete standalone expression; trailing tokens are an
+// error.
+func Parse(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser(toks)
+	e, err := p.ParseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.AtEOF() {
+		t := p.Peek()
+		return nil, fmt.Errorf("expr: unexpected %q at %d", t.Text, t.Pos)
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for fixtures and tables of constants.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Operator precedence, loosest first.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+	precUnary
+)
+
+// ParseExpr parses one expression at the loosest precedence.
+func (p *Parser) ParseExpr() (Expr, error) { return p.parseBinary(precOr) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	var left Expr
+	var err error
+	// NOT binds looser than comparisons but tighter than AND.
+	if minPrec <= precNot && p.Peek().Kind == TokKeyword && p.Peek().Text == "NOT" {
+		p.i++
+		x, err := p.parseBinary(precNot)
+		if err != nil {
+			return nil, err
+		}
+		left = &Unary{Op: OpNot, X: x}
+	} else {
+		left, err = p.parseCmpOperand(minPrec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		t := p.Peek()
+		switch {
+		case t.Kind == TokKeyword && t.Text == "OR" && minPrec <= precOr:
+			p.i++
+			right, err := p.parseBinary(precAnd)
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpOr, L: left, R: right}
+		case t.Kind == TokKeyword && t.Text == "AND" && minPrec <= precAnd:
+			p.i++
+			right, err := p.parseBinary(precNot)
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: OpAnd, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseCmpOperand parses an additive expression optionally followed by one
+// comparison, LIKE, IN, BETWEEN or IS NULL suffix.
+func (p *Parser) parseCmpOperand(minPrec int) (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if minPrec > precCmp {
+		return left, nil
+	}
+	t := p.Peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.i++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: BinaryOp(t.Text), L: left, R: right}, nil
+		}
+	}
+	negate := false
+	if t.Kind == TokKeyword && t.Text == "NOT" {
+		// Lookahead for NOT LIKE / NOT IN / NOT BETWEEN.
+		if n := p.toks[p.i+1]; n.Kind == TokKeyword &&
+			(n.Text == "LIKE" || n.Text == "IN" || n.Text == "BETWEEN") {
+			p.i++
+			negate = true
+			t = p.Peek()
+		}
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "LIKE":
+			p.i++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			like := Expr(&Binary{Op: OpLike, L: left, R: right})
+			if negate {
+				like = &Unary{Op: OpNot, X: like}
+			}
+			return like, nil
+		case "IN":
+			p.i++
+			if err := p.ExpectOp("("); err != nil {
+				return nil, err
+			}
+			if t := p.Peek(); t.Kind == TokKeyword && t.Text == "SELECT" && p.SubParser != nil {
+				stmt, text, err := p.SubParser(p)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.ExpectOp(")"); err != nil {
+					return nil, err
+				}
+				return &InSubquery{X: left, Sub: &Subquery{Stmt: stmt, Text: text}, Negate: negate}, nil
+			}
+			var items []Expr
+			for {
+				it, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, it)
+				if p.AcceptOp(",") {
+					continue
+				}
+				if err := p.ExpectOp(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return &InList{X: left, Items: items, Negate: negate}, nil
+		case "BETWEEN":
+			p.i++
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.ExpectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Between{X: left, Lo: lo, Hi: hi, Negate: negate}, nil
+		case "IS":
+			p.i++
+			neg := p.AcceptKeyword("NOT")
+			if err := p.ExpectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNull{X: left, Negate: neg}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.Peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-" && t.Text != "||") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := BinaryOp(t.Text)
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.Peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return left, nil
+		}
+		p.i++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: BinaryOp(t.Text), L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.AcceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := x.(*Literal); ok && l.Val.Kind().Numeric() {
+			n, err := value.Neg(l.Val)
+			if err == nil {
+				return &Literal{Val: n}, nil
+			}
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	}
+	if p.AcceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.Peek()
+	switch t.Kind {
+	case TokNumber:
+		p.i++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad number %q at %d", t.Text, t.Pos)
+			}
+			return &Literal{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at %d", t.Text, t.Pos)
+		}
+		return &Literal{Val: value.NewInt(i)}, nil
+	case TokString:
+		p.i++
+		return &Literal{Val: value.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.i++
+			return &Literal{Val: value.Null}, nil
+		case "TRUE":
+			p.i++
+			return &Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.i++
+			return &Literal{Val: value.NewBool(false)}, nil
+		case "DATE":
+			p.i++
+			s := p.Next()
+			if s.Kind != TokString {
+				return nil, fmt.Errorf("expr: DATE expects a 'YYYY-MM-DD' string at %d", s.Pos)
+			}
+			tm, err := time.Parse("2006-01-02", s.Text)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad date %q at %d", s.Text, s.Pos)
+			}
+			return &Literal{Val: value.NewDateDays(tm.Unix() / 86400)}, nil
+		case "NOT":
+			p.i++
+			x, err := p.parseBinary(precNot)
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: OpNot, X: x}, nil
+		case "EXISTS":
+			p.i++
+			if p.SubParser == nil {
+				return nil, fmt.Errorf("expr: EXISTS is not supported in this context (at %d)", t.Pos)
+			}
+			if err := p.ExpectOp("("); err != nil {
+				return nil, err
+			}
+			stmt, text, err := p.SubParser(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.ExpectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Exists{Sub: &Subquery{Stmt: stmt, Text: text}}, nil
+		}
+		return nil, fmt.Errorf("expr: unexpected keyword %s at %d", t.Text, t.Pos)
+	case TokIdent:
+		p.i++
+		if p.Peek().Kind == TokOp && p.Peek().Text == "(" {
+			p.i++
+			name := strings.ToUpper(t.Text)
+			var args []Expr
+			if p.AcceptOp(")") {
+				return &FuncCall{Name: name}, nil
+			}
+			// DISTINCT inside aggregate calls: COUNT(DISTINCT x).
+			distinct := p.AcceptKeyword("DISTINCT")
+			for {
+				if p.Peek().Kind == TokOp && p.Peek().Text == "*" {
+					p.i++
+					args = append(args, &Star{})
+				} else {
+					a, err := p.ParseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+				}
+				if p.AcceptOp(",") {
+					continue
+				}
+				if err := p.ExpectOp(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if distinct {
+				name += "_DISTINCT"
+			}
+			return &FuncCall{Name: name, Args: args}, nil
+		}
+		return &ColumnRef{Name: t.Text}, nil
+	case TokOp:
+		if t.Text == "(" {
+			p.i++
+			if n := p.Peek(); n.Kind == TokKeyword && n.Text == "SELECT" && p.SubParser != nil {
+				stmt, text, err := p.SubParser(p)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.ExpectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Stmt: stmt, Text: text}, nil
+			}
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.ExpectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			p.i++
+			return &Star{}, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at %d", t.Text, t.Pos)
+}

@@ -1,0 +1,262 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"sheetmusiq/internal/value"
+)
+
+// AggFunc names a SQL-style aggregate function.
+type AggFunc string
+
+// The supported aggregate functions. Count counts tuples in the group (the
+// paper's Sec. III-B rule: tuples, never sub-groups); CountDistinct counts
+// distinct non-NULL inputs; the remainder ignore NULL inputs as in SQL.
+const (
+	AggSum           AggFunc = "SUM"
+	AggAvg           AggFunc = "AVG"
+	AggMin           AggFunc = "MIN"
+	AggMax           AggFunc = "MAX"
+	AggCount         AggFunc = "COUNT"
+	AggCountDistinct AggFunc = "COUNT_DISTINCT"
+	AggStdDev        AggFunc = "STDDEV"
+)
+
+// ParseAggFunc resolves a case-insensitive aggregate name.
+func ParseAggFunc(name string) (AggFunc, error) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return AggSum, nil
+	case "AVG", "MEAN":
+		return AggAvg, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	case "COUNT":
+		return AggCount, nil
+	case "COUNT_DISTINCT":
+		return AggCountDistinct, nil
+	case "STDDEV", "STDEV":
+		return AggStdDev, nil
+	}
+	return "", fmt.Errorf("relation: unknown aggregate function %q", name)
+}
+
+// ResultKind returns the kind an aggregate over an input kind produces.
+func (f AggFunc) ResultKind(input value.Kind) value.Kind {
+	switch f {
+	case AggCount, AggCountDistinct:
+		return value.KindInt
+	case AggAvg, AggStdDev:
+		return value.KindFloat
+	case AggSum:
+		if input == value.KindInt {
+			return value.KindInt
+		}
+		return value.KindFloat
+	default: // MIN, MAX preserve input kind
+		return input
+	}
+}
+
+// Accumulator incrementally computes one aggregate.
+type Accumulator struct {
+	fn       AggFunc
+	count    int64 // tuples seen (COUNT semantics)
+	nonNull  int64
+	sum      float64
+	sumSq    float64
+	intSum   int64
+	intExact bool
+	min, max value.Value
+	distinct map[string]bool
+}
+
+// NewAccumulator returns an accumulator for fn.
+func NewAccumulator(fn AggFunc) *Accumulator {
+	a := &Accumulator{fn: fn, intExact: true}
+	if fn == AggCountDistinct {
+		a.distinct = make(map[string]bool)
+	}
+	return a
+}
+
+// Add feeds one input value. COUNT counts every tuple including NULLs
+// (matching COUNT(*)); all other functions skip NULL inputs.
+func (a *Accumulator) Add(v value.Value) error {
+	a.count++
+	if v.IsNull() {
+		return nil
+	}
+	a.nonNull++
+	switch a.fn {
+	case AggCount:
+		return nil
+	case AggCountDistinct:
+		a.distinct[v.Key()] = true
+		return nil
+	case AggMin:
+		if a.min.IsNull() {
+			a.min = v
+		} else if value.MustCompare(v, a.min) < 0 {
+			a.min = v
+		}
+		return nil
+	case AggMax:
+		if a.max.IsNull() {
+			a.max = v
+		} else if value.MustCompare(v, a.max) > 0 {
+			a.max = v
+		}
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("relation: %s over non-numeric %s", a.fn, v.Kind())
+	}
+	if v.Kind() == value.KindInt {
+		a.intSum += v.Int()
+	} else {
+		a.intExact = false
+	}
+	a.sum += f
+	a.sumSq += f * f
+	return nil
+}
+
+// Result returns the final aggregate value. Empty groups yield NULL for
+// every function except COUNT variants, which yield 0.
+func (a *Accumulator) Result() value.Value {
+	switch a.fn {
+	case AggCount:
+		return value.NewInt(a.count)
+	case AggCountDistinct:
+		return value.NewInt(int64(len(a.distinct)))
+	}
+	if a.nonNull == 0 {
+		return value.Null
+	}
+	switch a.fn {
+	case AggSum:
+		if a.intExact {
+			return value.NewInt(a.intSum)
+		}
+		return value.NewFloat(a.sum)
+	case AggAvg:
+		return value.NewFloat(a.sum / float64(a.nonNull))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	case AggStdDev:
+		n := float64(a.nonNull)
+		mean := a.sum / n
+		varc := a.sumSq/n - mean*mean
+		if varc < 0 {
+			varc = 0
+		}
+		// Population standard deviation; documented in DESIGN.md.
+		return value.NewFloat(sqrt(varc))
+	}
+	return value.Null
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iteration; avoids importing math for one call and keeps the
+	// accumulator allocation-free.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// GroupBy partitions rows by the named columns (in order) and returns, for
+// each group in first-appearance order, the group key values and the row
+// indexes belonging to it.
+func (r *Relation) GroupBy(cols []string) (keys [][]value.Value, groups [][]int, err error) {
+	idx, err := r.ColumnIndexes(cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos := make(map[string]int)
+	for ri, t := range r.Rows {
+		k := t.KeyOn(idx)
+		g, ok := pos[k]
+		if !ok {
+			g = len(groups)
+			pos[k] = g
+			kv := make([]value.Value, len(idx))
+			for i, j := range idx {
+				kv[i] = t[j]
+			}
+			keys = append(keys, kv)
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], ri)
+	}
+	return keys, groups, nil
+}
+
+// Aggregate computes fn over the named column for every group defined by
+// groupCols, returning one row per group: the group key columns followed by
+// the aggregate result. Empty groupCols aggregates the whole relation.
+func (r *Relation) Aggregate(groupCols []string, fn AggFunc, col string) (*Relation, error) {
+	var ci = -1
+	if col != "" {
+		ci = r.Schema.IndexOf(col)
+		if ci < 0 {
+			return nil, fmt.Errorf("aggregate: no column %q in %s", col, r.Name)
+		}
+	} else if fn != AggCount {
+		return nil, fmt.Errorf("aggregate: %s requires a column", fn)
+	}
+	keys, groups, err := r.GroupBy(groupCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(groupCols) == 0 && len(groups) == 0 {
+		// Aggregate over an empty, ungrouped relation still yields one row.
+		keys = [][]value.Value{{}}
+		groups = [][]int{{}}
+	}
+	inKind := value.KindFloat
+	if ci >= 0 {
+		inKind = r.Schema[ci].Kind
+	}
+	schema := make(Schema, 0, len(groupCols)+1)
+	gidx, _ := r.ColumnIndexes(groupCols)
+	for _, j := range gidx {
+		schema = append(schema, r.Schema[j])
+	}
+	outName := string(fn) + "_" + col
+	if col == "" {
+		outName = string(fn)
+	}
+	schema = append(schema, Column{Name: outName, Kind: fn.ResultKind(inKind)})
+	out := New(r.Name, schema)
+	for g, rows := range groups {
+		acc := NewAccumulator(fn)
+		for _, ri := range rows {
+			var v value.Value
+			if ci >= 0 {
+				v = r.Rows[ri][ci]
+			} else {
+				v = value.NewInt(1)
+			}
+			if err := acc.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		row := make(Tuple, 0, len(schema))
+		row = append(row, keys[g]...)
+		row = append(row, acc.Result())
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

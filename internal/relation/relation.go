@@ -1,0 +1,372 @@
+// Package relation implements the in-memory relational substrate beneath the
+// spreadsheet algebra: schemas, tuples, and multiset relations, together with
+// textbook relational-algebra primitives (selection, projection, product,
+// multiset union/difference, join, sorting, grouping with aggregation).
+//
+// The spreadsheet algebra of internal/core is defined over relations from
+// this package; the SQL engine of internal/sql executes against them; and the
+// relational operators here double as the independent baseline that property
+// tests compare the higher layers against.
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"sheetmusiq/internal/value"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf returns the position of the named column (case-insensitive), or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schemas have the same columns in the same order
+// (names compared case-insensitively).
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if !strings.EqualFold(s[i].Name, o[i].Name) || s[i].Kind != o[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Tuple is one row of values, positionally aligned with a schema.
+type Tuple []value.Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns a string identifying the tuple's values for multiset
+// bookkeeping; equal tuples share a key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// KeyOn returns the key restricted to the given column positions.
+func (t Tuple) KeyOn(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		b.WriteString(t[c].Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// Relation is a named multiset of tuples over a schema.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Rows   []Tuple
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema.Clone()}
+}
+
+// Append adds a row after checking arity and kinds (NULL matches any kind).
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != len(r.Schema) {
+		return fmt.Errorf("relation %s: row arity %d != schema arity %d", r.Name, len(t), len(r.Schema))
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != r.Schema[i].Kind {
+			// Permit int into float columns; everything else is an error.
+			if r.Schema[i].Kind == value.KindFloat && v.Kind() == value.KindInt {
+				t[i] = value.NewFloat(float64(v.Int()))
+				continue
+			}
+			return fmt.Errorf("relation %s: column %s expects %s, got %s",
+				r.Name, r.Schema[i].Name, r.Schema[i].Kind, v.Kind())
+		}
+	}
+	r.Rows = append(r.Rows, t)
+	return nil
+}
+
+// MustAppend appends and panics on schema mismatch; for test fixtures.
+func (r *Relation) MustAppend(vals ...value.Value) {
+	if err := r.Append(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.Name, r.Schema)
+	out.Rows = make([]Tuple, len(r.Rows))
+	for i, t := range r.Rows {
+		out.Rows[i] = t.Clone()
+	}
+	return out
+}
+
+// ColumnIndexes resolves names to positions, erroring on the first miss.
+func (r *Relation) ColumnIndexes(names []string) ([]int, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := r.Schema.IndexOf(n)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: no column %q", r.Name, n)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// Select returns the rows for which pred returns true. Errors from pred
+// abort the scan.
+func (r *Relation) Select(pred func(Tuple) (bool, error)) (*Relation, error) {
+	out := New(r.Name, r.Schema)
+	for _, t := range r.Rows {
+		ok, err := pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, t.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Project keeps exactly the named columns, in the given order, without
+// duplicate elimination (multiset semantics).
+func (r *Relation) Project(names []string) (*Relation, error) {
+	idx, err := r.ColumnIndexes(names)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(Schema, len(idx))
+	for i, j := range idx {
+		schema[i] = r.Schema[j]
+	}
+	out := New(r.Name, schema)
+	for _, t := range r.Rows {
+		row := make(Tuple, len(idx))
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Product returns the Cartesian product r × s. Columns whose names collide
+// are disambiguated with the relation-name prefix of the right operand,
+// joined with an underscore so result names stay plain identifiers.
+func (r *Relation) Product(s *Relation) *Relation {
+	schema := r.Schema.Clone()
+	for _, c := range s.Schema {
+		name := c.Name
+		if schema.Has(name) {
+			name = s.Name + "_" + name
+			if schema.Has(name) {
+				for k := 2; ; k++ {
+					cand := fmt.Sprintf("%s_%d", name, k)
+					if !schema.Has(cand) {
+						name = cand
+						break
+					}
+				}
+			}
+		}
+		schema = append(schema, Column{Name: name, Kind: c.Kind})
+	}
+	out := New(r.Name+"_x_"+s.Name, schema)
+	for _, a := range r.Rows {
+		for _, b := range s.Rows {
+			row := make(Tuple, 0, len(a)+len(b))
+			row = append(row, a...)
+			row = append(row, b...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Union returns the multiset union r ⊎ s. Schemas must be equal.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if !r.Schema.Equal(s.Schema) {
+		return nil, fmt.Errorf("union: incompatible schemas [%s] vs [%s]", r.Schema, s.Schema)
+	}
+	out := r.Clone()
+	for _, t := range s.Rows {
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	return out, nil
+}
+
+// Difference returns the multiset difference r − s: each tuple's
+// multiplicity is max(0, count_r − count_s). Schemas must be equal.
+func (r *Relation) Difference(s *Relation) (*Relation, error) {
+	if !r.Schema.Equal(s.Schema) {
+		return nil, fmt.Errorf("difference: incompatible schemas [%s] vs [%s]", r.Schema, s.Schema)
+	}
+	counts := make(map[string]int)
+	for _, t := range s.Rows {
+		counts[t.Key()]++
+	}
+	out := New(r.Name, r.Schema)
+	for _, t := range r.Rows {
+		k := t.Key()
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate tuples, keeping first occurrences in order.
+func (r *Relation) Distinct() *Relation {
+	seen := make(map[string]bool, len(r.Rows))
+	out := New(r.Name, r.Schema)
+	for _, t := range r.Rows {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	return out
+}
+
+// DistinctOn removes rows that duplicate an earlier row on the given
+// columns, keeping first occurrences.
+func (r *Relation) DistinctOn(cols []int) *Relation {
+	seen := make(map[string]bool, len(r.Rows))
+	out := New(r.Name, r.Schema)
+	for _, t := range r.Rows {
+		k := t.KeyOn(cols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	return out
+}
+
+// Join computes the theta-join of r and s using on as the join predicate
+// over the product row layout (r's columns then s's, disambiguated as in
+// Product). A nil predicate degenerates to the product.
+func (r *Relation) Join(s *Relation, on func(Tuple) (bool, error)) (*Relation, error) {
+	prod := r.Product(s) // layout and naming
+	if on == nil {
+		return prod, nil
+	}
+	out := New(prod.Name, prod.Schema)
+	for _, t := range prod.Rows {
+		ok, err := on(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	return out, nil
+}
+
+// String renders the relation as an aligned text table (for debugging and
+// golden tests).
+func (r *Relation) String() string {
+	widths := make([]int, len(r.Schema))
+	for i, c := range r.Schema {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, t := range r.Rows {
+		cells[ri] = make([]string, len(t))
+		for ci, v := range t {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Schema {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"sheetmusiq/internal/value"
+)
+
+// SortKey names a column and a direction for sorting.
+type SortKey struct {
+	Column string
+	Desc   bool
+}
+
+// Sort stably orders the relation's rows by the given keys, NULLs first
+// within ascending order. The receiver is modified in place.
+func (r *Relation) Sort(keys []SortKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		j := r.Schema.IndexOf(k.Column)
+		if j < 0 {
+			return fmt.Errorf("sort: no column %q in %s", k.Column, r.Name)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		ta, tb := r.Rows[a], r.Rows[b]
+		for i, j := range idx {
+			c := value.MustCompare(ta[j], tb[j])
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// SortedClone returns a sorted copy, leaving the receiver untouched.
+func (r *Relation) SortedClone(keys []SortKey) (*Relation, error) {
+	out := r.Clone()
+	if err := out.Sort(keys); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,361 @@
+package repl
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// session runs a sequence of commands and returns everything printed.
+func session(t *testing.T, cmds ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	s := New(&out)
+	for _, c := range cmds {
+		if err := s.Exec(c); err != nil {
+			fmt := "command %q: %v (output so far:\n%s)"
+			t.Fatalf(fmt, c, err, out.String())
+		}
+	}
+	return out.String()
+}
+
+// sessionErr runs commands expecting the last to fail.
+func sessionErr(t *testing.T, cmds ...string) error {
+	t.Helper()
+	var out bytes.Buffer
+	s := New(&out)
+	for i, c := range cmds {
+		err := s.Exec(c)
+		if i == len(cmds)-1 {
+			return err
+		}
+		if err != nil {
+			t.Fatalf("setup command %q: %v", c, err)
+		}
+	}
+	return nil
+}
+
+func TestDemoCarsAndSelect(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"select Price < 15000",
+	)
+	if !strings.Contains(out, "Jetta") {
+		t.Fatalf("expected car rows in output:\n%s", out)
+	}
+	// After the selection only 304 and 132 remain.
+	if strings.Contains(strings.Split(out, "select")[0], "901") && !strings.Contains(out, "304") {
+		t.Fatalf("selection result missing:\n%s", out)
+	}
+}
+
+func TestPaperWalkthrough(t *testing.T) {
+	// Sam's full session: filter, group, sort, aggregate, compare, modify.
+	out := session(t,
+		"demo cars",
+		"echo off",
+		"select Condition = 'Good' OR Condition = 'Excellent'",
+		"select Year >= 2005",
+		"group desc Model",
+		"group asc Year",
+		"sort Price asc",
+		"agg avg Price 3 as Avg_Price",
+		"select Price < Avg_Price",
+		"echo on",
+		"show",
+		"history",
+	)
+	if !strings.Contains(out, "Avg_Price") {
+		t.Fatalf("aggregate column missing:\n%s", out)
+	}
+	if !strings.Contains(out, "σ") || !strings.Contains(out, "τ") || !strings.Contains(out, "η") {
+		t.Fatalf("history should show operator names:\n%s", out)
+	}
+}
+
+func TestQueryModificationFlow(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"select Year = 2005",
+		"select Model = 'Jetta'",
+		"filters Year",
+		"modify 1 Year = 2006",
+		"echo on",
+		"show",
+	)
+	if !strings.Contains(out, "#1") {
+		t.Fatalf("filters should list predicate ids:\n%s", out)
+	}
+	if !strings.Contains(out, "723") || strings.Contains(out, "304 ") {
+		t.Fatalf("modification did not flip the year:\n%s", out)
+	}
+}
+
+func TestUndoRedo(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"echo off",
+		"select Price < 15000",
+		"undo",
+		"redo",
+		"history",
+	)
+	if !strings.Contains(out, "undid") || !strings.Contains(out, "redid") {
+		t.Fatalf("undo/redo feedback missing:\n%s", out)
+	}
+}
+
+func TestSQLAndExplain(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"echo off",
+		"select Year = 2005",
+		"group asc Model",
+		"agg avg Price 2 as AvgP",
+		"sql",
+		"explain",
+	)
+	if !strings.Contains(out, "SELECT") || !strings.Contains(out, "GROUP BY") {
+		t.Fatalf("sql command should print generated SQL:\n%s", out)
+	}
+	if !strings.Contains(out, "stage 1:") {
+		t.Fatalf("explain should print stages:\n%s", out)
+	}
+}
+
+func TestSaveOpenJoin(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"select Condition = 'Excellent'",
+		"save nice",
+		"use cars",
+		"minus nice",
+		"show",
+	)
+	// 9 − 4 excellent = 5 rows; the Good Civics remain.
+	if !strings.Contains(out, "132") || strings.Contains(out, "872") {
+		t.Fatalf("difference with stored sheet wrong:\n%s", out)
+	}
+}
+
+func TestFormulaHideRename(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"formula KPrice = Price / 1000",
+		"hide Mileage",
+		"rename KPrice Thousands",
+		"columns",
+	)
+	if !strings.Contains(out, "Thousands") || strings.Contains(out, "Mileage") {
+		t.Fatalf("columns after formula/hide/rename wrong:\n%s", out)
+	}
+}
+
+func TestStateListing(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"echo off",
+		"select Year = 2005",
+		"group asc Model",
+		"agg count ID 2 as N",
+		"distinct",
+		"state",
+	)
+	for _, want := range []string{"selection #1", "grouping level 2", "aggregate N", "distinct on"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("state output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRawSQL(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"run SELECT Model, COUNT(*) AS n FROM cars GROUP BY Model ORDER BY Model",
+	)
+	if !strings.Contains(out, "Civic") || !strings.Contains(out, "3") {
+		t.Fatalf("raw SQL output wrong:\n%s", out)
+	}
+}
+
+func TestTpchDemo(t *testing.T) {
+	out := session(t,
+		"demo tpch 0.001",
+		"tables",
+		"use lineitem",
+		"echo off",
+		"select l_quantity < 10",
+		"group asc l_returnflag",
+		"agg sum l_quantity 2 as q",
+	)
+	if !strings.Contains(out, "lineitem") || !strings.Contains(out, "v_stock") {
+		t.Fatalf("tpch tables/views missing:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"select Price < 1"},              // no sheet yet
+		{"demo cars", "select Nope = 1"},  // bad predicate
+		{"demo cars", "group asc Nope"},   // bad column
+		{"demo cars", "agg avg Price 5"},  // bad level
+		{"demo cars", "modify 9 Year=1"},  // no such selection
+		{"demo cars", "open nothere"},     // no stored sheet
+		{"demo cars", "frobnicate"},       // unknown command
+		{"demo cars", "sort"},             // missing args
+		{"demo cars", "formula X Price"},  // missing '='
+		{"demo cars", "rows zero"},        // bad number
+		{"load /no/such/file.csv"},        // missing file
+		{"demo cars", "run SELEC * FROM"}, // bad SQL
+	}
+	for _, cmds := range cases {
+		if err := sessionErr(t, cmds...); err == nil {
+			t.Errorf("command sequence %v should fail", cmds)
+		}
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	var out bytes.Buffer
+	in := strings.NewReader("demo cars\nselect Price < 15000\nquit\n")
+	if err := New(&out).Run(in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cars>") {
+		t.Fatalf("prompt missing:\n%s", out.String())
+	}
+}
+
+func TestEchoToggleAndRows(t *testing.T) {
+	out := session(t,
+		"demo cars",
+		"echo off",
+		"rows 2",
+		"show",
+	)
+	if !strings.Contains(out, "rows total") {
+		t.Fatalf("row limiting not applied:\n%s", out)
+	}
+}
+
+func TestMenuCommand(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"select Price < 16000",
+		"group asc Model",
+		"menu Price",
+		"menu Model",
+	)
+	if !strings.Contains(out, "BETWEEN") {
+		t.Fatalf("numeric menu should offer BETWEEN:\n%s", out)
+	}
+	if !strings.Contains(out, "existing filter #1") {
+		t.Fatalf("menu should surface existing predicates:\n%s", out)
+	}
+	if !strings.Contains(out, "LIKE") {
+		t.Fatalf("text menu should offer LIKE:\n%s", out)
+	}
+	if err := sessionErr(t, "demo cars", "menu Nope"); err == nil {
+		t.Fatal("menu over unknown column must fail")
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/session.json"
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"select Year = 2005",
+		"group asc Model",
+		"agg avg Price 2 as AvgP",
+		"savestate "+path,
+	)
+	if !strings.Contains(out, "saved query state") {
+		t.Fatalf("savestate output: %s", out)
+	}
+	// A fresh session restores it after loading the base table.
+	out2 := session(t,
+		"echo off",
+		"demo cars",
+		"loadstate "+path,
+		"state",
+	)
+	if !strings.Contains(out2, "aggregate AvgP") || !strings.Contains(out2, "selection #1") {
+		t.Fatalf("restored state incomplete:\n%s", out2)
+	}
+	// Restoring without the base loaded fails cleanly.
+	if err := sessionErr(t, "loadstate "+path); err == nil {
+		t.Fatal("loadstate without the base table must fail")
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"select Model = 'Civic'",
+		"export "+path,
+	)
+	if !strings.Contains(out, "exported 3 rows") {
+		t.Fatalf("export output: %s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Civic") {
+		t.Fatalf("exported file content:\n%s", data)
+	}
+	if err := sessionErr(t, "echo off", "demo cars", "export"); err == nil {
+		t.Fatal("export without a path must fail")
+	}
+}
+
+func TestTreeCommand(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"group desc Model",
+		"group asc Year",
+		"tree",
+	)
+	if !strings.Contains(out, "▾ Model = Jetta") {
+		t.Fatalf("tree output:\n%s", out)
+	}
+}
+
+func TestCompileCommand(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"compile SELECT Model, AVG(Price) AS ap FROM cars WHERE Year = 2005 GROUP BY Model ORDER BY Model",
+		"state",
+		"filters Year",
+		"modify 1 Year = 2006",
+		"show",
+	)
+	if !strings.Contains(out, "Theorem 1") || !strings.Contains(out, "step 3: τ Model") {
+		t.Fatalf("compile output:\n%s", out)
+	}
+	// The compiled sheet is modifiable like any other: after switching the
+	// year to 2006 the Civic average is 15500 (not 2005's 13500).
+	if !strings.Contains(out, "15500") || strings.Contains(out, "13500") {
+		t.Fatalf("modified compiled sheet:\n%s", out)
+	}
+	if err := sessionErr(t, "demo cars", "compile SELECT * FROM nothere"); err == nil {
+		t.Fatal("compile against a missing table must fail")
+	}
+	if err := sessionErr(t, "demo cars", "compile SELECT DISTINCT Model FROM cars"); err == nil {
+		t.Fatal("non-core SQL must fail to compile")
+	}
+}

@@ -1,0 +1,81 @@
+// Package report renders the paper's evaluation artifacts (Figures 3–5,
+// Table VI, the Sec. VII-A4 analysis) as text, in the row/series layout the
+// paper prints. cmd/experiments is a thin shell around it; keeping the
+// rendering here makes the exact output testable.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"sheetmusiq/internal/uistudy"
+)
+
+// Fig3 writes the speed results (mean seconds per query, both interfaces,
+// per-task Mann-Whitney significance).
+func Fig3(w io.Writer, st *uistudy.Study) {
+	fmt.Fprintln(w, "== Figure 3 — Speed Result (mean seconds per query) ==")
+	fmt.Fprintf(w, "%-5s %-22s %10s %10s %8s %12s\n", "query", "task", "Navicat", "SheetMusiq", "speedup", "MannWhitney p")
+	for _, ts := range st.Tasks {
+		sig := ""
+		if ts.MannWhitneyP < 0.002 {
+			sig = "  significant"
+		}
+		fmt.Fprintf(w, "%-5d %-22s %10.1f %10.1f %7.2fx %12.4g%s\n",
+			ts.TaskID, ts.Name, ts.MeanNav, ts.MeanSheet, ts.MeanNav/ts.MeanSheet, ts.MannWhitneyP, sig)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig4 writes the per-task standard deviations.
+func Fig4(w io.Writer, st *uistudy.Study) {
+	fmt.Fprintln(w, "== Figure 4 — Standard Deviation of Speeds (seconds) ==")
+	fmt.Fprintf(w, "%-5s %-22s %10s %10s\n", "query", "task", "Navicat", "SheetMusiq")
+	for _, ts := range st.Tasks {
+		fmt.Fprintf(w, "%-5d %-22s %10.1f %10.1f\n", ts.TaskID, ts.Name, ts.StdNav, ts.StdSheet)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig5 writes per-task correctness counts, the totals, and the Fisher exact
+// significance.
+func Fig5(w io.Writer, st *uistudy.Study) {
+	n := len(st.Panel)
+	fmt.Fprintln(w, "== Figure 5 — Correctness Result (subjects correct per query) ==")
+	fmt.Fprintf(w, "%-5s %-22s %10s %10s\n", "query", "task", "Navicat", "SheetMusiq")
+	for _, ts := range st.Tasks {
+		fmt.Fprintf(w, "%-5d %-22s %7d/%-2d %7d/%-2d\n", ts.TaskID, ts.Name, ts.CorrectNav, n, ts.CorrectSM, n)
+	}
+	total := n * len(st.Tasks)
+	fmt.Fprintf(w, "totals: SheetMusiq %d/%d, Navicat %d/%d, Fisher exact p = %.4g\n\n",
+		st.TotalSM, total, st.TotalNav, total, st.FisherP)
+}
+
+// TableVI writes the subjective questionnaire.
+func TableVI(w io.Writer, st *uistudy.Study) {
+	fmt.Fprintln(w, "== Table VI — Subjective Results ==")
+	row := func(q, yes, no string, c [2]int) {
+		fmt.Fprintf(w, "%-55s %-12s %d\n", q, yes, c[0])
+		fmt.Fprintf(w, "%-55s %-12s %d\n", "", no, c[1])
+	}
+	row("Which package do you prefer to use?", "SheetMusiq", "Navicat", st.Survey.PreferSheetMusiq)
+	row("Seeing data helps formulate queries", "Yes", "No", st.Survey.SeeingDataHelps)
+	row("Progressive refinement beats all-at-once", "Yes", "No", st.Survey.ProgressiveRefinement)
+	row("Database concepts are easier in SheetMusiq", "Yes", "No", st.Survey.ConceptsEasier)
+	fmt.Fprintln(w)
+}
+
+// Analysis quantifies the Sec. VII-A4 discussion: conceptual errors per
+// interface and the syntax-stumble asymmetry.
+func Analysis(w io.Writer, st *uistudy.Study) {
+	fmt.Fprintf(w, "== Sec. VII-A4 — Analysis (conceptual errors across all %d trials) ==\n", len(st.Trials))
+	fmt.Fprintf(w, "%-22s %10s %10s\n", "concept", "SheetMusiq", "Navicat")
+	bd := st.ConceptBreakdown()
+	for c := uistudy.ConceptSelection; c <= uistudy.ConceptGroupQualification; c++ {
+		counts := bd[c]
+		fmt.Fprintf(w, "%-22s %10d %10d\n", c.String(), counts[0], counts[1])
+	}
+	sm, nav := st.SyntaxErrorTotals()
+	fmt.Fprintf(w, "%-22s %10d %10d\n", "SQL syntax stumbles", sm, nav)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sheetmusiq/internal/uistudy"
+)
+
+func study(t *testing.T) *uistudy.Study {
+	t.Helper()
+	st, err := uistudy.Run(uistudy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func render(t *testing.T, fn func(*bytes.Buffer)) string {
+	t.Helper()
+	var b bytes.Buffer
+	fn(&b)
+	return b.String()
+}
+
+func TestFig3Rendering(t *testing.T) {
+	st := study(t)
+	out := render(t, func(b *bytes.Buffer) { Fig3(b, st) })
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "MannWhitney p") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 12 {
+		t.Fatalf("expected 10 task rows:\n%s", out)
+	}
+	if !strings.Contains(out, "significant") {
+		t.Fatal("significance markers missing")
+	}
+	if !strings.Contains(out, "pricing-summary") {
+		t.Fatal("task names missing")
+	}
+}
+
+func TestFig4Rendering(t *testing.T) {
+	st := study(t)
+	out := render(t, func(b *bytes.Buffer) { Fig4(b, st) })
+	if !strings.Contains(out, "Standard Deviation") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+}
+
+func TestFig5Rendering(t *testing.T) {
+	st := study(t)
+	out := render(t, func(b *bytes.Buffer) { Fig5(b, st) })
+	if !strings.Contains(out, "Fisher exact p") {
+		t.Fatalf("totals line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "/10") {
+		t.Fatal("per-query counts missing")
+	}
+}
+
+func TestTableVIRendering(t *testing.T) {
+	st := study(t)
+	out := render(t, func(b *bytes.Buffer) { TableVI(b, st) })
+	for _, q := range []string{
+		"Which package do you prefer to use?",
+		"Seeing data helps formulate queries",
+		"Progressive refinement beats all-at-once",
+		"Database concepts are easier in SheetMusiq",
+	} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("question %q missing:\n%s", q, out)
+		}
+	}
+}
+
+func TestAnalysisRendering(t *testing.T) {
+	st := study(t)
+	out := render(t, func(b *bytes.Buffer) { Analysis(b, st) })
+	for _, want := range []string{"grouping", "aggregation", "SQL syntax stumbles", "200 trials"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderingDeterministic guards EXPERIMENTS.md against silent drift:
+// the default-seed rendering must be stable across runs.
+func TestRenderingDeterministic(t *testing.T) {
+	a := render(t, func(b *bytes.Buffer) { st := study(t); Fig3(b, st); Fig5(b, st) })
+	b := render(t, func(b *bytes.Buffer) { st := study(t); Fig3(b, st); Fig5(b, st) })
+	if a != b {
+		t.Fatal("default-seed rendering is not deterministic")
+	}
+}

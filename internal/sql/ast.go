@@ -1,0 +1,218 @@
+// Package sql implements a single-block SQL engine over internal/relation:
+// a parser, a semantic analyser, and an executor for the fragment of SQL the
+// spreadsheet algebra targets — SELECT [DISTINCT] with expressions and
+// aggregates, FROM with base tables, subqueries and joins, WHERE, GROUP BY,
+// HAVING, ORDER BY and LIMIT.
+//
+// The paper's prototype compiled spreadsheet manipulations to SQL against
+// PostgreSQL; this package substitutes for that backend (DESIGN.md §2) and
+// doubles as the independent oracle that internal/sqlgen output is verified
+// against.
+package sql
+
+import (
+	"strings"
+
+	"sheetmusiq/internal/expr"
+)
+
+// SelectStmt is a parsed single-block query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     FromItem
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// SelectItem is one output column: an expression with an optional alias.
+// A nil Expr with Star true selects every input column.
+type SelectItem struct {
+	Expr  expr.Expr
+	Alias string
+	Star  bool
+}
+
+// Name returns the output column name: the alias, a bare column's last path
+// segment, or the canonical SQL text.
+func (it SelectItem) Name() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*expr.ColumnRef); ok {
+		if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+			return c.Name[i+1:]
+		}
+		return c.Name
+	}
+	return it.Expr.SQL()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// FromItem is a FROM-clause source.
+type FromItem interface{ fromItem() }
+
+// TableRef names a registered table, optionally aliased.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (*TableRef) fromItem() {}
+
+// SubqueryRef is a parenthesised SELECT used as a source; the alias is
+// required.
+type SubqueryRef struct {
+	Stmt  *SelectStmt
+	Alias string
+}
+
+func (*SubqueryRef) fromItem() {}
+
+// JoinRef combines two sources. Cross joins have a nil On.
+type JoinRef struct {
+	Left, Right FromItem
+	On          expr.Expr
+}
+
+func (*JoinRef) fromItem() {}
+
+// SQL renders the statement back to text.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.SQL())
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(quoteIdent(it.Alias))
+		}
+	}
+	b.WriteString(" FROM ")
+	writeFrom(&b, s.From)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(itoa(s.Offset))
+	}
+	return b.String()
+}
+
+func writeFrom(b *strings.Builder, f FromItem) {
+	switch t := f.(type) {
+	case *TableRef:
+		b.WriteString(quoteIdent(t.Name))
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(quoteIdent(t.Alias))
+		}
+	case *SubqueryRef:
+		b.WriteString("(")
+		b.WriteString(t.Stmt.SQL())
+		b.WriteString(") AS ")
+		b.WriteString(quoteIdent(t.Alias))
+	case *JoinRef:
+		writeFrom(b, t.Left)
+		if t.On == nil {
+			b.WriteString(" CROSS JOIN ")
+			writeFrom(b, t.Right)
+		} else {
+			b.WriteString(" JOIN ")
+			writeFrom(b, t.Right)
+			b.WriteString(" ON ")
+			b.WriteString(t.On.SQL())
+		}
+	}
+}
+
+func quoteIdent(name string) string {
+	plain := name != ""
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

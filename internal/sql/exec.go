@@ -1,0 +1,1004 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// DB is a named collection of base relations queries execute against.
+type DB struct {
+	tables map[string]*relation.Relation
+	// subqueryRuns counts actual nested-statement executions (cache misses
+	// included, cache hits not); exposed for tests and ablations.
+	subqueryRuns int
+	// DisablePushdown turns off predicate pushdown (see optimize.go); for
+	// ablation benchmarks.
+	DisablePushdown bool
+}
+
+// SubqueryRuns reports how many nested statements have actually executed
+// on this DB since creation (memoised re-uses are not counted).
+func (db *DB) SubqueryRuns() int { return db.subqueryRuns }
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*relation.Relation{}} }
+
+// Register installs (or replaces) a table under its relation name.
+func (db *DB) Register(r *relation.Relation) { db.tables[strings.ToLower(r.Name)] = r }
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*relation.Relation, bool) {
+	r, ok := db.tables[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names lists registered tables.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Query parses and executes one SELECT statement.
+func (db *DB) Query(src string) (*relation.Relation, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(stmt)
+}
+
+// Exec executes a parsed statement.
+func (db *DB) Exec(stmt *SelectStmt) (*relation.Relation, error) {
+	return db.execOuter(stmt, nil)
+}
+
+// execOuter executes a statement with an optional enclosing row scope, the
+// mechanism behind correlated subqueries: names that do not resolve in the
+// statement's own FROM sources fall back to the outer row.
+func (db *DB) execOuter(stmt *SelectStmt, outer expr.Env) (*relation.Relation, error) {
+	filters, residual := db.pushdown(stmt)
+	src, err := db.evalFromFiltered(stmt.From, filters, outer)
+	if err != nil {
+		return nil, err
+	}
+	if len(filters) > 0 {
+		reduced := *stmt
+		reduced.Where = residual
+		return execOn(db, src, &reduced, outer)
+	}
+	return execOn(db, src, stmt, outer)
+}
+
+// source is the FROM result: a relation whose columns carry fully qualified
+// names ("alias.col"); lookups resolve bare names by unique suffix match.
+type source struct {
+	rel *relation.Relation
+}
+
+// resolve maps a (possibly qualified) name to a column index, insisting on
+// uniqueness for bare names.
+func (s *source) resolve(name string) (int, error) {
+	if i := s.rel.Schema.IndexOf(name); i >= 0 {
+		return i, nil
+	}
+	suffix := "." + strings.ToLower(name)
+	found := -1
+	for i, c := range s.rel.Schema {
+		if strings.HasSuffix(strings.ToLower(c.Name), suffix) {
+			if found >= 0 {
+				return -1, fmt.Errorf("sql: ambiguous column %q", name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// rowEnv evaluates expressions over one source row. It also carries the
+// database and the enclosing row scope so nested subqueries can execute
+// (correlated names resolve innermost-first, then walk outward), plus the
+// per-statement subquery cache.
+type rowEnv struct {
+	src *source
+	row relation.Tuple
+	// extra binds synthetic columns (precomputed aggregates).
+	extra map[string]value.Value
+	db    *DB
+	outer expr.Env
+	subs  map[*expr.Subquery]*subState
+}
+
+// subState memoises one subquery node for the lifetime of the enclosing
+// statement execution: the materialised FROM sources (correlation is not
+// allowed in FROM, so they never change) and, keyed by the values of the
+// subquery's free variables, its full results. An uncorrelated subquery
+// therefore executes exactly once; a correlated one executes once per
+// distinct outer key instead of once per outer row.
+type subState struct {
+	src      *source
+	freeVars []string
+	cache    map[string]*relation.Relation
+	disable  bool // nested subqueries inside: correlation keys could span scopes
+}
+
+func (e rowEnv) Lookup(name string) (value.Value, bool) {
+	if e.extra != nil {
+		if v, ok := e.extra[strings.ToLower(name)]; ok {
+			return v, true
+		}
+	}
+	if i, err := e.src.resolve(name); err == nil {
+		return e.row[i], true
+	}
+	if e.outer != nil {
+		return e.outer.Lookup(name)
+	}
+	return value.Null, false
+}
+
+// EvalSubquery implements expr.SubqueryEvaluator: the nested statement runs
+// with this row as its enclosing scope, memoised per distinct correlation
+// key.
+func (e rowEnv) EvalSubquery(sub *expr.Subquery) (*relation.Relation, error) {
+	stmt, ok := sub.Stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: malformed subquery node")
+	}
+	if e.db == nil {
+		return nil, fmt.Errorf("sql: subqueries are not supported in this context")
+	}
+	if e.subs == nil {
+		e.db.subqueryRuns++
+		return e.db.execOuter(stmt, e)
+	}
+	st := e.subs[sub]
+	if st == nil {
+		src, err := e.db.evalFrom(stmt.From)
+		if err != nil {
+			return nil, err
+		}
+		st = &subState{src: src, cache: map[string]*relation.Relation{}}
+		st.freeVars, st.disable = freeVars(stmt, src)
+		e.subs[sub] = st
+	}
+	if st.disable {
+		e.db.subqueryRuns++
+		return execOn(e.db, st.src, stmt, e)
+	}
+	var kb strings.Builder
+	for _, name := range st.freeVars {
+		v, ok := e.Lookup(name)
+		if !ok {
+			// Unresolvable name: let execution surface the real error.
+			return execOn(e.db, st.src, stmt, e)
+		}
+		kb.WriteString(v.Key())
+		kb.WriteByte('\x1f')
+	}
+	key := kb.String()
+	if res, ok := st.cache[key]; ok {
+		return res, nil
+	}
+	e.db.subqueryRuns++
+	res, err := execOn(e.db, st.src, stmt, e)
+	if err != nil {
+		return nil, err
+	}
+	st.cache[key] = res
+	return res, nil
+}
+
+// freeVars lists the column names a statement references that do not
+// resolve against its own FROM sources or output aliases — its correlation
+// variables. When the statement nests further subqueries, caching is
+// disabled (their correlation could reach past this scope).
+func freeVars(stmt *SelectStmt, src *source) (vars []string, disable bool) {
+	bound := map[string]bool{}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			bound[strings.ToLower(it.Name())] = true
+		}
+	}
+	seen := map[string]bool{}
+	collect := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if expr.ContainsSubquery(e) {
+			disable = true
+			return
+		}
+		for _, c := range expr.Columns(e) {
+			lc := strings.ToLower(c)
+			if strings.HasPrefix(lc, "__agg_") || bound[lc] || seen[lc] {
+				continue
+			}
+			if _, err := src.resolve(c); err == nil {
+				continue
+			}
+			seen[lc] = true
+			vars = append(vars, c)
+		}
+	}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			collect(it.Expr)
+		}
+	}
+	collect(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		collect(g)
+	}
+	collect(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		collect(o.Expr)
+	}
+	return vars, disable
+}
+
+// evalFrom materialises a FROM tree into a qualified-name relation.
+func (db *DB) evalFrom(f FromItem) (*source, error) {
+	return db.evalFromFiltered(f, nil, nil)
+}
+
+// evalFromFiltered materialises a FROM tree, applying any pushed-down
+// per-alias filters as each source appears.
+func (db *DB) evalFromFiltered(f FromItem, filters map[string][]expr.Expr, outer expr.Env) (*source, error) {
+	switch t := f.(type) {
+	case *TableRef:
+		base, ok := db.Table(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", t.Name)
+		}
+		alias := t.Alias
+		if alias == "" {
+			alias = t.Name
+		}
+		src := qualify(base, alias)
+		if err := applyFilter(db, src, filters[strings.ToLower(alias)], outer); err != nil {
+			return nil, err
+		}
+		return src, nil
+	case *SubqueryRef:
+		inner, err := db.Exec(t.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		src := qualify(inner, t.Alias)
+		if err := applyFilter(db, src, filters[strings.ToLower(t.Alias)], outer); err != nil {
+			return nil, err
+		}
+		return src, nil
+	case *JoinRef:
+		left, err := db.evalFromFiltered(t.Left, filters, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.evalFromFiltered(t.Right, filters, outer)
+		if err != nil {
+			return nil, err
+		}
+		return joinSources(left, right, t.On)
+	}
+	return nil, fmt.Errorf("sql: unsupported FROM item %T", f)
+}
+
+// qualify copies rel with every column renamed to "alias.col".
+func qualify(rel *relation.Relation, alias string) *source {
+	schema := make(relation.Schema, len(rel.Schema))
+	for i, c := range rel.Schema {
+		name := c.Name
+		if j := strings.LastIndexByte(name, '.'); j >= 0 {
+			name = name[j+1:]
+		}
+		schema[i] = relation.Column{Name: alias + "." + name, Kind: c.Kind}
+	}
+	out := relation.New(alias, schema)
+	out.Rows = rel.Rows // rows are read-only downstream
+	return &source{rel: out}
+}
+
+// joinSources computes left ⋈ right (hash join on equality conjuncts when
+// possible, nested loops otherwise).
+func joinSources(left, right *source, on expr.Expr) (*source, error) {
+	schema := append(left.rel.Schema.Clone(), right.rel.Schema.Clone()...)
+	seen := map[string]bool{}
+	for _, c := range schema {
+		k := strings.ToLower(c.Name)
+		if seen[k] {
+			return nil, fmt.Errorf("sql: duplicate source name %q; alias the tables", c.Name)
+		}
+		seen[k] = true
+	}
+	out := relation.New(left.rel.Name+"_"+right.rel.Name, schema)
+	probe := &source{rel: out}
+
+	// Try to extract an equality conjunct usable as a hash-join key.
+	lk, rk := hashKeys(left, right, on)
+	if len(lk) > 0 {
+		build := make(map[string][]relation.Tuple, right.rel.Len())
+		for _, rt := range right.rel.Rows {
+			build[rt.KeyOn(rk)] = append(build[rt.KeyOn(rk)], rt)
+		}
+		for _, lt := range left.rel.Rows {
+			for _, rt := range build[lt.KeyOn(lk)] {
+				row := concatRow(lt, rt)
+				ok, err := evalOn(probe, row, on)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out.Rows = append(out.Rows, row)
+				}
+			}
+		}
+		return probe, nil
+	}
+	for _, lt := range left.rel.Rows {
+		for _, rt := range right.rel.Rows {
+			row := concatRow(lt, rt)
+			ok, err := evalOn(probe, row, on)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return probe, nil
+}
+
+func concatRow(a, b relation.Tuple) relation.Tuple {
+	row := make(relation.Tuple, 0, len(a)+len(b))
+	row = append(row, a...)
+	return append(row, b...)
+}
+
+func evalOn(probe *source, row relation.Tuple, on expr.Expr) (bool, error) {
+	if on == nil {
+		return true, nil
+	}
+	return expr.EvalBool(on, rowEnv{src: probe, row: row})
+}
+
+// hashKeys extracts column-index pairs for top-level AND-ed equality
+// conjuncts of the form leftCol = rightCol.
+func hashKeys(left, right *source, on expr.Expr) (lk, rk []int) {
+	var conjuncts func(e expr.Expr)
+	var pairs [][2]int
+	conjuncts = func(e expr.Expr) {
+		b, ok := e.(*expr.Binary)
+		if !ok {
+			return
+		}
+		if b.Op == expr.OpAnd {
+			conjuncts(b.L)
+			conjuncts(b.R)
+			return
+		}
+		if b.Op != expr.OpEq {
+			return
+		}
+		lc, lok := b.L.(*expr.ColumnRef)
+		rc, rok := b.R.(*expr.ColumnRef)
+		if !lok || !rok {
+			return
+		}
+		li, lerr := left.resolve(lc.Name)
+		ri, rerr := right.resolve(rc.Name)
+		if lerr == nil && rerr == nil {
+			pairs = append(pairs, [2]int{li, ri})
+			return
+		}
+		// Reversed orientation: right = left.
+		li, lerr = left.resolve(rc.Name)
+		ri, rerr = right.resolve(lc.Name)
+		if lerr == nil && rerr == nil {
+			pairs = append(pairs, [2]int{li, ri})
+		}
+	}
+	if on != nil {
+		conjuncts(on)
+	}
+	for _, p := range pairs {
+		lk = append(lk, p[0])
+		rk = append(rk, p[1])
+	}
+	return lk, rk
+}
+
+// execOn runs the SELECT body against a materialised source.
+func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Relation, error) {
+	// The subquery cache lives for this statement execution.
+	subs := map[*expr.Subquery]*subState{}
+	// WHERE.
+	rows := src.rel.Rows
+	if stmt.Where != nil {
+		if expr.ContainsAggregate(stmt.Where) {
+			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		kept := make([]relation.Tuple, 0, len(rows))
+		for _, row := range rows {
+			ok, err := expr.EvalBool(stmt.Where, rowEnv{src: src, row: row, db: db, outer: outer, subs: subs})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || hasAggregates(stmt)
+	var out *relation.Relation
+	var sortVals [][]value.Value
+	var err error
+	if grouped {
+		out, sortVals, err = execGrouped(db, src, stmt, rows, outer, subs)
+	} else {
+		out, sortVals, err = execPlain(db, src, stmt, rows, outer, subs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		out, sortVals = distinctRows(out, sortVals)
+	}
+	if len(stmt.OrderBy) > 0 {
+		sortOutput(out, sortVals, stmt.OrderBy)
+	}
+	if stmt.Offset > 0 {
+		if stmt.Offset >= out.Len() {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[stmt.Offset:]
+		}
+	}
+	if stmt.Limit >= 0 && stmt.Limit < out.Len() {
+		out.Rows = out.Rows[:stmt.Limit]
+	}
+	return out, nil
+}
+
+func hasAggregates(stmt *SelectStmt) bool {
+	for _, it := range stmt.Items {
+		if !it.Star && expr.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if expr.ContainsAggregate(o.Expr) {
+			return true
+		}
+	}
+	return stmt.Having != nil && expr.ContainsAggregate(stmt.Having)
+}
+
+// execPlain projects without grouping. It returns the output relation plus,
+// for each row, the evaluated ORDER BY key values.
+func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) (*relation.Relation, [][]value.Value, error) {
+	items, err := expandStars(src, stmt.Items)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, err := outputSchema(src, items)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.New("result", schema)
+	sortVals := make([][]value.Value, 0, len(rows))
+	for _, row := range rows {
+		env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
+		tuple := make(relation.Tuple, len(items))
+		for i, it := range items {
+			v, err := expr.Eval(it.Expr, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			tuple[i] = widen(v, schema[i].Kind)
+		}
+		out.Rows = append(out.Rows, tuple)
+		keys, err := orderKeys(stmt.OrderBy, env, out, tuple, items)
+		if err != nil {
+			return nil, nil, err
+		}
+		sortVals = append(sortVals, keys)
+	}
+	return out, sortVals, nil
+}
+
+// execGrouped evaluates GROUP BY / aggregate queries.
+func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) (*relation.Relation, [][]value.Value, error) {
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("sql: * is not allowed with GROUP BY or aggregates")
+		}
+	}
+	// Group rows by the GROUP BY expression values.
+	type group struct {
+		key  []value.Value
+		rows []relation.Tuple
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, row := range rows {
+		env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
+		key := make([]value.Value, len(stmt.GroupBy))
+		var kb strings.Builder
+		for i, g := range stmt.GroupBy {
+			v, err := expr.Eval(g, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			key[i] = v
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		grp := index[k]
+		if grp == nil {
+			grp = &group{key: key}
+			index[k] = grp
+			groups = append(groups, grp)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, &group{}) // aggregate over empty input
+	}
+
+	// Collect every aggregate call appearing in the statement.
+	aggs, rewritten, having, orderBy, err := liftAggregates(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Validate that non-aggregate expressions only reference columns that
+	// feed some GROUP BY expression (a practical approximation of the SQL
+	// functional-dependency rule; DESIGN.md documents the looseness).
+	groupCols := map[string]bool{}
+	for _, g := range stmt.GroupBy {
+		for _, c := range expr.Columns(g) {
+			groupCols[strings.ToLower(c)] = true
+			if i := strings.LastIndexByte(c, '.'); i >= 0 {
+				groupCols[strings.ToLower(c[i+1:])] = true
+			}
+		}
+	}
+	checkGrouped := func(e expr.Expr, where string) error {
+		for _, c := range expr.Columns(e) {
+			if strings.HasPrefix(c, "__agg_") {
+				continue
+			}
+			bare := c
+			if i := strings.LastIndexByte(c, '.'); i >= 0 {
+				bare = c[i+1:]
+			}
+			if !groupCols[strings.ToLower(c)] && !groupCols[strings.ToLower(bare)] {
+				return fmt.Errorf("sql: column %q in %s must appear in GROUP BY or inside an aggregate", c, where)
+			}
+		}
+		return nil
+	}
+	items := rewritten
+	for _, it := range items {
+		if err := checkGrouped(it.Expr, "select list"); err != nil {
+			return nil, nil, err
+		}
+	}
+	if having != nil {
+		if err := checkGrouped(having, "HAVING"); err != nil {
+			return nil, nil, err
+		}
+	}
+	aliases := map[string]bool{}
+	for _, it := range stmt.Items {
+		aliases[strings.ToLower(it.Name())] = true
+	}
+	for _, o := range orderBy {
+		// An ORDER BY key naming an output column resolves against the
+		// produced row, not the source; exempt it from the grouping check.
+		if c, ok := o.Expr.(*expr.ColumnRef); ok && aliases[strings.ToLower(c.Name)] {
+			continue
+		}
+		if err := checkGrouped(o.Expr, "ORDER BY"); err != nil {
+			return nil, nil, err
+		}
+	}
+	schema, err := groupedSchema(src, stmt, items, aggs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.New("result", schema)
+	sortVals := make([][]value.Value, 0, len(groups))
+	for _, grp := range groups {
+		extra := map[string]value.Value{}
+		for ai, a := range aggs {
+			acc := relation.NewAccumulator(a.fn)
+			for _, row := range grp.rows {
+				var v value.Value
+				if a.star {
+					v = value.NewInt(1)
+				} else {
+					var err error
+					v, err = expr.Eval(a.arg, rowEnv{src: src, row: row, db: db, outer: outer, subs: subs})
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+				if err := acc.Add(v); err != nil {
+					return nil, nil, err
+				}
+			}
+			extra[aggPlaceholder(ai)] = acc.Result()
+		}
+		var rep relation.Tuple
+		if len(grp.rows) > 0 {
+			rep = grp.rows[0]
+		} else {
+			rep = make(relation.Tuple, len(src.rel.Schema))
+			for i := range rep {
+				rep[i] = value.Null
+			}
+		}
+		env := rowEnv{src: src, row: rep, extra: extra, db: db, outer: outer, subs: subs}
+		if having != nil {
+			ok, err := expr.EvalBool(having, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		tuple := make(relation.Tuple, len(items))
+		for i, it := range items {
+			v, err := expr.Eval(it.Expr, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			tuple[i] = widen(v, schema[i].Kind)
+		}
+		out.Rows = append(out.Rows, tuple)
+		keys, err := orderKeys(orderBy, env, out, tuple, items)
+		if err != nil {
+			return nil, nil, err
+		}
+		sortVals = append(sortVals, keys)
+	}
+	return out, sortVals, nil
+}
+
+// liftedAgg is one distinct aggregate call lifted out of the statement.
+type liftedAgg struct {
+	fn   relation.AggFunc
+	arg  expr.Expr
+	star bool
+	sql  string
+}
+
+func aggPlaceholder(i int) string { return fmt.Sprintf("__agg_%d", i) }
+
+// liftAggregates replaces every aggregate call in the select list, HAVING
+// and ORDER BY with a placeholder column reference and returns the distinct
+// aggregate definitions.
+func liftAggregates(stmt *SelectStmt) (aggs []liftedAgg, items []SelectItem, having expr.Expr, orderBy []OrderItem, err error) {
+	index := map[string]int{}
+	var lift func(e expr.Expr) (expr.Expr, error)
+	lift = func(e expr.Expr) (expr.Expr, error) {
+		if f, ok := e.(*expr.FuncCall); ok && expr.AggregateNames[f.Name] {
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("sql: %s expects exactly one argument", f.Name)
+			}
+			if expr.ContainsAggregate(f.Args[0]) {
+				return nil, fmt.Errorf("sql: nested aggregates are not allowed")
+			}
+			key := e.SQL()
+			i, ok := index[key]
+			if !ok {
+				i = len(aggs)
+				index[key] = i
+				la := liftedAgg{sql: key}
+				switch f.Name {
+				case "COUNT":
+					la.fn = relation.AggCount
+				case "COUNT_DISTINCT":
+					la.fn = relation.AggCountDistinct
+				default:
+					la.fn = relation.AggFunc(f.Name)
+				}
+				if _, isStar := f.Args[0].(*expr.Star); isStar {
+					if f.Name != "COUNT" {
+						return nil, fmt.Errorf("sql: only COUNT accepts *")
+					}
+					la.star = true
+				} else {
+					la.arg = f.Args[0]
+				}
+				aggs = append(aggs, la)
+			}
+			return &expr.ColumnRef{Name: aggPlaceholder(i)}, nil
+		}
+		return rebuild(e, lift)
+	}
+	for _, it := range stmt.Items {
+		ne, err := lift(it.Expr)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		items = append(items, SelectItem{Expr: ne, Alias: it.Alias})
+	}
+	if stmt.Having != nil {
+		having, err = lift(stmt.Having)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		ne, err := lift(o.Expr)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		orderBy = append(orderBy, OrderItem{Expr: ne, Desc: o.Desc})
+	}
+	return aggs, items, having, orderBy, nil
+}
+
+// rebuild clones a node with each child passed through fn.
+func rebuild(e expr.Expr, fn func(expr.Expr) (expr.Expr, error)) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *expr.Literal, *expr.ColumnRef, *expr.Star, *expr.Subquery, *expr.Exists:
+		// Subquery bodies are self-contained statements: aggregates inside
+		// them belong to the inner scope and are lifted when it executes.
+		return e, nil
+	case *expr.InSubquery:
+		x, err := fn(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.InSubquery{X: x, Sub: n.Sub, Negate: n.Negate}, nil
+	case *expr.Unary:
+		x, err := fn(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: n.Op, X: x}, nil
+	case *expr.Binary:
+		l, err := fn(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fn(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: n.Op, L: l, R: r}, nil
+	case *expr.IsNull:
+		x, err := fn(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{X: x, Negate: n.Negate}, nil
+	case *expr.InList:
+		x, err := fn(n.X)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]expr.Expr, len(n.Items))
+		for i, it := range n.Items {
+			items[i], err = fn(it)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &expr.InList{X: x, Items: items, Negate: n.Negate}, nil
+	case *expr.Between:
+		x, err := fn(n.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := fn(n.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := fn(n.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{X: x, Lo: lo, Hi: hi, Negate: n.Negate}, nil
+	case *expr.FuncCall:
+		args := make([]expr.Expr, len(n.Args))
+		var err error
+		for i, a := range n.Args {
+			args[i], err = fn(a)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &expr.FuncCall{Name: n.Name, Args: args}, nil
+	}
+	return nil, fmt.Errorf("sql: cannot rebuild %T", e)
+}
+
+// expandStars replaces * items with one item per source column.
+func expandStars(src *source, items []SelectItem) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range src.rel.Schema {
+			name := c.Name
+			out = append(out, SelectItem{Expr: &expr.ColumnRef{Name: name}})
+		}
+	}
+	return out, nil
+}
+
+// outputSchema infers result column kinds for ungrouped projections.
+func outputSchema(src *source, items []SelectItem) (relation.Schema, error) {
+	resolve := func(name string) (value.Kind, bool) {
+		i, err := src.resolve(name)
+		if err != nil {
+			return value.KindNull, false
+		}
+		return src.rel.Schema[i].Kind, true
+	}
+	schema := make(relation.Schema, len(items))
+	for i, it := range items {
+		k, err := expr.Check(it.Expr, resolve)
+		if err != nil {
+			return nil, err
+		}
+		if k == value.KindNull {
+			k = value.KindString
+		}
+		schema[i] = relation.Column{Name: it.Name(), Kind: k}
+	}
+	return schema, nil
+}
+
+// groupedSchema infers result kinds when placeholders stand in for lifted
+// aggregates.
+func groupedSchema(src *source, stmt *SelectStmt, items []SelectItem, aggs []liftedAgg) (relation.Schema, error) {
+	resolve := func(name string) (value.Kind, bool) {
+		if strings.HasPrefix(name, "__agg_") {
+			var i int
+			fmt.Sscanf(name, "__agg_%d", &i)
+			if i < len(aggs) {
+				a := aggs[i]
+				in := value.KindInt
+				if a.arg != nil {
+					k, err := expr.Check(a.arg, func(n string) (value.Kind, bool) {
+						j, err := src.resolve(n)
+						if err != nil {
+							return value.KindNull, false
+						}
+						return src.rel.Schema[j].Kind, true
+					})
+					if err == nil {
+						in = k
+					}
+				}
+				return a.fn.ResultKind(in), true
+			}
+		}
+		j, err := src.resolve(name)
+		if err != nil {
+			return value.KindNull, false
+		}
+		return src.rel.Schema[j].Kind, true
+	}
+	schema := make(relation.Schema, len(items))
+	origNames := stmt.Items
+	for i, it := range items {
+		k, err := expr.Check(it.Expr, resolve)
+		if err != nil {
+			return nil, err
+		}
+		if k == value.KindNull {
+			k = value.KindString
+		}
+		name := it.Alias
+		if name == "" {
+			name = origNames[i].Name()
+		}
+		schema[i] = relation.Column{Name: name, Kind: k}
+	}
+	return schema, nil
+}
+
+// orderKeys evaluates the ORDER BY expressions for one output row. Keys may
+// reference output aliases (resolved against the produced tuple) or source
+// columns (resolved via env).
+func orderKeys(orderBy []OrderItem, env rowEnv, out *relation.Relation, tuple relation.Tuple, items []SelectItem) ([]value.Value, error) {
+	if len(orderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]value.Value, len(orderBy))
+	for i, o := range orderBy {
+		// Output-alias reference?
+		if c, ok := o.Expr.(*expr.ColumnRef); ok {
+			if j := out.Schema.IndexOf(c.Name); j >= 0 {
+				keys[i] = tuple[j]
+				continue
+			}
+		}
+		v, err := expr.Eval(o.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// sortOutput stably sorts the output rows by the precomputed keys.
+func sortOutput(out *relation.Relation, sortVals [][]value.Value, orderBy []OrderItem) {
+	type pair struct {
+		row  relation.Tuple
+		keys []value.Value
+	}
+	pairs := make([]pair, len(out.Rows))
+	for i := range out.Rows {
+		pairs[i] = pair{row: out.Rows[i], keys: sortVals[i]}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		for i := range orderBy {
+			c := value.MustCompare(pairs[a].keys[i], pairs[b].keys[i])
+			if c == 0 {
+				continue
+			}
+			if orderBy[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range pairs {
+		out.Rows[i] = pairs[i].row
+	}
+}
+
+// distinctRows dedupes output rows, keeping the parallel sort keys aligned.
+func distinctRows(out *relation.Relation, sortVals [][]value.Value) (*relation.Relation, [][]value.Value) {
+	seen := map[string]bool{}
+	res := relation.New(out.Name, out.Schema)
+	var keys [][]value.Value
+	for i, row := range out.Rows {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		res.Rows = append(res.Rows, row)
+		if sortVals != nil {
+			keys = append(keys, sortVals[i])
+		}
+	}
+	return res, keys
+}
+
+// widen coerces exact-integer results into float-typed output columns.
+func widen(v value.Value, kind value.Kind) value.Value {
+	if kind == value.KindFloat && v.Kind() == value.KindInt {
+		return value.NewFloat(float64(v.Int()))
+	}
+	return v
+}

@@ -1,0 +1,44 @@
+package sql
+
+import (
+	"testing"
+)
+
+// FuzzQuery checks the statement parser and executor never panic: inputs
+// either execute or fail with an error.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM cars",
+		"SELECT Model, AVG(Price) AS a FROM cars GROUP BY Model HAVING AVG(Price) > 1 ORDER BY a DESC LIMIT 2",
+		"SELECT c.ID FROM cars c JOIN dealers d ON c.Model = d.specialty",
+		"SELECT m FROM (SELECT Model AS m FROM cars) AS g WHERE m LIKE 'J%'",
+		"SELECT ID FROM cars WHERE EXISTS (SELECT 1 FROM dealers WHERE specialty = Model)",
+		"SELECT ID FROM cars WHERE Price = (SELECT MIN(Price) FROM cars)",
+		"SELECT DISTINCT Model FROM cars ORDER BY Model",
+		"SELECT * FROM",
+		"SELECT FROM cars",
+		"SELECT * FROM cars WHERE",
+		"SELECT * FROM cars GROUP BY",
+		"SELECT * FROM cars cars cars",
+		"SELECT ((SELECT 1 FROM cars)) FROM cars",
+		"SELECT * FROM cars LIMIT -1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := db()
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Executing must not panic; errors are acceptable.
+		if _, err := d.Exec(stmt); err != nil {
+			return
+		}
+		// Anything that executed must render to SQL that still parses.
+		if _, err := Parse(stmt.SQL()); err != nil {
+			t.Fatalf("executed statement %q renders unparseable SQL %q: %v", src, stmt.SQL(), err)
+		}
+	})
+}

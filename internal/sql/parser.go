@@ -1,0 +1,251 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"sheetmusiq/internal/expr"
+)
+
+// Parse parses one SELECT statement; trailing tokens (other than a
+// semicolon) are an error.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := expr.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := expr.NewParser(toks)
+	installSubParser(p)
+	stmt, err := parseSelect(p)
+	if err != nil {
+		return nil, err
+	}
+	if !p.AtEOF() {
+		t := p.Peek()
+		return nil, fmt.Errorf("sql: unexpected %q at %d", t.Text, t.Pos)
+	}
+	return stmt, nil
+}
+
+// installSubParser enables nested SELECTs inside expressions (scalar
+// subqueries, EXISTS, IN (SELECT ...)) by delegating back into the
+// statement parser.
+func installSubParser(p *expr.Parser) {
+	p.SubParser = func(p *expr.Parser) (any, string, error) {
+		stmt, err := parseSelect(p)
+		if err != nil {
+			return nil, "", err
+		}
+		return stmt, stmt.SQL(), nil
+	}
+}
+
+// MustParse parses or panics; for fixtures.
+func MustParse(src string) *SelectStmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseSelect(p *expr.Parser) (*SelectStmt, error) {
+	if err := p.ExpectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.AcceptKeyword("DISTINCT")
+
+	for {
+		if p.AcceptOp("*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.AcceptKeyword("AS") {
+				t := p.Next()
+				if t.Kind != expr.TokIdent {
+					return nil, fmt.Errorf("sql: expected alias after AS at %d", t.Pos)
+				}
+				item.Alias = t.Text
+			} else if t := p.Peek(); t.Kind == expr.TokIdent {
+				p.Next()
+				item.Alias = t.Text
+			}
+			stmt.Items = append(stmt.Items, item)
+		}
+		if !p.AcceptOp(",") {
+			break
+		}
+	}
+	if len(stmt.Items) == 0 {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+
+	if err := p.ExpectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := parseFrom(p)
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	if p.AcceptKeyword("WHERE") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.AcceptKeyword("GROUP") {
+		if err := p.ExpectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.AcceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.AcceptKeyword("HAVING") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.AcceptKeyword("ORDER") {
+		if err := p.ExpectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.AcceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.AcceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.AcceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.AcceptKeyword("LIMIT") {
+		t := p.Next()
+		if t.Kind != expr.TokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number at %d", t.Pos)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	if p.AcceptKeyword("OFFSET") {
+		t := p.Next()
+		if t.Kind != expr.TokNumber {
+			return nil, fmt.Errorf("sql: OFFSET expects a number at %d", t.Pos)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad OFFSET %q", t.Text)
+		}
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+// parseFrom parses a source with left-associative JOIN chains.
+func parseFrom(p *expr.Parser) (FromItem, error) {
+	left, err := parseFromPrimary(p)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.AcceptKeyword("CROSS"):
+			if err := p.ExpectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := parseFromPrimary(p)
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Left: left, Right: right}
+		case p.AcceptKeyword("INNER"), p.AcceptKeyword("JOIN"):
+			// "INNER" requires a following JOIN; bare JOIN already consumed.
+			if t := p.Peek(); t.Kind == expr.TokKeyword && t.Text == "JOIN" {
+				p.Next()
+			}
+			right, err := parseFromPrimary(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.ExpectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Left: left, Right: right, On: on}
+		case p.AcceptOp(","):
+			// Comma join is a cross join.
+			right, err := parseFromPrimary(p)
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func parseFromPrimary(p *expr.Parser) (FromItem, error) {
+	if p.AcceptOp("(") {
+		stmt, err := parseSelect(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectOp(")"); err != nil {
+			return nil, err
+		}
+		p.AcceptKeyword("AS")
+		t := p.Next()
+		if t.Kind != expr.TokIdent {
+			return nil, fmt.Errorf("sql: subquery needs an alias at %d", t.Pos)
+		}
+		return &SubqueryRef{Stmt: stmt, Alias: t.Text}, nil
+	}
+	t := p.Next()
+	if t.Kind != expr.TokIdent {
+		return nil, fmt.Errorf("sql: expected table name at %d, found %q", t.Pos, t.Text)
+	}
+	ref := &TableRef{Name: t.Text}
+	if p.AcceptKeyword("AS") {
+		a := p.Next()
+		if a.Kind != expr.TokIdent {
+			return nil, fmt.Errorf("sql: expected alias after AS at %d", a.Pos)
+		}
+		ref.Alias = a.Text
+	} else if a := p.Peek(); a.Kind == expr.TokIdent {
+		p.Next()
+		ref.Alias = a.Text
+	}
+	return ref, nil
+}

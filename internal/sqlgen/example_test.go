@@ -1,0 +1,32 @@
+package sqlgen_test
+
+import (
+	"fmt"
+	"log"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/sqlgen"
+)
+
+// Example compiles a spreadsheet query state to the SQL the paper's
+// prototype would have sent to its RDBMS backend.
+func Example() {
+	sheet := core.New(dataset.UsedCars())
+	if _, err := sheet.Select("Year = 2005 AND Condition = 'Good'"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.GroupBy(core.Asc, "Model"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheet.Sort("Price", core.Asc); err != nil {
+		log.Fatal(err)
+	}
+	stmt, err := sqlgen.Generate(sheet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stmt)
+	// Output:
+	// SELECT ID, Model, Price, Year, Mileage, Condition FROM (SELECT * FROM cars WHERE ((Year = 2005) AND (Condition = 'Good'))) AS t1 ORDER BY Model, Price
+}

@@ -1,0 +1,175 @@
+// Package stats implements the descriptive and inferential statistics the
+// paper's evaluation uses: per-query means and standard deviations
+// (Figs. 3–4), the Mann-Whitney U test for the speed comparison
+// ("p-value < 0.002 for all queries except query 5, 7, and 10", Sec. VII-A2)
+// and Fisher's exact test for the correctness totals ("p value < 0.004",
+// Sec. VII-A3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator); 0 for
+// fewer than two observations.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MannWhitneyResult reports the two-sided Mann-Whitney U test.
+type MannWhitneyResult struct {
+	U float64 // the smaller of U1, U2
+	Z float64 // normal approximation with tie correction
+	P float64 // two-sided p-value
+}
+
+// MannWhitney runs the two-sided Mann-Whitney U test (a.k.a. Wilcoxon
+// rank-sum) on two independent samples, using the normal approximation with
+// tie correction and continuity correction — appropriate for the paper's
+// n = 10 per group.
+func MannWhitney(a, b []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitney needs non-empty samples")
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie bookkeeping.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+	u := math.Min(u1, u2)
+
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of difference.
+		return MannWhitneyResult{U: u, Z: 0, P: 1}, nil
+	}
+	sigma := math.Sqrt(sigma2)
+	z := (math.Abs(u-mu) - 0.5) / sigma // continuity correction
+	if z < 0 {
+		z = 0
+	}
+	p := 2 * (1 - normalCDF(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u, Z: z, P: p}, nil
+}
+
+// normalCDF is Φ(x) for the standard normal distribution.
+func normalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// FisherExact runs the two-sided Fisher exact test on the 2×2 table
+//
+//	[ a b ]
+//	[ c d ]
+//
+// summing the probabilities of all tables with the same margins that are no
+// more probable than the observed one.
+func FisherExact(a, b, c, d int) (float64, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return 0, fmt.Errorf("stats: FisherExact needs non-negative counts")
+	}
+	r1 := a + b
+	r2 := c + d
+	c1 := a + c
+	n := a + b + c + d
+	if n == 0 {
+		return 0, fmt.Errorf("stats: FisherExact needs a non-empty table")
+	}
+	// Hypergeometric probability of a table with top-left cell x.
+	prob := func(x int) float64 {
+		return math.Exp(lnChoose(r1, x) + lnChoose(r2, c1-x) - lnChoose(n, c1))
+	}
+	pObs := prob(a)
+	lo := c1 - r2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := c1
+	if hi > r1 {
+		hi = r1
+	}
+	const eps = 1e-9
+	p := 0.0
+	for x := lo; x <= hi; x++ {
+		if px := prob(x); px <= pObs*(1+eps) {
+			p += px
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// lnChoose returns ln C(n, k), and -Inf outside the valid range.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}

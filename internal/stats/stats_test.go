@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12, "mean")
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty input should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample stddev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	approx(t, StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7), 1e-12, "stddev")
+	if StdDev([]float64{5}) != 0 {
+		t.Error("stddev of a single observation should be 0")
+	}
+}
+
+func TestMannWhitneyKnownCase(t *testing.T) {
+	// Classic worked example: clearly separated samples.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 11, 12, 13, 14}
+	r, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.U != 0 {
+		t.Errorf("U = %v, want 0 for perfectly separated samples", r.U)
+	}
+	if r.P > 0.02 {
+		t.Errorf("p = %v, want strong significance", r.P)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5}
+	r, err := MannWhitney(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 {
+		t.Errorf("identical samples p = %v, want 1", r.P)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	b := []float64{2, 7, 1, 8, 2, 8, 1, 8}
+	r1, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MannWhitney(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r1.P, r2.P, 1e-12, "p symmetry")
+	approx(t, r1.U, r2.U, 1e-12, "U symmetry")
+}
+
+func TestMannWhitneyAgainstReference(t *testing.T) {
+	// Values cross-checked with scipy.stats.mannwhitneyu
+	// (two-sided, continuity correction, normal approximation).
+	a := []float64{540, 480, 600, 590, 605}
+	b := []float64{760, 890, 865, 770, 800}
+	r, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.U != 0 {
+		t.Errorf("U = %v, want 0", r.U)
+	}
+	approx(t, r.P, 0.01193, 5e-4, "p vs scipy")
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitney(nil, []float64{1}); err == nil {
+		t.Error("empty sample must error")
+	}
+}
+
+// Property: p is in [0, 1] and adding a constant shift to one group only
+// decreases the p-value when the groups were identical.
+func TestQuickMannWhitneyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r, err := MannWhitney(a, b)
+		if err != nil {
+			return false
+		}
+		return r.P >= 0 && r.P <= 1 && r.U >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFisherExactKnownCases(t *testing.T) {
+	// Tea-tasting: [[3,1],[1,3]] → p = 0.4857...
+	p, err := FisherExact(3, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, p, 0.485714285714, 1e-9, "tea tasting")
+
+	// Strong association: [[10,0],[0,10]] → p = 2/C(20,10) ≈ 1.0825e-5.
+	p, _ = FisherExact(10, 0, 0, 10)
+	approx(t, p, 2/184756.0, 1e-12, "perfect split")
+
+	// No association at all.
+	p, _ = FisherExact(5, 5, 5, 5)
+	if p < 0.99 {
+		t.Errorf("balanced table p = %v, want ~1", p)
+	}
+}
+
+func TestFisherExactPaperNumbers(t *testing.T) {
+	// The paper's correctness totals: SheetMusiq 95/100 vs Navicat 81/100,
+	// reported significant with p < 0.004.
+	p, err := FisherExact(95, 5, 81, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 0.004 {
+		t.Errorf("p = %v, paper reports < 0.004", p)
+	}
+	if p < 0.0001 {
+		t.Errorf("p = %v suspiciously small for these counts", p)
+	}
+}
+
+func TestFisherExactErrors(t *testing.T) {
+	if _, err := FisherExact(-1, 0, 0, 0); err == nil {
+		t.Error("negative counts must error")
+	}
+	if _, err := FisherExact(0, 0, 0, 0); err == nil {
+		t.Error("empty table must error")
+	}
+}
+
+// Property: Fisher p is within [0,1] and symmetric under row swap.
+func TestQuickFisherBoundsAndSymmetry(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		x := int(a % 30)
+		y := int(b % 30)
+		z := int(c % 30)
+		w := int(d % 30)
+		if x+y+z+w == 0 {
+			return true
+		}
+		p1, err := FisherExact(x, y, z, w)
+		if err != nil {
+			return false
+		}
+		p2, err := FisherExact(z, w, x, y)
+		if err != nil {
+			return false
+		}
+		return p1 >= 0 && p1 <= 1 && math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, normalCDF(0), 0.5, 1e-12, "Φ(0)")
+	approx(t, normalCDF(1.96), 0.975, 1e-3, "Φ(1.96)")
+	approx(t, normalCDF(-1.96), 0.025, 1e-3, "Φ(-1.96)")
+}

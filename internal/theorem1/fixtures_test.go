@@ -1,0 +1,28 @@
+package theorem1
+
+import (
+	"testing"
+
+	"sheetmusiq/internal/sql"
+	"sheetmusiq/internal/tpch"
+)
+
+var (
+	fixtureDB    *sql.DB
+	fixtureTasks []tpch.Task
+)
+
+// studyFixtures lazily generates the study dataset and views once for the
+// package.
+func studyFixtures(t *testing.T) (*sql.DB, []tpch.Task) {
+	t.Helper()
+	if fixtureDB == nil {
+		tables := tpch.Generate(tpch.DefaultConfig())
+		fixtureDB = tpch.BuildDB(tables)
+		if err := tpch.BuildViews(fixtureDB); err != nil {
+			t.Fatal(err)
+		}
+		fixtureTasks = tpch.Tasks()
+	}
+	return fixtureDB, fixtureTasks
+}

@@ -1,0 +1,348 @@
+package tpch
+
+import (
+	"fmt"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/sql"
+)
+
+// StepKind enumerates direct-manipulation actions in a task's algebra
+// program. The user-study simulator prices each kind from the interface
+// design of Sec. VI.
+type StepKind uint8
+
+// Step kinds.
+const (
+	StepSelect StepKind = iota
+	StepGroup
+	StepSort
+	StepAggregate
+	StepFormula
+	StepHide
+)
+
+// Step is one direct-manipulation action.
+type Step struct {
+	Kind      StepKind
+	Predicate string           // StepSelect
+	Columns   []string         // StepGroup (relative basis), StepHide
+	Dir       core.Dir         // StepGroup, StepSort
+	SortCol   string           // StepSort
+	Agg       relation.AggFunc // StepAggregate
+	Input     string           // StepAggregate
+	Level     int              // StepAggregate
+	As        string           // StepAggregate / StepFormula result name
+	Formula   string           // StepFormula
+}
+
+// Apply performs the step on a spreadsheet.
+func (st Step) Apply(s *core.Spreadsheet) error {
+	switch st.Kind {
+	case StepSelect:
+		_, err := s.Select(st.Predicate)
+		return err
+	case StepGroup:
+		return s.GroupBy(st.Dir, st.Columns...)
+	case StepSort:
+		return s.Sort(st.SortCol, st.Dir)
+	case StepAggregate:
+		_, err := s.AggregateAs(st.As, st.Agg, st.Input, st.Level)
+		return err
+	case StepFormula:
+		_, err := s.Formula(st.As, st.Formula)
+		return err
+	case StepHide:
+		for _, c := range st.Columns {
+			if err := s.Hide(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("tpch: unknown step kind %d", st.Kind)
+}
+
+// Task is one user-study query: the paper took 10 of the 22 TPC-H queries
+// (excluding those needing nesting, EXISTS or CASE) and predefined views so
+// subjects always query a single table.
+type Task struct {
+	ID          int
+	TpchQuery   string // source query, with ′ marking our flattening
+	Name        string
+	Description string // the English task statement given to subjects
+	ViewName    string
+	ViewSQL     string // empty when the view is a base table
+	Query       string // the reference single-block SQL over the view
+	Steps       []Step // the SheetMusiq algebra program over the view
+	GroupCols   []string
+	AggCols     []string
+}
+
+// Tasks returns the ten study tasks, in study order.
+func Tasks() []Task {
+	return []Task{
+		{
+			ID: 1, TpchQuery: "Q1", Name: "pricing-summary",
+			Description: "Summarise billed, shipped and returned business per return flag and line status as of 1998-09-02.",
+			ViewName:    "lineitem",
+			Query: "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, " +
+				"SUM(l_extendedprice) AS sum_base_price, SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, " +
+				"AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, AVG(l_discount) AS avg_disc, " +
+				"COUNT(*) AS count_order FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' " +
+				"GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "l_shipdate <= DATE '1998-09-02'"},
+				{Kind: StepFormula, As: "disc_price", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"l_returnflag"}},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"l_linestatus"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "l_quantity", Level: 3, As: "sum_qty"},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "l_extendedprice", Level: 3, As: "sum_base_price"},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "disc_price", Level: 3, As: "sum_disc_price"},
+				{Kind: StepAggregate, Agg: relation.AggAvg, Input: "l_quantity", Level: 3, As: "avg_qty"},
+				{Kind: StepAggregate, Agg: relation.AggAvg, Input: "l_extendedprice", Level: 3, As: "avg_price"},
+				{Kind: StepAggregate, Agg: relation.AggAvg, Input: "l_discount", Level: 3, As: "avg_disc"},
+				{Kind: StepAggregate, Agg: relation.AggCount, Input: "l_orderkey", Level: 3, As: "count_order"},
+			},
+			GroupCols: []string{"l_returnflag", "l_linestatus"},
+			AggCols: []string{"sum_qty", "sum_base_price", "sum_disc_price",
+				"avg_qty", "avg_price", "avg_disc", "count_order"},
+		},
+		{
+			ID: 2, TpchQuery: "Q3", Name: "shipping-priority",
+			Description: "Find the revenue still on the table for BUILDING-segment orders placed before 1995-03-15 and shipped after it.",
+			ViewName:    "v_shipping_priority",
+			ViewSQL: "SELECT c_mktsegment, o_orderkey, o_orderdate, o_shippriority, l_shipdate, " +
+				"l_extendedprice, l_discount FROM customer JOIN orders ON c_custkey = o_custkey " +
+				"JOIN lineitem ON o_orderkey = l_orderkey",
+			Query: "SELECT o_orderkey, o_orderdate, o_shippriority, SUM(l_extendedprice * (1 - l_discount)) AS revenue " +
+				"FROM v_shipping_priority WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' " +
+				"AND l_shipdate > DATE '1995-03-15' GROUP BY o_orderkey, o_orderdate, o_shippriority ORDER BY o_orderkey",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "c_mktsegment = 'BUILDING'"},
+				{Kind: StepSelect, Predicate: "o_orderdate < DATE '1995-03-15'"},
+				{Kind: StepSelect, Predicate: "l_shipdate > DATE '1995-03-15'"},
+				{Kind: StepFormula, As: "revenue", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"o_orderkey", "o_orderdate", "o_shippriority"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "revenue", Level: 2, As: "sum_revenue"},
+			},
+			GroupCols: []string{"o_orderkey", "o_orderdate", "o_shippriority"},
+			AggCols:   []string{"sum_revenue"},
+		},
+		{
+			ID: 3, TpchQuery: "Q5", Name: "local-supplier-volume",
+			Description: "Report, per Asian nation, the 1994 revenue from orders where the customer and supplier share the nation.",
+			ViewName:    "v_local_volume",
+			ViewSQL: "SELECT n_name, r_name, o_orderdate, l_extendedprice, l_discount " +
+				"FROM customer JOIN orders ON c_custkey = o_custkey JOIN lineitem ON o_orderkey = l_orderkey " +
+				"JOIN supplier ON l_suppkey = s_suppkey JOIN nation ON s_nationkey = n_nationkey " +
+				"JOIN region ON n_regionkey = r_regionkey WHERE c_nationkey = s_nationkey",
+			Query: "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM v_local_volume " +
+				"WHERE r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01' " +
+				"GROUP BY n_name ORDER BY n_name",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "r_name = 'ASIA'"},
+				{Kind: StepSelect, Predicate: "o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'"},
+				{Kind: StepFormula, As: "revenue", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"n_name"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "revenue", Level: 2, As: "sum_revenue"},
+			},
+			GroupCols: []string{"n_name"},
+			AggCols:   []string{"sum_revenue"},
+		},
+		{
+			ID: 4, TpchQuery: "Q6", Name: "forecast-revenue-change",
+			Description: "Quantify the revenue increase from eliminating small discounts on low-quantity 1994 shipments.",
+			ViewName:    "lineitem",
+			Query: "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem " +
+				"WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' " +
+				"AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'"},
+				{Kind: StepSelect, Predicate: "l_discount BETWEEN 0.05 AND 0.07"},
+				{Kind: StepSelect, Predicate: "l_quantity < 24"},
+				{Kind: StepFormula, As: "disc_rev", Formula: "l_extendedprice * l_discount"},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "disc_rev", Level: 1, As: "revenue"},
+			},
+			AggCols: []string{"revenue"},
+		},
+		{
+			ID: 5, TpchQuery: "Q7", Name: "volume-shipping",
+			Description: "Report the shipping volume between France and Germany per nation pair and year for 1995-1996.",
+			ViewName:    "v_volume_shipping",
+			ViewSQL: "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, l_shipdate, " +
+				"l_extendedprice, l_discount FROM supplier JOIN lineitem ON s_suppkey = l_suppkey " +
+				"JOIN orders ON o_orderkey = l_orderkey JOIN customer ON c_custkey = o_custkey " +
+				"JOIN nation AS n1 ON s_nationkey = n1.n_nationkey JOIN nation AS n2 ON c_nationkey = n2.n_nationkey",
+			Query: "SELECT supp_nation, cust_nation, YEAR(l_shipdate) AS l_year, " +
+				"SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM v_volume_shipping " +
+				"WHERE ((supp_nation = 'FRANCE' AND cust_nation = 'GERMANY') OR " +
+				"(supp_nation = 'GERMANY' AND cust_nation = 'FRANCE')) " +
+				"AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' " +
+				"GROUP BY supp_nation, cust_nation, YEAR(l_shipdate) ORDER BY supp_nation, cust_nation, l_year",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "(supp_nation = 'FRANCE' AND cust_nation = 'GERMANY') OR (supp_nation = 'GERMANY' AND cust_nation = 'FRANCE')"},
+				{Kind: StepSelect, Predicate: "l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'"},
+				{Kind: StepFormula, As: "l_year", Formula: "YEAR(l_shipdate)"},
+				{Kind: StepFormula, As: "revenue", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"supp_nation", "cust_nation", "l_year"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "revenue", Level: 2, As: "sum_revenue"},
+			},
+			GroupCols: []string{"supp_nation", "cust_nation", "l_year"},
+			AggCols:   []string{"sum_revenue"},
+		},
+		{
+			ID: 6, TpchQuery: "Q9", Name: "product-type-profit",
+			Description: "Measure the profit on green parts per nation and year.",
+			ViewName:    "v_profit",
+			ViewSQL: "SELECT n_name AS nation, o_orderdate, p_name, l_extendedprice, l_discount, " +
+				"l_quantity, ps_supplycost FROM lineitem JOIN supplier ON l_suppkey = s_suppkey " +
+				"JOIN part ON p_partkey = l_partkey JOIN partsupp ON ps_suppkey = l_suppkey AND ps_partkey = l_partkey " +
+				"JOIN orders ON o_orderkey = l_orderkey JOIN nation ON s_nationkey = n_nationkey",
+			Query: "SELECT nation, YEAR(o_orderdate) AS o_year, " +
+				"SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit " +
+				"FROM v_profit WHERE p_name LIKE '%green%' GROUP BY nation, YEAR(o_orderdate) " +
+				"ORDER BY nation, o_year DESC",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "p_name LIKE '%green%'"},
+				{Kind: StepFormula, As: "o_year", Formula: "YEAR(o_orderdate)"},
+				{Kind: StepFormula, As: "amount", Formula: "l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"nation"}},
+				{Kind: StepGroup, Dir: core.Desc, Columns: []string{"o_year"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "amount", Level: 3, As: "sum_profit"},
+			},
+			GroupCols: []string{"nation", "o_year"},
+			AggCols:   []string{"sum_profit"},
+		},
+		{
+			ID: 7, TpchQuery: "Q10", Name: "returned-items",
+			Description: "Identify customers who returned parts ordered in 1993 Q4 and the revenue lost to those returns.",
+			ViewName:    "v_returned_items",
+			ViewSQL: "SELECT c_name, n_name, c_phone, o_orderdate, l_returnflag, l_extendedprice, l_discount " +
+				"FROM customer JOIN orders ON c_custkey = o_custkey JOIN lineitem ON o_orderkey = l_orderkey " +
+				"JOIN nation ON c_nationkey = n_nationkey",
+			Query: "SELECT c_name, n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM v_returned_items " +
+				"WHERE l_returnflag = 'R' AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' " +
+				"GROUP BY c_name, n_name ORDER BY c_name",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "l_returnflag = 'R'"},
+				{Kind: StepSelect, Predicate: "o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01'"},
+				{Kind: StepFormula, As: "revenue", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"c_name", "n_name"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "revenue", Level: 2, As: "sum_revenue"},
+			},
+			GroupCols: []string{"c_name", "n_name"},
+			AggCols:   []string{"sum_revenue"},
+		},
+		{
+			ID: 8, TpchQuery: "Q19", Name: "discounted-revenue",
+			Description: "Compute the revenue from air-shipped, hand-delivered parts matching three brand/container/quantity brackets.",
+			ViewName:    "v_part_revenue",
+			ViewSQL: "SELECT p_brand, p_container, p_size, l_quantity, l_extendedprice, l_discount, " +
+				"l_shipmode, l_shipinstruct FROM lineitem JOIN part ON p_partkey = l_partkey",
+			Query: "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM v_part_revenue WHERE " +
+				"((p_brand = 'Brand#12' AND p_container IN ('SM CASE','SM BOX','SM PACK','SM PKG') AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5) OR " +
+				"(p_brand = 'Brand#23' AND p_container IN ('MED BAG','MED BOX','MED PKG','MED PACK') AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10) OR " +
+				"(p_brand = 'Brand#34' AND p_container IN ('LG CASE','LG BOX','LG PACK','LG PKG') AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15)) " +
+				"AND l_shipmode IN ('AIR','REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON'",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "(p_brand = 'Brand#12' AND p_container IN ('SM CASE','SM BOX','SM PACK','SM PKG') AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5) OR " +
+					"(p_brand = 'Brand#23' AND p_container IN ('MED BAG','MED BOX','MED PKG','MED PACK') AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10) OR " +
+					"(p_brand = 'Brand#34' AND p_container IN ('LG CASE','LG BOX','LG PACK','LG PKG') AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15)"},
+				{Kind: StepSelect, Predicate: "l_shipmode IN ('AIR','REG AIR')"},
+				{Kind: StepSelect, Predicate: "l_shipinstruct = 'DELIVER IN PERSON'"},
+				{Kind: StepFormula, As: "revenue", Formula: "l_extendedprice * (1 - l_discount)"},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "revenue", Level: 1, As: "sum_revenue"},
+			},
+			AggCols: []string{"sum_revenue"},
+		},
+		{
+			ID: 9, TpchQuery: "Q11′", Name: "important-stock",
+			Description: "Find the parts whose German stock is worth more than $50,000 (flattened: fixed threshold instead of the original's scalar subquery).",
+			ViewName:    "v_stock",
+			ViewSQL: "SELECT ps_partkey, ps_availqty, ps_supplycost, n_name FROM partsupp " +
+				"JOIN supplier ON ps_suppkey = s_suppkey JOIN nation ON s_nationkey = n_nationkey",
+			Query: "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS val FROM v_stock " +
+				"WHERE n_name = 'GERMANY' GROUP BY ps_partkey HAVING SUM(ps_supplycost * ps_availqty) > 50000 " +
+				"ORDER BY ps_partkey",
+			Steps: []Step{
+				{Kind: StepSelect, Predicate: "n_name = 'GERMANY'"},
+				{Kind: StepFormula, As: "stock_value", Formula: "ps_supplycost * ps_availqty"},
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"ps_partkey"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "stock_value", Level: 2, As: "sum_value"},
+				{Kind: StepSelect, Predicate: "sum_value > 50000"},
+			},
+			GroupCols: []string{"ps_partkey"},
+			AggCols:   []string{"sum_value"},
+		},
+		{
+			ID: 10, TpchQuery: "Q18′", Name: "large-volume-customer",
+			Description: "List orders whose total line quantity exceeds 150 and the customer who placed them (flattened: the original's IN-subquery becomes a direct HAVING).",
+			ViewName:    "v_large_orders",
+			ViewSQL: "SELECT c_name, o_orderkey, o_orderdate, o_totalprice, l_quantity FROM customer " +
+				"JOIN orders ON c_custkey = o_custkey JOIN lineitem ON o_orderkey = l_orderkey",
+			Query: "SELECT c_name, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty " +
+				"FROM v_large_orders GROUP BY c_name, o_orderkey, o_orderdate, o_totalprice " +
+				"HAVING SUM(l_quantity) > 150 ORDER BY o_orderkey",
+			Steps: []Step{
+				{Kind: StepGroup, Dir: core.Asc, Columns: []string{"c_name", "o_orderkey", "o_orderdate", "o_totalprice"}},
+				{Kind: StepAggregate, Agg: relation.AggSum, Input: "l_quantity", Level: 2, As: "total_qty"},
+				{Kind: StepSelect, Predicate: "total_qty > 150"},
+			},
+			GroupCols: []string{"c_name", "o_orderkey", "o_orderdate", "o_totalprice"},
+			AggCols:   []string{"total_qty"},
+		},
+	}
+}
+
+// BuildDB registers the eight base tables in a fresh SQL database.
+func BuildDB(t *Tables) *sql.DB {
+	db := sql.NewDB()
+	for _, r := range t.All() {
+		db.Register(r)
+	}
+	return db
+}
+
+// BuildViews materialises every task view into the database ("we predefined
+// views for queries involving many joins").
+func BuildViews(db *sql.DB) error {
+	done := map[string]bool{}
+	for _, task := range Tasks() {
+		if task.ViewSQL == "" || done[task.ViewName] {
+			continue
+		}
+		view, err := db.Query(task.ViewSQL)
+		if err != nil {
+			return fmt.Errorf("tpch: build view %s: %w", task.ViewName, err)
+		}
+		view.Name = task.ViewName
+		db.Register(view)
+		done[task.ViewName] = true
+	}
+	return nil
+}
+
+// Sheet opens the task's view as a fresh spreadsheet.
+func (t Task) Sheet(db *sql.DB) (*core.Spreadsheet, error) {
+	view, ok := db.Table(t.ViewName)
+	if !ok {
+		return nil, fmt.Errorf("tpch: view %q not built", t.ViewName)
+	}
+	return core.New(view), nil
+}
+
+// Run applies the task's algebra program to a fresh sheet over the view.
+func (t Task) Run(db *sql.DB) (*core.Spreadsheet, error) {
+	s, err := t.Sheet(db)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range t.Steps {
+		if err := st.Apply(s); err != nil {
+			return nil, fmt.Errorf("tpch: task %d step %d: %w", t.ID, i, err)
+		}
+	}
+	return s, nil
+}

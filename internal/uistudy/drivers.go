@@ -1,0 +1,274 @@
+package uistudy
+
+import (
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/tpch"
+)
+
+// predShape summarises a predicate for costing: how many atomic
+// comparisons it contains, how many connectives join them, and how many
+// constant characters must be typed.
+type predShape struct {
+	atoms       int
+	connectives int
+	constChars  int
+	overAgg     bool // references an aggregate result column (HAVING style)
+}
+
+func shapeOf(predicate string, aggCols map[string]bool) predShape {
+	sh := predShape{}
+	e, err := expr.Parse(predicate)
+	if err != nil {
+		// Unparseable predicates cannot occur for valid tasks; cost it as
+		// one atom so the estimator stays total.
+		return predShape{atoms: 1}
+	}
+	expr.Walk(e, func(n expr.Expr) {
+		switch t := n.(type) {
+		case *expr.Binary:
+			switch t.Op {
+			case expr.OpAnd, expr.OpOr:
+				sh.connectives++
+			case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpLike:
+				sh.atoms++
+			}
+		case *expr.Between:
+			sh.atoms++
+		case *expr.InList:
+			sh.atoms++
+			// Each list member is picked or typed.
+			sh.atoms += len(t.Items) / 2
+		case *expr.IsNull:
+			sh.atoms++
+		case *expr.Literal:
+			sh.constChars += len(t.Val.String())
+		case *expr.ColumnRef:
+			if aggCols[lower(t.Name)] {
+				sh.overAgg = true
+			}
+		}
+	})
+	if sh.atoms == 0 {
+		sh.atoms = 1
+	}
+	return sh
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// formulaShape counts the picks and typing a formula dialog needs.
+func formulaShape(formula string) (picks int, chars int) {
+	e, err := expr.Parse(formula)
+	if err != nil {
+		return 2, len(formula)
+	}
+	expr.Walk(e, func(n expr.Expr) {
+		switch t := n.(type) {
+		case *expr.ColumnRef:
+			picks++
+		case *expr.Binary:
+			picks++
+		case *expr.FuncCall:
+			picks++
+		case *expr.Literal:
+			chars += len(t.Val.String())
+		}
+	})
+	if picks == 0 {
+		picks = 1
+	}
+	return picks, chars
+}
+
+// aggColumnsOf collects the aggregate result columns a task's program
+// creates, to recognise HAVING-style selections.
+func aggColumnsOf(task tpch.Task) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range task.Steps {
+		if st.Kind == tpch.StepAggregate {
+			out[lower(st.As)] = true
+		}
+	}
+	return out
+}
+
+// estimateSheetMusiq prices the task's algebra program under the Sec. VI
+// interface design: every operator is a context-menu interaction with the
+// result visible immediately after each step.
+func estimateSheetMusiq(task tpch.Task) estimate {
+	aggCols := aggColumnsOf(task)
+	est := estimate{verification: 1.6}
+	add := func(a actionCost) { est.actions = append(est.actions, a) }
+	for _, st := range task.Steps {
+		switch st.Kind {
+		case tpch.StepSelect:
+			sh := shapeOf(st.Predicate, aggCols)
+			concept := ConceptSelection
+			if sh.overAgg {
+				concept = ConceptGroupQualification
+			}
+			add(actionCost{
+				// Right-click the column, pick "filter", then per atom pick
+				// column+operator and type the constant.
+				motor:      (opP + opB) + float64(sh.atoms)*2*(opP+opB) + float64(sh.connectives)*(opP+opB) + 2*opH,
+				typing:     float64(sh.constChars) * opK,
+				mental:     opM * float64(1+sh.connectives),
+				concept:    concept,
+				difficulty: 1 + 0.3*float64(sh.connectives),
+			})
+		case tpch.StepGroup:
+			add(actionCost{
+				motor:      (opP + opB) + (opP + opB) + float64(len(st.Columns))*(opP+opB),
+				mental:     opM,
+				concept:    ConceptGrouping,
+				difficulty: 1,
+			})
+		case tpch.StepSort:
+			clicks := 1.0
+			if st.Dir == core.Desc {
+				clicks = 2
+			}
+			add(actionCost{
+				motor:      opP + clicks*opB,
+				mental:     opM * 0.5,
+				concept:    ConceptOrdering,
+				difficulty: 0.7,
+			})
+		case tpch.StepAggregate:
+			add(actionCost{
+				// Right-click cell, choose "aggregation", pick function,
+				// pick grouping level (Fig. 1's dialog).
+				motor:      4 * (opP + opB),
+				mental:     opM,
+				concept:    ConceptAggregation,
+				difficulty: 1,
+			})
+		case tpch.StepFormula:
+			picks, chars := formulaShape(st.Formula)
+			add(actionCost{
+				motor:      (opP + opB) + float64(picks)*(opP+opB) + (opP + opB) + 2*opH,
+				typing:     float64(chars) * opK,
+				mental:     opM * 1.5,
+				concept:    ConceptFormula,
+				difficulty: 1 + 0.1*float64(picks),
+			})
+		case tpch.StepHide:
+			add(actionCost{
+				motor:      float64(len(st.Columns)) * (opP + opB),
+				mental:     opM * 0.3,
+				concept:    ConceptProjection,
+				difficulty: 0.5,
+			})
+		}
+	}
+	return est
+}
+
+// estimateNavicat prices the same task in a Navicat-style builder: "only
+// queries with simple selection, sorting, and joins can be built
+// graphically, while the vast majority of the queries need to be completed
+// by adding to the SQL query" (Sec. VII-A4). Grouping, aggregation,
+// formulas and HAVING are therefore typed as SQL text, with the result
+// visible only after explicitly running the query.
+func estimateNavicat(task tpch.Task) estimate {
+	aggCols := aggColumnsOf(task)
+	// Builders force a run-and-inspect cycle to see any output.
+	est := estimate{verification: 4.5}
+	add := func(a actionCost) { est.actions = append(est.actions, a) }
+	for _, st := range task.Steps {
+		switch st.Kind {
+		case tpch.StepSelect:
+			sh := shapeOf(st.Predicate, aggCols)
+			if sh.overAgg {
+				// HAVING cannot be built graphically: type the clause.
+				chars := len("HAVING ") + len(st.Predicate) + 8
+				add(actionCost{
+					motor:      2*opH + (opP + opB), // switch to the SQL pane
+					typing:     float64(chars) * opK,
+					mental:     opM * 3, // recall clause syntax and placement
+					concept:    ConceptGroupQualification,
+					difficulty: 1.3,
+				})
+				continue
+			}
+			add(actionCost{
+				// The builder's criteria grid: pick column, operator, value
+				// per atom, plus grid navigation overhead.
+				motor:      float64(sh.atoms)*3*(opP+opB) + float64(sh.connectives)*2*(opP+opB) + 2*opH,
+				typing:     float64(sh.constChars) * opK,
+				mental:     opM * float64(1+sh.connectives),
+				concept:    ConceptSelection,
+				difficulty: 1 + 0.4*float64(sh.connectives),
+			})
+		case tpch.StepGroup:
+			chars := len("GROUP BY ") + 12*len(st.Columns)
+			add(actionCost{
+				motor:      2*opH + (opP + opB),
+				typing:     float64(chars) * opK,
+				mental:     opM * 3, // "users have no choice but to understand the concept and syntax of grouping"
+				concept:    ConceptGrouping,
+				difficulty: 1.2,
+			})
+		case tpch.StepSort:
+			add(actionCost{
+				motor:      2 * (opP + opB),
+				mental:     opM * 0.5,
+				concept:    ConceptOrdering,
+				difficulty: 0.7,
+			})
+		case tpch.StepAggregate:
+			chars := len(string(st.Agg)) + len(st.Input) + len(st.As) + 8
+			add(actionCost{
+				motor:      2*opH + (opP + opB),
+				typing:     float64(chars) * opK,
+				mental:     opM * 2.5, // aggregate goes in the SELECT list with grouping constraints
+				concept:    ConceptAggregation,
+				difficulty: 1.2,
+			})
+		case tpch.StepFormula:
+			chars := len(st.Formula) + len(st.As) + 6
+			add(actionCost{
+				motor:      2*opH + (opP + opB),
+				typing:     float64(chars) * opK,
+				mental:     opM * 2,
+				concept:    ConceptFormula,
+				difficulty: 1.1,
+			})
+		case tpch.StepHide:
+			add(actionCost{
+				motor:      float64(len(st.Columns)) * (opP + opB),
+				mental:     opM * 0.3,
+				concept:    ConceptProjection,
+				difficulty: 0.5,
+			})
+		}
+	}
+	// Short typed queries are manageable even for novices; long ones
+	// compound ("the vast majority of the queries need to be completed by
+	// adding to the SQL query"). Scale the SQL-editing burden by how much
+	// of the query must be hand-written.
+	typed := 0
+	for _, a := range est.actions {
+		if a.typing > 0 {
+			typed++
+		}
+	}
+	scale := clamp(float64(typed)/4.5, 0.3, 1.6)
+	for i := range est.actions {
+		if est.actions[i].typing > 0 {
+			est.actions[i].mental *= scale
+			est.actions[i].typing *= scale
+			est.actions[i].difficulty *= clamp(scale, 0.7, 1.3)
+		}
+	}
+	return est
+}

@@ -1,0 +1,184 @@
+// Package uistudy simulates the paper's user study (Sec. VII): ten
+// subjects without database-query-language background complete the ten
+// TPC-H-derived tasks in two interfaces — SheetMusiq, the direct
+// manipulation spreadsheet, and a Navicat-style visual query builder — and
+// we measure per-task completion time (Fig. 3), its standard deviation
+// (Fig. 4), correctness (Fig. 5), and the subjective questionnaire
+// (Table VI).
+//
+// Human subjects are simulated with a keystroke-level model (KLM): every
+// interface action decomposes into the standard operators K (keystroke),
+// P (point), B (press/release), H (hand homing) and M (mental
+// preparation), scaled by per-subject skill factors, plus an error model
+// that encodes the paper's qualitative analysis (Sec. VII-A4): the builder
+// requires raw SQL for grouping, aggregation and group qualification,
+// where non-technical users make — and often fail to notice — conceptual
+// and syntactic mistakes, while the spreadsheet's immediate visual
+// feedback catches most mistakes on the spot. DESIGN.md §2 documents this
+// substitution for the original human panel.
+package uistudy
+
+import (
+	"math/rand"
+)
+
+// Standard KLM operator durations in seconds (Card, Moran & Newell).
+const (
+	opK = 0.28 // keystroke (average typist)
+	opP = 1.10 // point with mouse
+	opB = 0.20 // mouse button press and release
+	opH = 0.40 // home hands between keyboard and mouse
+	opM = 1.35 // mental preparation
+)
+
+// Timeout is the study's cap: "if a user did not finish the query in 900
+// seconds, the task was considered finished with wrong results".
+const Timeout = 900.0
+
+// Interface identifies which tool a trial uses.
+type Interface uint8
+
+// The two compared interfaces.
+const (
+	SheetMusiq Interface = iota
+	Navicat
+)
+
+// String names the interface as in the paper.
+func (i Interface) String() string {
+	if i == Navicat {
+		return "Navicat"
+	}
+	return "SheetMusiq"
+}
+
+// Concept classifies the database concept an interface action exercises;
+// error rates attach to concepts per interface.
+type Concept uint8
+
+// Concepts, ordered roughly by the difficulty the paper reports.
+const (
+	ConceptSelection Concept = iota
+	ConceptOrdering
+	ConceptProjection
+	ConceptFormula
+	ConceptGrouping
+	ConceptAggregation
+	ConceptGroupQualification // the HAVING clause
+)
+
+// String names the concept.
+func (c Concept) String() string {
+	switch c {
+	case ConceptSelection:
+		return "selection"
+	case ConceptOrdering:
+		return "ordering"
+	case ConceptProjection:
+		return "projection"
+	case ConceptFormula:
+		return "formula"
+	case ConceptGrouping:
+		return "grouping"
+	case ConceptAggregation:
+		return "aggregation"
+	default:
+		return "group-qualification"
+	}
+}
+
+// Subject is one simulated participant ("ten volunteers with no background
+// in database query languages", ages 24–30, at least a bachelor's degree).
+type Subject struct {
+	ID int
+	// Motor scales pointing/clicking time; Typing scales keystrokes;
+	// Deliberation scales thinking pauses. All centred on 1.
+	Motor        float64
+	Typing       float64
+	Deliberation float64
+	// ErrorProne scales every error probability.
+	ErrorProne float64
+	// PrefersOneShot marks the minority who would rather specify a query
+	// all at once than refine progressively (Table VI, question 3: 8 of 10
+	// preferred progressive refinement).
+	PrefersOneShot bool
+}
+
+// NewPanel creates n subjects with deterministically seeded trait spreads.
+func NewPanel(n int, seed int64) []Subject {
+	rng := rand.New(rand.NewSource(seed))
+	panel := make([]Subject, n)
+	for i := range panel {
+		panel[i] = Subject{
+			ID:           i + 1,
+			Motor:        clamp(1+rng.NormFloat64()*0.18, 0.7, 1.5),
+			Typing:       clamp(1+rng.NormFloat64()*0.25, 0.6, 1.8),
+			Deliberation: clamp(1+rng.NormFloat64()*0.30, 0.55, 1.9),
+			ErrorProne:   clamp(1+rng.NormFloat64()*0.35, 0.5, 2.2),
+			// Roughly one in five favours one-shot specification.
+			PrefersOneShot: rng.Float64() < 0.2,
+		}
+	}
+	return panel
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// actionCost is the deterministic KLM decomposition of one interface
+// action, before subject scaling.
+type actionCost struct {
+	motor      float64 // P/B/H time
+	typing     float64 // K time
+	mental     float64 // M time
+	concept    Concept
+	difficulty float64 // scales the concept's base error probability
+}
+
+// estimate is the full action plan for one task in one interface.
+type estimate struct {
+	actions []actionCost
+	// verification is the per-action result-reading pause; the spreadsheet
+	// shows the data continuously ("immediate and intuitive result
+	// presentation"), the builder requires running the query to see
+	// anything.
+	verification float64
+}
+
+// conceptErrorRate returns the base probability that one action exercising
+// the concept goes wrong in the given interface. The asymmetry encodes
+// Sec. VII-A4: grouping, aggregation and group qualification require raw
+// SQL in the builder.
+func conceptErrorRate(iface Interface, c Concept) (pErr, pUnnoticed float64) {
+	if iface == SheetMusiq {
+		switch c {
+		case ConceptSelection, ConceptOrdering, ConceptProjection:
+			return 0.02, 0.10
+		case ConceptFormula:
+			return 0.05, 0.12
+		case ConceptGrouping, ConceptAggregation:
+			return 0.04, 0.10
+		default: // group qualification is "filter the groups with a click"
+			return 0.05, 0.12
+		}
+	}
+	switch c {
+	case ConceptSelection, ConceptOrdering, ConceptProjection:
+		return 0.04, 0.18
+	case ConceptFormula:
+		return 0.12, 0.30
+	case ConceptGrouping:
+		return 0.15, 0.30
+	case ConceptAggregation:
+		return 0.13, 0.30
+	default: // HAVING: "users struggled with the having clause"
+		return 0.22, 0.35
+	}
+}

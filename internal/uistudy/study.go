@@ -1,0 +1,325 @@
+package uistudy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sheetmusiq/internal/stats"
+	"sheetmusiq/internal/tpch"
+)
+
+// Config parameterises one simulated study run.
+type Config struct {
+	Subjects int
+	Seed     int64
+	Tasks    []tpch.Task
+}
+
+// DefaultConfig mirrors the paper: ten subjects, the ten TPC-H tasks.
+func DefaultConfig() Config {
+	return Config{Subjects: 10, Seed: 20090329, Tasks: tpch.Tasks()}
+}
+
+// Trial is one subject × task × interface measurement.
+type Trial struct {
+	Subject   int
+	Task      int
+	Iface     Interface
+	Seconds   float64
+	Correct   bool
+	UsedFirst bool // whether this interface came first for this pair
+	// Errors counts conceptual mistakes during the trial (noticed and
+	// unnoticed), per concept — the raw material of the paper's
+	// Sec. VII-A4 analysis.
+	Errors map[Concept]int
+	// SyntaxErrors counts SQL syntax stumbles (Navicat only by
+	// construction: "users never stuck on syntactical errors in
+	// SheetMusiq").
+	SyntaxErrors int
+}
+
+// TaskSummary aggregates one task across subjects, per interface.
+type TaskSummary struct {
+	TaskID     int
+	Name       string
+	MeanSheet  float64
+	MeanNav    float64
+	StdSheet   float64
+	StdNav     float64
+	CorrectSM  int
+	CorrectNav int
+	// MannWhitneyP is the two-sided p-value comparing the time samples.
+	MannWhitneyP float64
+}
+
+// TableVI holds the subjective questionnaire counts (yes, no) per question.
+type TableVI struct {
+	PreferSheetMusiq      [2]int // prefer SheetMusiq vs Navicat
+	SeeingDataHelps       [2]int
+	ProgressiveRefinement [2]int
+	ConceptsEasier        [2]int
+}
+
+// Study is a complete simulated run.
+type Study struct {
+	Panel    []Subject
+	Trials   []Trial
+	Tasks    []TaskSummary
+	TotalSM  int // total correct with SheetMusiq (of Subjects×Tasks)
+	TotalNav int
+	FisherP  float64
+	Survey   TableVI
+}
+
+// Run simulates the full study: every subject completes every task with
+// both interfaces, with the first-used tool alternating per task (the
+// paper's counterbalancing: "each package was used first half the time").
+func Run(cfg Config) (*Study, error) {
+	if cfg.Subjects <= 0 {
+		return nil, fmt.Errorf("uistudy: need at least one subject")
+	}
+	if len(cfg.Tasks) == 0 {
+		return nil, fmt.Errorf("uistudy: need at least one task")
+	}
+	panel := NewPanel(cfg.Subjects, cfg.Seed)
+	study := &Study{Panel: panel}
+
+	// Pre-compute the per-interface action plans once per task.
+	planSM := make([]estimate, len(cfg.Tasks))
+	planNav := make([]estimate, len(cfg.Tasks))
+	for i, task := range cfg.Tasks {
+		planSM[i] = estimateSheetMusiq(task)
+		planNav[i] = estimateNavicat(task)
+	}
+
+	for si, subj := range panel {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+si)))
+		for ti := range cfg.Tasks {
+			smFirst := (si+ti)%2 == 0
+			order := []Interface{SheetMusiq, Navicat}
+			if !smFirst {
+				order = []Interface{Navicat, SheetMusiq}
+			}
+			for pos, iface := range order {
+				plan := planSM[ti]
+				if iface == Navicat {
+					plan = planNav[ti]
+				}
+				out := simulateTrial(rng, subj, iface, plan, ti, pos == 0)
+				study.Trials = append(study.Trials, Trial{
+					Subject: subj.ID, Task: ti + 1, Iface: iface,
+					Seconds: out.seconds, Correct: out.correct, UsedFirst: pos == 0,
+					Errors: out.errors, SyntaxErrors: out.syntaxErrors,
+				})
+			}
+		}
+	}
+	if err := study.aggregate(cfg); err != nil {
+		return nil, err
+	}
+	study.survey(cfg)
+	return study, nil
+}
+
+// trialOutcome carries one simulated trial's measurements.
+type trialOutcome struct {
+	seconds      float64
+	correct      bool
+	errors       map[Concept]int
+	syntaxErrors int
+}
+
+// simulateTrial plays one subject through one task in one interface.
+func simulateTrial(rng *rand.Rand, subj Subject, iface Interface, plan estimate, taskIdx int, first bool) trialOutcome {
+	// Initial comprehension of where to start in this tool.
+	secs := 12 * subj.Deliberation
+	// Learning curve: the paper observed subjects picked up SheetMusiq much
+	// faster (Sec. VII-A4); the builder's unfamiliarity decays slower.
+	familiar := 1.0
+	switch iface {
+	case SheetMusiq:
+		familiar = 1 + 0.25*math.Exp(-float64(taskIdx)/2)
+	case Navicat:
+		familiar = 1 + 0.60*math.Exp(-float64(taskIdx)/3)
+	}
+	if first {
+		familiar *= 1.05 // small first-tool warm-up penalty
+	}
+	correct := true
+	errors := map[Concept]int{}
+	syntaxErrors := 0
+	for _, a := range plan.actions {
+		actionTime := a.motor*subj.Motor + a.typing*subj.Typing + a.mental*subj.Deliberation
+		actionTime += plan.verification * subj.Deliberation
+		actionTime *= familiar
+		secs += actionTime
+
+		// Conceptual error loop.
+		pErr, pUnnoticed := conceptErrorRate(iface, a.concept)
+		p := clamp(pErr*a.difficulty*subj.ErrorProne, 0, 0.9)
+		for attempt := 0; attempt < 4; attempt++ {
+			if rng.Float64() >= p {
+				break // no (further) error
+			}
+			errors[a.concept]++
+			if rng.Float64() < pUnnoticed {
+				// The mistake slips through: wrong final answer, no time.
+				correct = false
+				break
+			}
+			// Noticed: diagnose and redo the action.
+			secs += 2*opM*subj.Deliberation + actionTime*(0.6+0.6*rng.Float64())
+			p /= 2
+			if attempt == 3 {
+				correct = false
+			}
+		}
+
+		// Syntax errors only exist where raw SQL is typed: "users never
+		// stuck on syntactical errors in SheetMusiq, which often happen in
+		// Navicat".
+		if iface == Navicat && a.typing > 0 {
+			pSyn := clamp(a.typing/opK/120*0.35*subj.ErrorProne, 0, 0.8)
+			for attempt := 0; attempt < 4 && rng.Float64() < pSyn; attempt++ {
+				syntaxErrors++
+				secs += (8 + 18*rng.Float64()) * subj.Deliberation
+				pSyn /= 2
+			}
+		}
+	}
+	// Final answer check and cleanup.
+	secs += 6 * subj.Deliberation
+	// Trial-to-trial human variability (distractions, re-reading the task);
+	// the run-and-inspect workflow of the builder varies more.
+	noise := 0.18
+	if iface == Navicat {
+		noise = 0.32
+	}
+	secs *= math.Exp(rng.NormFloat64() * noise)
+	if secs >= Timeout {
+		// "the task was considered finished with wrong results, and the
+		// time was counted as 900 seconds".
+		return trialOutcome{seconds: Timeout, correct: false, errors: errors, syntaxErrors: syntaxErrors}
+	}
+	return trialOutcome{seconds: secs, correct: correct, errors: errors, syntaxErrors: syntaxErrors}
+}
+
+func (st *Study) aggregate(cfg Config) error {
+	for ti, task := range cfg.Tasks {
+		var sm, nav []float64
+		summary := TaskSummary{TaskID: ti + 1, Name: task.Name}
+		for _, tr := range st.Trials {
+			if tr.Task != ti+1 {
+				continue
+			}
+			if tr.Iface == SheetMusiq {
+				sm = append(sm, tr.Seconds)
+				if tr.Correct {
+					summary.CorrectSM++
+				}
+			} else {
+				nav = append(nav, tr.Seconds)
+				if tr.Correct {
+					summary.CorrectNav++
+				}
+			}
+		}
+		summary.MeanSheet = stats.Mean(sm)
+		summary.MeanNav = stats.Mean(nav)
+		summary.StdSheet = stats.StdDev(sm)
+		summary.StdNav = stats.StdDev(nav)
+		mw, err := stats.MannWhitney(sm, nav)
+		if err != nil {
+			return err
+		}
+		summary.MannWhitneyP = mw.P
+		st.TotalSM += summary.CorrectSM
+		st.TotalNav += summary.CorrectNav
+		st.Tasks = append(st.Tasks, summary)
+	}
+	n := cfg.Subjects * len(cfg.Tasks)
+	p, err := stats.FisherExact(st.TotalSM, n-st.TotalSM, st.TotalNav, n-st.TotalNav)
+	if err != nil {
+		return err
+	}
+	st.FisherP = p
+	return nil
+}
+
+// ConceptBreakdown aggregates error counts per concept and interface
+// across all trials — the quantified form of the paper's Sec. VII-A4
+// analysis ("selection based on aggregation", "grouping is much easier in
+// SheetMusiq", "group-qualification").
+func (st *Study) ConceptBreakdown() map[Concept][2]int {
+	out := map[Concept][2]int{}
+	for _, tr := range st.Trials {
+		for c, n := range tr.Errors {
+			cur := out[c]
+			if tr.Iface == SheetMusiq {
+				cur[0] += n
+			} else {
+				cur[1] += n
+			}
+			out[c] = cur
+		}
+	}
+	return out
+}
+
+// SyntaxErrorTotals returns total syntax stumbles per interface
+// (SheetMusiq, Navicat).
+func (st *Study) SyntaxErrorTotals() (sm, nav int) {
+	for _, tr := range st.Trials {
+		if tr.Iface == SheetMusiq {
+			sm += tr.SyntaxErrors
+		} else {
+			nav += tr.SyntaxErrors
+		}
+	}
+	return sm, nav
+}
+
+// survey derives Table VI from each subject's measured outcomes: subjects
+// prefer the tool that was faster and less error-prone for them, everyone
+// who watched results update values seeing the data, and the progressive-
+// refinement question follows the subject's specification-style trait.
+func (st *Study) survey(cfg Config) {
+	for _, subj := range st.Panel {
+		var smTime, navTime float64
+		var smWrong, navWrong int
+		for _, tr := range st.Trials {
+			if tr.Subject != subj.ID {
+				continue
+			}
+			if tr.Iface == SheetMusiq {
+				smTime += tr.Seconds
+				if !tr.Correct {
+					smWrong++
+				}
+			} else {
+				navTime += tr.Seconds
+				if !tr.Correct {
+					navWrong++
+				}
+			}
+		}
+		if smTime < navTime || smWrong < navWrong {
+			st.Survey.PreferSheetMusiq[0]++
+		} else {
+			st.Survey.PreferSheetMusiq[1]++
+		}
+		// The spreadsheet's defining property: results visible throughout.
+		st.Survey.SeeingDataHelps[0]++
+		if subj.PrefersOneShot {
+			st.Survey.ProgressiveRefinement[1]++
+		} else {
+			st.Survey.ProgressiveRefinement[0]++
+		}
+		if navWrong >= smWrong {
+			st.Survey.ConceptsEasier[0]++
+		} else {
+			st.Survey.ConceptsEasier[1]++
+		}
+	}
+}

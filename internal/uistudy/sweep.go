@@ -1,0 +1,97 @@
+package uistudy
+
+import (
+	"fmt"
+
+	"sheetmusiq/internal/tpch"
+)
+
+// SweepResult summarises how often the paper's published conclusions hold
+// across repeated simulated studies with different random panels — the
+// robustness check a single 10-subject sample cannot give.
+type SweepResult struct {
+	Runs int
+	// SheetMusiqFasterOverall counts runs whose summed mean time favours
+	// SheetMusiq.
+	SheetMusiqFasterOverall int
+	// FisherSignificant counts runs with correctness Fisher p < 0.004 (the
+	// paper's reported bound).
+	FisherSignificant int
+	// MajoritySignificantSpeed counts runs where ≥ half the tasks are
+	// Mann-Whitney significant at p < 0.002.
+	MajoritySignificantSpeed int
+	// SomeComparableTask counts runs with at least one task NOT significant
+	// at p < 0.002 (the paper found three such queries).
+	SomeComparableTask int
+	// UnanimousPreference counts runs where every subject prefers
+	// SheetMusiq (Table VI question 1).
+	UnanimousPreference int
+	// MeanCorrectSM/Nav average the correctness totals.
+	MeanCorrectSM  float64
+	MeanCorrectNav float64
+}
+
+// Sweep runs the study `runs` times with seeds seed0, seed0+1, … and
+// tallies how often each published conclusion reproduces.
+func Sweep(runs int, seed0 int64, subjects int) (*SweepResult, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("uistudy: sweep needs at least one run")
+	}
+	tasks := tpch.Tasks()
+	out := &SweepResult{Runs: runs}
+	for r := 0; r < runs; r++ {
+		st, err := Run(Config{Subjects: subjects, Seed: seed0 + int64(r), Tasks: tasks})
+		if err != nil {
+			return nil, err
+		}
+		var sumSM, sumNav float64
+		significant, comparable := 0, 0
+		for _, ts := range st.Tasks {
+			sumSM += ts.MeanSheet
+			sumNav += ts.MeanNav
+			if ts.MannWhitneyP < 0.002 {
+				significant++
+			} else {
+				comparable++
+			}
+		}
+		if sumSM < sumNav {
+			out.SheetMusiqFasterOverall++
+		}
+		if st.FisherP < 0.004 {
+			out.FisherSignificant++
+		}
+		if significant*2 >= len(st.Tasks) {
+			out.MajoritySignificantSpeed++
+		}
+		if comparable > 0 {
+			out.SomeComparableTask++
+		}
+		if st.Survey.PreferSheetMusiq[1] == 0 {
+			out.UnanimousPreference++
+		}
+		out.MeanCorrectSM += float64(st.TotalSM)
+		out.MeanCorrectNav += float64(st.TotalNav)
+	}
+	out.MeanCorrectSM /= float64(runs)
+	out.MeanCorrectNav /= float64(runs)
+	return out, nil
+}
+
+// String renders the sweep as the experiments command prints it.
+func (r *SweepResult) String() string {
+	pct := func(n int) string {
+		return fmt.Sprintf("%d/%d (%.0f%%)", n, r.Runs, 100*float64(n)/float64(r.Runs))
+	}
+	return fmt.Sprintf(
+		"robustness over %d simulated panels:\n"+
+			"  SheetMusiq faster overall:        %s\n"+
+			"  correctness Fisher p < 0.004:     %s\n"+
+			"  ≥half tasks speed-significant:    %s\n"+
+			"  ≥one comparable task (paper: 3):  %s\n"+
+			"  unanimous preference:             %s\n"+
+			"  mean correct: SheetMusiq %.1f/100, Navicat %.1f/100\n",
+		r.Runs, pct(r.SheetMusiqFasterOverall), pct(r.FisherSignificant),
+		pct(r.MajoritySignificantSpeed), pct(r.SomeComparableTask),
+		pct(r.UnanimousPreference), r.MeanCorrectSM, r.MeanCorrectNav)
+}

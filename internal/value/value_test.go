@@ -1,0 +1,422 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "FLOAT",
+		KindString: "TEXT", KindBool: "BOOLEAN", KindDate: "DATE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int round trip failed")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float round trip failed")
+	}
+	if NewString("jetta").Str() != "jetta" {
+		t.Error("String round trip failed")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool round trip failed")
+	}
+	d := NewDate(2005, time.March, 14)
+	if got := d.Time().Format("2006-01-02"); got != "2005-03-14" {
+		t.Errorf("Date round trip = %s", got)
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic calling Int() on a string")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	c, err := Compare(NewInt(3), NewFloat(3.0))
+	if err != nil || c != 0 {
+		t.Fatalf("Compare(3, 3.0) = %d, %v", c, err)
+	}
+	c, _ = Compare(NewInt(2), NewFloat(2.5))
+	if c != -1 {
+		t.Fatalf("Compare(2, 2.5) = %d", c)
+	}
+	c, _ = Compare(NewFloat(2.5), NewInt(2))
+	if c != 1 {
+		t.Fatalf("Compare(2.5, 2) = %d", c)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	c, err := Compare(NewString("civic"), NewString("jetta"))
+	if err != nil || c != -1 {
+		t.Fatalf("Compare(civic, jetta) = %d, %v", c, err)
+	}
+}
+
+func TestCompareNullOrdersFirst(t *testing.T) {
+	if c, _ := Compare(Null, NewInt(0)); c != -1 {
+		t.Errorf("NULL should order before 0, got %d", c)
+	}
+	if c, _ := Compare(NewInt(0), Null); c != 1 {
+		t.Errorf("0 should order after NULL, got %d", c)
+	}
+	if c, _ := Compare(Null, Null); c != 0 {
+		t.Errorf("NULL vs NULL = %d", c)
+	}
+}
+
+func TestCompareIncompatible(t *testing.T) {
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Fatal("expected error comparing TEXT with INTEGER")
+	}
+	if _, err := Compare(NewBool(true), NewDate(2000, 1, 1)); err == nil {
+		t.Fatal("expected error comparing BOOLEAN with DATE")
+	}
+}
+
+func TestCompareDates(t *testing.T) {
+	a := NewDate(2005, time.January, 1)
+	b := NewDate(2006, time.January, 1)
+	if c, _ := Compare(a, b); c != -1 {
+		t.Errorf("2005 < 2006 expected, got %d", c)
+	}
+}
+
+func TestMustCompareTotalOrder(t *testing.T) {
+	// Incomparable kinds fall back to kind order; must not panic.
+	if MustCompare(NewString("a"), NewInt(1)) == 0 {
+		t.Error("distinct-kind values should not be equal under MustCompare")
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	if NewInt(3).Key() != NewFloat(3).Key() {
+		t.Error("numerically equal int and float must share a key")
+	}
+	if NewInt(3).Key() == NewString("3").Key() {
+		t.Error("int 3 and string \"3\" must not share a key")
+	}
+	if Null.Key() == NewString("").Key() {
+		t.Error("NULL and empty string must not share a key")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  func() (Value, error)
+		want Value
+	}{
+		{"int+int", func() (Value, error) { return Add(NewInt(2), NewInt(3)) }, NewInt(5)},
+		{"int-int", func() (Value, error) { return Sub(NewInt(2), NewInt(3)) }, NewInt(-1)},
+		{"int*float", func() (Value, error) { return Mul(NewInt(2), NewFloat(1.5)) }, NewFloat(3)},
+		{"exact int division", func() (Value, error) { return Div(NewInt(6), NewInt(3)) }, NewInt(2)},
+		{"inexact int division promotes", func() (Value, error) { return Div(NewInt(7), NewInt(2)) }, NewFloat(3.5)},
+		{"mod", func() (Value, error) { return Mod(NewInt(7), NewInt(4)) }, NewInt(3)},
+		{"float mod", func() (Value, error) { return Mod(NewFloat(7.5), NewFloat(2)) }, NewFloat(1.5)},
+		{"neg handled elsewhere", func() (Value, error) { return Neg(NewInt(5)) }, NewInt(-5)},
+	}
+	for _, tc := range tests {
+		got, err := tc.got()
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if !Equal(got, tc.want) {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestArithmeticNullPropagates(t *testing.T) {
+	got, err := Add(Null, NewInt(1))
+	if err != nil || !got.IsNull() {
+		t.Fatalf("NULL + 1 = %v, %v; want NULL", got, err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("mod by zero must error")
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	d := NewDate(2005, time.January, 31)
+	plus, err := Add(d, NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plus.Time().Format("2006-01-02"); got != "2005-02-01" {
+		t.Errorf("date+1 = %s", got)
+	}
+	diff, err := Sub(NewDate(2005, time.February, 1), d)
+	if err != nil || diff.Int() != 1 {
+		t.Errorf("date-date = %v, %v", diff, err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got, err := Concat(NewString("a"), NewInt(1))
+	if err != nil || got.Str() != "a1" {
+		t.Fatalf("Concat = %v, %v", got, err)
+	}
+	n, _ := Concat(Null, NewString("x"))
+	if !n.IsNull() {
+		t.Error("NULL || x must be NULL")
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("TEXT + INTEGER must error")
+	}
+	if _, err := Neg(NewString("a")); err == nil {
+		t.Error("negating TEXT must error")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		text string
+		kind Kind
+	}{
+		{"42", KindInt}, {"-3", KindInt}, {"2.5", KindFloat},
+		{"hello", KindString}, {"true", KindBool}, {"2005-03-14", KindDate},
+	}
+	for _, tc := range cases {
+		v, err := Parse(tc.text, tc.kind)
+		if err != nil {
+			t.Errorf("Parse(%q, %v): %v", tc.text, tc.kind, err)
+			continue
+		}
+		if v.Kind() != tc.kind {
+			t.Errorf("Parse(%q) kind = %v, want %v", tc.text, v.Kind(), tc.kind)
+		}
+		if got := v.String(); got != tc.text {
+			t.Errorf("Parse(%q).String() = %q", tc.text, got)
+		}
+	}
+}
+
+func TestParseEmptyIsNull(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindBool, KindDate} {
+		v, err := Parse("", k)
+		if err != nil || !v.IsNull() {
+			t.Errorf("Parse(\"\", %v) = %v, %v; want NULL", k, v, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("abc", KindInt); err == nil {
+		t.Error("parsing abc as INTEGER must error")
+	}
+	if _, err := Parse("2005-13-40", KindDate); err == nil {
+		t.Error("parsing invalid date must error")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	if Infer("42").Kind() != KindInt {
+		t.Error("42 should infer INTEGER")
+	}
+	if Infer("4.5").Kind() != KindFloat {
+		t.Error("4.5 should infer FLOAT")
+	}
+	if Infer("2005-03-14").Kind() != KindDate {
+		t.Error("2005-03-14 should infer DATE")
+	}
+	if Infer("true").Kind() != KindBool {
+		t.Error("true should infer BOOLEAN")
+	}
+	if Infer("Jetta").Kind() != KindString {
+		t.Error("Jetta should infer TEXT")
+	}
+	if !Infer("").IsNull() {
+		t.Error("empty should infer NULL")
+	}
+}
+
+func TestSQLLiterals(t *testing.T) {
+	if got := NewString("O'Hare").SQL(); got != "'O''Hare'" {
+		t.Errorf("string SQL = %s", got)
+	}
+	if got := Null.SQL(); got != "NULL" {
+		t.Errorf("NULL SQL = %s", got)
+	}
+	if got := NewDate(2005, 1, 2).SQL(); got != "DATE '2005-01-02'" {
+		t.Errorf("date SQL = %s", got)
+	}
+	if got := NewBool(true).SQL(); got != "TRUE" {
+		t.Errorf("bool SQL = %s", got)
+	}
+}
+
+func TestTruthTable(t *testing.T) {
+	ts := []Truth{False, True, Unknown}
+	for _, a := range ts {
+		for _, b := range ts {
+			and := a.And(b)
+			or := a.Or(b)
+			// Kleene logic identities.
+			if a == False || b == False {
+				if and != False {
+					t.Errorf("And(%v,%v) = %v", a, b, and)
+				}
+			} else if a == Unknown || b == Unknown {
+				if and != Unknown {
+					t.Errorf("And(%v,%v) = %v", a, b, and)
+				}
+			} else if and != True {
+				t.Errorf("And(True,True) = %v", and)
+			}
+			if a == True || b == True {
+				if or != True {
+					t.Errorf("Or(%v,%v) = %v", a, b, or)
+				}
+			} else if a == Unknown || b == Unknown {
+				if or != Unknown {
+					t.Errorf("Or(%v,%v) = %v", a, b, or)
+				}
+			} else if or != False {
+				t.Errorf("Or(False,False) = %v", or)
+			}
+		}
+	}
+	if Unknown.Not() != Unknown || True.Not() != False || False.Not() != True {
+		t.Error("Not truth table wrong")
+	}
+}
+
+func TestTruthOf(t *testing.T) {
+	if tr, err := TruthOf(NewBool(true)); err != nil || tr != True {
+		t.Errorf("TruthOf(true) = %v, %v", tr, err)
+	}
+	if tr, err := TruthOf(Null); err != nil || tr != Unknown {
+		t.Errorf("TruthOf(NULL) = %v, %v", tr, err)
+	}
+	if _, err := TruthOf(NewInt(1)); err == nil {
+		t.Error("TruthOf(1) must error")
+	}
+}
+
+func TestTruthValueRoundTrip(t *testing.T) {
+	if !Equal(True.Value(), NewBool(true)) || !Equal(False.Value(), NewBool(false)) || !Unknown.Value().IsNull() {
+		t.Error("Truth.Value round trip failed")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := NewInt(a), NewInt(b)
+		c1, _ := Compare(x, y)
+		c2, _ := Compare(y, x)
+		return c1 == -c2 && (c1 == 0) == Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add/Sub are inverse on ints (no overflow in small range).
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := NewInt(int64(a)), NewInt(int64(b))
+		s, err := Add(x, y)
+		if err != nil {
+			return false
+		}
+		back, err := Sub(s, y)
+		if err != nil {
+			return false
+		}
+		return Equal(back, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key equality matches Compare equality for mixed numerics.
+func TestQuickKeyMatchesCompare(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		x, y := NewInt(int64(a)), NewFloat(float64(b))
+		c, _ := Compare(x, y)
+		return (c == 0) == (x.Key() == y.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: date day arithmetic matches time.Time arithmetic.
+func TestQuickDateDays(t *testing.T) {
+	f := func(days int16) bool {
+		d := NewDateDays(int64(days))
+		want := time.Unix(int64(days)*86400, 0).UTC()
+		return d.Time().Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := NewFloat(15166.666666666666).String(); got == "" || got == "NULL" {
+		t.Errorf("float formatting broken: %q", got)
+	}
+	if got := NewFloat(math.Inf(1)).String(); got != "+Inf" {
+		t.Errorf("inf formatting = %q", got)
+	}
+}
+
+func TestLargeIntExactness(t *testing.T) {
+	// 2^53 and 2^53+1 collide as float64; integer comparison must stay
+	// exact.
+	a := NewInt(1 << 53)
+	b := NewInt(1<<53 + 1)
+	if c, _ := Compare(a, b); c != -1 {
+		t.Fatalf("2^53 < 2^53+1 expected, got %d", c)
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct large ints must not share a key")
+	}
+	// Small ints still share keys with equal floats.
+	if NewInt(7).Key() != NewFloat(7).Key() {
+		t.Fatal("small int/float key equality regressed")
+	}
+}
