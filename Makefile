@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -6,12 +6,19 @@
 package sheetmusiq
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sheetmusiq/internal/core"
 	"sheetmusiq/internal/dataset"
 	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/server"
 	"sheetmusiq/internal/sql"
 	"sheetmusiq/internal/sqlgen"
 	"sheetmusiq/internal/stats"
@@ -378,6 +385,94 @@ func BenchmarkStudyTasks(b *testing.B) {
 				if _, err := db.Query(task.Query); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- HTTP service benchmarks -------------------------------------------------
+
+// benchRequest fires one request and drains the body; non-2xx fails the
+// benchmark.
+func benchRequest(b *testing.B, method, url, body string) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		b.Fatalf("%s %s: status %d", method, url, resp.StatusCode)
+	}
+}
+
+// BenchmarkServerSessionThroughput measures end-to-end requests/sec against
+// the HTTP service under 1, 4, and 16 concurrent sessions, each cycling a
+// mixed workload (predicate modification, render, state) over its own
+// engine while sharing the one manager.
+func BenchmarkServerSessionThroughput(b *testing.B) {
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			m := server.NewManager(server.Config{MaxSessions: -1})
+			ts := httptest.NewServer(server.NewHandler(m))
+			defer ts.Close()
+
+			ids := make([]string, sessions)
+			for i := range ids {
+				s, err := m.Create(fmt.Sprintf("bench%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = s.ID()
+				base := ts.URL + "/v1/sessions/" + s.ID() + "/op"
+				benchRequest(b, "POST", base, `{"op":"demo","table":"cars"}`)
+				benchRequest(b, "POST", base, `{"op":"select","predicate":"Year = 2005"}`)
+				benchRequest(b, "POST", base, `{"op":"group","dir":"asc","columns":["Model"]}`)
+			}
+
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, id := range ids {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					opURL := ts.URL + "/v1/sessions/" + id + "/op"
+					renderURL := ts.URL + "/v1/sessions/" + id + "/render?limit=5"
+					stateURL := ts.URL + "/v1/sessions/" + id + "/state"
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						switch i % 3 {
+						case 0:
+							year := 2005 + int(i%2)
+							benchRequest(b, "POST", opURL,
+								fmt.Sprintf(`{"op":"modify","id":1,"predicate":"Year = %d"}`, year))
+						case 1:
+							benchRequest(b, "GET", renderURL, "")
+						default:
+							benchRequest(b, "GET", stateURL, "")
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
 			}
 		})
 	}

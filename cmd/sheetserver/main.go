@@ -1,0 +1,76 @@
+// Command sheetserver serves the spreadsheet algebra over HTTP/JSON: a
+// multi-session service where each session is an independent engine (its
+// own sheet, query state, undo history, and raw tables) and all sessions
+// share one stored-sheet catalog, so a sheet saved by one user is a
+// binary-operator operand for every other.
+//
+// Quick start:
+//
+//	sheetserver -addr :8080
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"name":"sam"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/op -d '{"op":"demo","table":"cars"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/op -d '{"op":"select","predicate":"Year = 2005"}'
+//	curl -s localhost:8080/v1/sessions/s1/render
+//
+// Each POST …/op applies exactly one algebra step — the paper's
+// one-operation-at-a-time interaction model, preserved over the wire.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sheetmusiq/internal/server"
+	"sheetmusiq/internal/sql"
+	"sheetmusiq/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions,
+		"live-session cap; past it the least-recently-used session is evicted (negative = unlimited)")
+	idleTTL := flag.Duration("idle-ttl", 30*time.Minute,
+		"evict sessions idle this long (0 disables)")
+	tpchScale := flag.Float64("tpch", 0,
+		"pre-generate TPC-H tables at this scale factor and register them in every session (0 disables)")
+	allowFS := flag.Bool("allow-fs", false,
+		"permit ops that read/write server-local files (load, savestate, loadstate, export)")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxSessions:     *maxSessions,
+		IdleTTL:         *idleTTL,
+		AllowFilesystem: *allowFS,
+	}
+	if sf := *tpchScale; sf > 0 {
+		// Generate once; every session's private registry gets the same
+		// relations (they are read-only, so sharing the backing data is safe).
+		log.Printf("generating TPC-H tables at scale factor %v", sf)
+		tb := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 1})
+		rels := tb.All()
+		cfg.Seed = func(db *sql.DB) error {
+			for _, r := range rels {
+				db.Register(r)
+			}
+			return tpch.BuildViews(db)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := server.NewManager(cfg)
+	log.Printf("sheetserver listening on %s (max sessions %d, idle TTL %s)",
+		*addr, *maxSessions, *idleTTL)
+	if err := server.ListenAndServe(ctx, *addr, m); err != nil {
+		fmt.Fprintln(os.Stderr, "sheetserver:", err)
+		os.Exit(1)
+	}
+	log.Print("sheetserver: drained and stopped")
+}

@@ -3,18 +3,33 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
-// Catalog implements the housekeeping operators of Sec. III-C: Save, Open
-// and Close over stored spreadsheets. A spreadsheet "can be stored and
-// later re-loaded, regardless of the number of operations it went through",
-// and binary operators take their second operand from here.
+// Catalog implements the housekeeping operators of Sec. III-C: Save, Open,
+// Close and Rename over stored spreadsheets. A spreadsheet "can be stored
+// and later re-loaded, regardless of the number of operations it went
+// through", and binary operators take their second operand from here.
+//
+// The catalog is safe for concurrent use by multiple sessions: the sheet
+// map is guarded by an RWMutex, and stored sheets themselves are never
+// mutated after publication — Save and Rename insert fresh snapshots whose
+// evaluation cache is pre-warmed, so concurrent Stored/Evaluate calls are
+// pure reads.
 type Catalog struct {
+	mu     sync.RWMutex
 	sheets map[string]*Spreadsheet
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{sheets: map[string]*Spreadsheet{}} }
+
+// warm pre-computes the snapshot's evaluation cache before the sheet is
+// published, so that later concurrent Evaluate calls (e.g. a binary
+// operator materialising a Stored operand) never write to the sheet. A
+// state that fails to evaluate stays un-warmed; its error path performs no
+// writes either, so storing it is still safe.
+func warm(s *Spreadsheet) { _, _ = s.Evaluate() }
 
 // Save stores an independent snapshot of the spreadsheet under name,
 // overwriting any previous sheet with that name.
@@ -24,6 +39,9 @@ func (c *Catalog) Save(name string, s *Spreadsheet) error {
 	}
 	snap := s.Clone()
 	snap.SetName(name)
+	warm(snap)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.sheets[name] = snap
 	return nil
 }
@@ -31,7 +49,9 @@ func (c *Catalog) Save(name string, s *Spreadsheet) error {
 // Open returns a working copy of a stored spreadsheet; edits to the copy do
 // not affect the stored version until it is saved again.
 func (c *Catalog) Open(name string) (*Spreadsheet, error) {
+	c.mu.RLock()
 	s, ok := c.sheets[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no stored spreadsheet %q", name)
 	}
@@ -39,17 +59,25 @@ func (c *Catalog) Open(name string) (*Spreadsheet, error) {
 }
 
 // Stored returns the stored sheet itself for use as a binary-operator
-// operand (read-only by convention).
+// operand. The returned sheet is shared: callers must treat it as
+// read-only and never invoke mutating operators on it. Evaluate is safe —
+// the catalog pre-warms the evaluation cache before publishing, so
+// concurrent evaluations of a stored sheet do not write.
 func (c *Catalog) Stored(name string) (*Spreadsheet, error) {
+	c.mu.RLock()
 	s, ok := c.sheets[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no stored spreadsheet %q", name)
 	}
 	return s, nil
 }
 
-// Close removes a stored spreadsheet.
+// Close removes a stored spreadsheet. Sheets previously handed out by Open
+// or Stored remain valid: Close only unpublishes the name.
 func (c *Catalog) Close(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.sheets[name]; !ok {
 		return fmt.Errorf("core: no stored spreadsheet %q", name)
 	}
@@ -57,13 +85,50 @@ func (c *Catalog) Close(name string) error {
 	return nil
 }
 
+// Rename is the fourth housekeeping operator of Sec. III-C: the stored
+// spreadsheet old becomes available under new. The rename installs a fresh
+// snapshot (stored sheets are immutable once published), so sheets handed
+// out under the old name keep their old name and stay valid.
+func (c *Catalog) Rename(old, new string) error {
+	if new == "" {
+		return fmt.Errorf("core: stored spreadsheet needs a name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sheets[old]
+	if !ok {
+		return fmt.Errorf("core: no stored spreadsheet %q", old)
+	}
+	if old == new {
+		return nil
+	}
+	if _, taken := c.sheets[new]; taken {
+		return fmt.Errorf("core: stored spreadsheet %q already exists", new)
+	}
+	snap := s.Clone()
+	snap.SetName(new)
+	warm(snap)
+	c.sheets[new] = snap
+	delete(c.sheets, old)
+	return nil
+}
+
 // Names lists the stored spreadsheets in lexical order (the interface's
 // "all stored-relations listed in a pop-up menu").
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.sheets))
 	for n := range c.sheets {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Len reports how many spreadsheets are stored.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sheets)
 }

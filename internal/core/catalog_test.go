@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+func carsFixture() *relation.Relation {
+	r := relation.New("cars", relation.Schema{
+		{Name: "ID", Kind: value.KindInt},
+		{Name: "Model", Kind: value.KindString},
+		{Name: "Price", Kind: value.KindInt},
+	})
+	r.MustAppend(value.NewInt(1), value.NewString("Jetta"), value.NewInt(14500))
+	r.MustAppend(value.NewInt(2), value.NewString("Civic"), value.NewInt(13500))
+	r.MustAppend(value.NewInt(3), value.NewString("Civic"), value.NewInt(16000))
+	return r
+}
+
+func TestCatalogRename(t *testing.T) {
+	c := NewCatalog()
+	s := New(carsFixture())
+	if err := c.Save("a", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stored("a"); err == nil {
+		t.Fatal("old name must be gone after rename")
+	}
+	got, err := c.Stored("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "b" {
+		t.Fatalf("renamed sheet is named %q, want b", got.Name())
+	}
+	res, err := got.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 3 {
+		t.Fatalf("renamed sheet lost rows: %d", res.Table.Len())
+	}
+}
+
+func TestCatalogRenameErrors(t *testing.T) {
+	c := NewCatalog()
+	s := New(carsFixture())
+	if err := c.Rename("missing", "x"); err == nil {
+		t.Fatal("renaming a missing sheet must fail")
+	}
+	if err := c.Save("a", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save("b", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("a", "b"); err == nil {
+		t.Fatal("renaming onto an existing name must fail")
+	}
+	if err := c.Rename("a", ""); err == nil {
+		t.Fatal("renaming to the empty name must fail")
+	}
+	if err := c.Rename("a", "a"); err != nil {
+		t.Fatalf("self-rename should be a no-op: %v", err)
+	}
+	if got := c.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("catalog contents after failed renames: %v", got)
+	}
+}
+
+// TestCatalogRenameKeepsHandlesValid pins the snapshot semantics: a sheet
+// handed out before a rename keeps working under its old name.
+func TestCatalogRenameKeepsHandlesValid(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Save("a", New(carsFixture())); err != nil {
+		t.Fatal(err)
+	}
+	handle, err := c.Stored("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if handle.Name() != "a" {
+		t.Fatalf("pre-rename handle changed name to %q", handle.Name())
+	}
+	if _, err := handle.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatalogConcurrent drives save/open/stored/rename/close interleavings
+// from many goroutines; run with -race.
+func TestCatalogConcurrent(t *testing.T) {
+	c := NewCatalog()
+	base := carsFixture()
+	if err := c.Save("shared", New(base)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("mine-%d", g)
+			for i := 0; i < 50; i++ {
+				s := New(base)
+				if _, err := s.Select("Price < 15000"); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Save(mine, s); err != nil {
+					t.Error(err)
+					return
+				}
+				// Concurrent readers of the shared sheet: binary-operand
+				// style Evaluate plus a working copy.
+				stored, err := c.Stored("shared")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := stored.Evaluate(); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Open("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Names()
+				renamed := fmt.Sprintf("renamed-%d", g)
+				if err := c.Rename(mine, renamed); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Close(renamed); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got != 1 {
+		t.Fatalf("catalog should hold only the shared sheet, has %d", got)
+	}
+}

@@ -3,47 +3,46 @@
 // Sec. VI interface: every command is one spreadsheet-algebra operator, the
 // resulting sheet is shown after each step, history is visible, and any
 // stored operator can be modified in place (Sec. V).
+//
+// The REPL owns only text: parsing command lines and rendering results.
+// Execution happens in internal/engine — the same command surface the HTTP
+// service (internal/server) drives — so a REPL line and a JSON op body are
+// two spellings of the same engine.Op.
 package repl
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
 
-	"sheetmusiq/internal/core"
-	"sheetmusiq/internal/dataset"
-	"sheetmusiq/internal/relation"
-	"sheetmusiq/internal/sql"
-	"sheetmusiq/internal/sqlgen"
-	"sheetmusiq/internal/theorem1"
-	"sheetmusiq/internal/tpch"
+	"sheetmusiq/internal/engine"
 )
 
 // Session is one interactive spreadsheet session.
 type Session struct {
-	out     io.Writer
-	sheet   *core.Spreadsheet
-	catalog *core.Catalog
-	tables  *sql.DB // raw loaded/generated relations, openable as sheets
-	rows    int     // display limit
-	echo    bool    // show the sheet after every manipulation
+	out  io.Writer
+	eng  *engine.Engine
+	rows int  // display limit
+	echo bool // show the sheet after every manipulation
 }
 
-// New creates a session writing to out.
+// New creates a session writing to out, with a private catalog and table
+// registry.
 func New(out io.Writer) *Session {
-	return &Session{
-		out:     out,
-		catalog: core.NewCatalog(),
-		tables:  sql.NewDB(),
-		rows:    20,
-		echo:    true,
-	}
+	return NewWithEngine(out, engine.New(nil))
 }
+
+// NewWithEngine creates a session driving an existing engine — e.g. one
+// whose catalog is shared with other sessions.
+func NewWithEngine(out io.Writer, eng *engine.Engine) *Session {
+	return &Session{out: out, eng: eng, rows: 20, echo: true}
+}
+
+// Engine returns the engine the session drives.
+func (s *Session) Engine() *engine.Engine { return s.eng }
 
 // Run reads commands until EOF or "quit".
 func (s *Session) Run(in io.Reader) error {
@@ -69,11 +68,20 @@ func (s *Session) Run(in io.Reader) error {
 }
 
 func (s *Session) prompt() {
-	name := "(no sheet)"
-	if s.sheet != nil {
-		name = s.sheet.Name()
+	name := s.eng.SheetName()
+	if name == "" {
+		name = "(no sheet)"
 	}
 	fmt.Fprintf(s.out, "%s> ", name)
+}
+
+// do applies one engine op and re-renders (direct manipulation's continuous
+// presentation).
+func (s *Session) do(op engine.Op) error {
+	if _, err := s.eng.Apply(op); err != nil {
+		return err
+	}
+	return s.maybeShow()
 }
 
 // Exec runs a single command line.
@@ -86,60 +94,95 @@ func (s *Session) Exec(line string) error {
 	case "demo":
 		return s.demo(rest)
 	case "load":
-		return s.load(rest)
+		path, name := splitWord(rest)
+		if path == "" {
+			return fmt.Errorf("usage: load <file.csv> [name]")
+		}
+		return s.do(engine.Op{Op: "load", Path: path, Name: name})
 	case "tables":
-		names := s.tables.Names()
+		names := s.eng.TableNames()
 		sort.Strings(names)
 		fmt.Fprintln(s.out, strings.Join(names, " "))
 		return nil
 	case "use":
-		return s.use(rest)
+		return s.do(engine.Op{Op: "use", Table: rest})
 	case "show":
 		return s.show(rest)
 	case "tree":
-		if s.sheet == nil {
-			return fmt.Errorf("no current sheet")
-		}
-		res, err := s.sheet.Evaluate()
+		res, err := s.eng.Evaluate()
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(s.out, res.RenderTree())
 		return nil
 	case "select", "filter":
-		return s.withSheet(func() error {
-			_, err := s.sheet.Select(rest)
-			return err
-		})
+		return s.do(engine.Op{Op: "select", Predicate: rest})
 	case "group":
-		return s.group(rest)
+		dirWord, cols := splitWord(rest)
+		fields := strings.Fields(cols)
+		if dirWord == "" || len(fields) == 0 {
+			return fmt.Errorf("usage: group asc|desc <col> [col...]")
+		}
+		return s.do(engine.Op{Op: "group", Dir: dirWord, Columns: fields})
 	case "ungroup":
-		return s.withSheet(func() error { return s.sheet.Ungroup() })
+		return s.do(engine.Op{Op: "ungroup"})
 	case "sort":
-		return s.sortCmd(rest)
+		col, dirWord := splitWord(rest)
+		if col == "" {
+			return fmt.Errorf("usage: sort <col> [asc|desc]")
+		}
+		return s.do(engine.Op{Op: "sort", Column: col, Dir: dirWord})
 	case "order":
-		return s.orderCmd(rest)
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: order <col> <asc|desc> <level>")
+		}
+		level, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("bad level %q", fields[2])
+		}
+		return s.do(engine.Op{Op: "order", Column: fields[0], Dir: fields[1], Level: level})
 	case "agg", "aggregate":
 		return s.agg(rest)
 	case "formula":
-		return s.formula(rest)
+		name, def, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("usage: formula <name> = <expression>")
+		}
+		eff, err := s.eng.Apply(engine.Op{Op: "formula",
+			Name: strings.TrimSpace(name), Formula: strings.TrimSpace(def)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "created column %s\n", eff.Column)
+		return s.maybeShow()
 	case "hide":
-		return s.withSheet(func() error { return s.sheet.Hide(rest) })
+		return s.do(engine.Op{Op: "hide", Column: rest})
 	case "unhide", "reinstate":
-		return s.withSheet(func() error { return s.sheet.Reinstate(rest) })
+		return s.do(engine.Op{Op: "unhide", Column: rest})
 	case "distinct":
-		return s.withSheet(func() error { return s.sheet.Distinct() })
+		return s.do(engine.Op{Op: "distinct"})
 	case "nodistinct":
-		return s.withSheet(func() error { return s.sheet.RemoveDistinct() })
+		return s.do(engine.Op{Op: "nodistinct"})
 	case "rename":
 		old, new := splitWord(rest)
-		return s.withSheet(func() error { return s.sheet.Rename(old, strings.TrimSpace(new)) })
+		return s.do(engine.Op{Op: "rename", Column: old, Name: strings.TrimSpace(new)})
 	case "drop":
-		return s.drop(rest)
+		idWord, _ := splitWord(rest)
+		if id, err := strconv.Atoi(strings.TrimPrefix(idWord, "#")); err == nil {
+			return s.do(engine.Op{Op: "dropsel", ID: id})
+		}
+		// Otherwise treat as a computed column name.
+		return s.do(engine.Op{Op: "dropcol", Column: idWord})
 	case "filters", "selections":
 		return s.filters(rest)
 	case "modify":
-		return s.modify(rest)
+		idWord, pred := splitWord(rest)
+		id, err := strconv.Atoi(strings.TrimPrefix(idWord, "#"))
+		if err != nil || pred == "" {
+			return fmt.Errorf("usage: modify <id> <new predicate>   (see filters)")
+		}
+		return s.do(engine.Op{Op: "modify", ID: id, Predicate: pred})
 	case "history":
 		return s.history()
 	case "undo":
@@ -149,55 +192,119 @@ func (s *Session) Exec(line string) error {
 	case "state":
 		return s.state()
 	case "columns":
-		if s.sheet == nil {
+		sheet := s.eng.Sheet()
+		if sheet == nil {
 			return fmt.Errorf("no current sheet")
 		}
-		fmt.Fprintln(s.out, s.sheet.VisibleSchema().String())
+		fmt.Fprintln(s.out, sheet.VisibleSchema().String())
 		return nil
 	case "menu", "suggest":
 		return s.menu(rest)
 	case "savestate":
-		return s.saveState(rest)
-	case "export":
-		return s.export(rest)
+		if rest == "" {
+			return fmt.Errorf("usage: savestate <file.json>")
+		}
+		eff, err := s.eng.Apply(engine.Op{Op: "savestate", Path: rest})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, eff.Entry)
+		return nil
 	case "loadstate":
-		return s.loadState(rest)
+		if rest == "" {
+			return fmt.Errorf("usage: loadstate <file.json>")
+		}
+		return s.do(engine.Op{Op: "loadstate", Path: rest})
+	case "export":
+		if rest == "" {
+			return fmt.Errorf("usage: export <file.csv>")
+		}
+		eff, err := s.eng.Apply(engine.Op{Op: "export", Path: rest})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, eff.Entry)
+		return nil
 	case "sql":
-		return s.sql(false)
+		text, err := s.eng.SQL()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, text)
+		return nil
 	case "explain":
-		return s.sql(true)
+		stages, err := s.eng.Stages()
+		if err != nil {
+			return err
+		}
+		for i, st := range stages {
+			fmt.Fprintf(s.out, "stage %d: %s\n", i+1, st)
+		}
+		return nil
 	case "save":
-		if s.sheet == nil {
+		if !s.eng.HasSheet() {
 			return fmt.Errorf("no current sheet")
 		}
 		if rest == "" {
 			return fmt.Errorf("usage: save <name>")
 		}
-		return s.catalog.Save(rest, s.sheet)
+		_, err := s.eng.Apply(engine.Op{Op: "save", Name: rest})
+		return err
 	case "open":
-		sheet, err := s.catalog.Open(rest)
+		return s.do(engine.Op{Op: "open", Name: rest})
+	case "close":
+		_, err := s.eng.Apply(engine.Op{Op: "close", Name: rest})
+		return err
+	case "renamesheet":
+		old, new := splitWord(rest)
+		if old == "" || new == "" {
+			return fmt.Errorf("usage: renamesheet <old> <new>")
+		}
+		_, err := s.eng.Apply(engine.Op{Op: "renamesheet", Sheet: old, Name: new})
+		return err
+	case "sheets":
+		fmt.Fprintln(s.out, strings.Join(s.eng.StoredNames(), " "))
+		return nil
+	case "join":
+		name, tail := splitWord(rest)
+		cond, c2 := splitWord(tail)
+		if name == "" || !strings.EqualFold(cond, "on") || c2 == "" {
+			return fmt.Errorf("usage: join <stored-sheet> on <condition>")
+		}
+		return s.do(engine.Op{Op: "join", Sheet: name, On: c2})
+	case "product", "union":
+		if rest == "" {
+			return fmt.Errorf("usage: %s <stored-sheet>", cmd)
+		}
+		return s.do(engine.Op{Op: strings.ToLower(cmd), Sheet: rest})
+	case "minus", "difference":
+		if rest == "" {
+			return fmt.Errorf("usage: minus <stored-sheet>")
+		}
+		return s.do(engine.Op{Op: "minus", Sheet: rest})
+	case "run":
+		if rest == "" {
+			return fmt.Errorf("usage: run <sql>")
+		}
+		res, err := s.eng.RunSQL(rest)
 		if err != nil {
 			return err
 		}
-		s.sheet = sheet
-		return s.maybeShow()
-	case "close":
-		return s.catalog.Close(rest)
-	case "sheets":
-		fmt.Fprintln(s.out, strings.Join(s.catalog.Names(), " "))
+		fmt.Fprintln(s.out, res.String())
 		return nil
-	case "join":
-		return s.binary(rest, "join")
-	case "product":
-		return s.binary(rest, "product")
-	case "union":
-		return s.binary(rest, "union")
-	case "minus", "difference":
-		return s.binary(rest, "minus")
-	case "run":
-		return s.runSQL(rest)
 	case "compile":
-		return s.compile(rest)
+		if rest == "" {
+			return fmt.Errorf("usage: compile <single-block sql>")
+		}
+		eff, err := s.eng.Apply(engine.Op{Op: "compile", Query: rest})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "compiled via the Theorem 1 construction:")
+		for _, l := range eff.Log {
+			fmt.Fprintf(s.out, "  %s\n", l)
+		}
+		return s.maybeShow()
 	case "rows":
 		n, err := strconv.Atoi(strings.TrimSpace(rest))
 		if err != nil || n < 1 {
@@ -228,20 +335,10 @@ func splitWord(s string) (string, string) {
 	return s[:i], strings.TrimSpace(s[i+1:])
 }
 
-func (s *Session) withSheet(fn func() error) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet; load or demo first")
-	}
-	if err := fn(); err != nil {
-		return err
-	}
-	return s.maybeShow()
-}
-
 // maybeShow implements direct manipulation's continuous presentation: the
 // sheet re-renders after every operator.
 func (s *Session) maybeShow() error {
-	if !s.echo || s.sheet == nil {
+	if !s.echo || !s.eng.HasSheet() {
 		return nil
 	}
 	return s.show("")
@@ -249,71 +346,28 @@ func (s *Session) maybeShow() error {
 
 func (s *Session) demo(arg string) error {
 	which, rest := splitWord(arg)
-	switch which {
-	case "", "cars":
-		cars := dataset.UsedCars()
-		s.tables.Register(cars)
-		s.sheet = core.New(cars)
-		return s.maybeShow()
-	case "tpch":
-		sf := 0.002
-		if rest != "" {
-			v, err := strconv.ParseFloat(rest, 64)
-			if err != nil || v <= 0 {
-				return fmt.Errorf("usage: demo tpch [scale-factor]")
-			}
-			sf = v
+	op := engine.Op{Op: "demo", Table: which}
+	if which == "" {
+		op.Table = "cars"
+	}
+	if which == "tpch" && rest != "" {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: demo tpch [scale-factor]")
 		}
-		tb := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 1})
-		for _, r := range tb.All() {
-			s.tables.Register(r)
-		}
-		if err := registerViews(s.tables); err != nil {
-			return err
-		}
+		op.Scale = v
+	}
+	if _, err := s.eng.Apply(op); err != nil {
+		return err
+	}
+	if op.Table == "tpch" {
 		fmt.Fprintln(s.out, "generated tpch tables and study views; `tables` lists them, `use <table>` opens one")
 		return nil
 	}
-	return fmt.Errorf("unknown demo %q (cars, tpch)", which)
-}
-
-func registerViews(db *sql.DB) error {
-	return tpch.BuildViews(db)
-}
-
-func (s *Session) load(arg string) error {
-	path, name := splitWord(arg)
-	if path == "" {
-		return fmt.Errorf("usage: load <file.csv> [name]")
-	}
-	if name == "" {
-		name = strings.TrimSuffix(path, ".csv")
-		if i := strings.LastIndexAny(name, "/\\"); i >= 0 {
-			name = name[i+1:]
-		}
-	}
-	rel, err := relation.LoadCSV(name, path, nil)
-	if err != nil {
-		return err
-	}
-	s.tables.Register(rel)
-	s.sheet = core.New(rel)
-	return s.maybeShow()
-}
-
-func (s *Session) use(name string) error {
-	rel, ok := s.tables.Table(name)
-	if !ok {
-		return fmt.Errorf("no table %q (see tables)", name)
-	}
-	s.sheet = core.New(rel)
 	return s.maybeShow()
 }
 
 func (s *Session) show(arg string) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
-	}
 	limit := s.rows
 	if strings.TrimSpace(arg) != "" {
 		n, err := strconv.Atoi(strings.TrimSpace(arg))
@@ -322,7 +376,7 @@ func (s *Session) show(arg string) error {
 		}
 		limit = n
 	}
-	res, err := s.sheet.Evaluate()
+	res, err := s.eng.Evaluate()
 	if err != nil {
 		return err
 	}
@@ -339,55 +393,10 @@ func (s *Session) show(arg string) error {
 	return nil
 }
 
-func (s *Session) group(rest string) error {
-	dirWord, cols := splitWord(rest)
-	dir, err := core.ParseDir(dirWord)
-	if err != nil {
-		return fmt.Errorf("usage: group asc|desc <col> [col...]")
-	}
-	fields := strings.Fields(cols)
-	if len(fields) == 0 {
-		return fmt.Errorf("usage: group asc|desc <col> [col...]")
-	}
-	return s.withSheet(func() error { return s.sheet.GroupBy(dir, fields...) })
-}
-
-func (s *Session) sortCmd(rest string) error {
-	col, dirWord := splitWord(rest)
-	if col == "" {
-		return fmt.Errorf("usage: sort <col> [asc|desc]")
-	}
-	dir, err := core.ParseDir(dirWord)
-	if err != nil {
-		return err
-	}
-	return s.withSheet(func() error { return s.sheet.Sort(col, dir) })
-}
-
-func (s *Session) orderCmd(rest string) error {
-	fields := strings.Fields(rest)
-	if len(fields) != 3 {
-		return fmt.Errorf("usage: order <col> <asc|desc> <level>")
-	}
-	dir, err := core.ParseDir(fields[1])
-	if err != nil {
-		return err
-	}
-	level, err := strconv.Atoi(fields[2])
-	if err != nil {
-		return fmt.Errorf("bad level %q", fields[2])
-	}
-	return s.withSheet(func() error { return s.sheet.OrderBy(fields[0], dir, level) })
-}
-
 func (s *Session) agg(rest string) error {
 	fields := strings.Fields(rest)
 	if len(fields) != 3 && !(len(fields) == 5 && strings.EqualFold(fields[3], "as")) {
 		return fmt.Errorf("usage: agg <fn> <col> <level> [as <name>]")
-	}
-	fn, err := relation.ParseAggFunc(fields[0])
-	if err != nil {
-		return err
 	}
 	level, err := strconv.Atoi(fields[2])
 	if err != nil {
@@ -397,69 +406,35 @@ func (s *Session) agg(rest string) error {
 	if len(fields) == 5 {
 		name = fields[4]
 	}
-	return s.withSheet(func() error {
-		got, err := s.sheet.AggregateAs(name, fn, fields[1], level)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(s.out, "created column %s\n", got)
-		return nil
-	})
-}
-
-func (s *Session) formula(rest string) error {
-	name, def, ok := strings.Cut(rest, "=")
-	if !ok {
-		return fmt.Errorf("usage: formula <name> = <expression>")
+	eff, err := s.eng.Apply(engine.Op{Op: "agg",
+		Fn: fields[0], Column: fields[1], Level: level, Name: name})
+	if err != nil {
+		return err
 	}
-	return s.withSheet(func() error {
-		got, err := s.sheet.Formula(strings.TrimSpace(name), strings.TrimSpace(def))
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(s.out, "created column %s\n", got)
-		return nil
-	})
+	fmt.Fprintf(s.out, "created column %s\n", eff.Column)
+	return s.maybeShow()
 }
 
 func (s *Session) filters(col string) error {
-	if s.sheet == nil {
+	if !s.eng.HasSheet() {
 		return fmt.Errorf("no current sheet")
 	}
-	sels := s.sheet.Selections(strings.TrimSpace(col))
+	sels := s.eng.Selections(strings.TrimSpace(col))
 	if len(sels) == 0 {
 		fmt.Fprintln(s.out, "(no selections)")
 		return nil
 	}
 	for _, sel := range sels {
-		fmt.Fprintf(s.out, "#%d  %s\n", sel.ID, sel.Pred.SQL())
+		fmt.Fprintf(s.out, "#%d  %s\n", sel.ID, sel.SQL)
 	}
 	return nil
 }
 
-func (s *Session) modify(rest string) error {
-	idWord, pred := splitWord(rest)
-	id, err := strconv.Atoi(strings.TrimPrefix(idWord, "#"))
-	if err != nil || pred == "" {
-		return fmt.Errorf("usage: modify <id> <new predicate>   (see filters)")
-	}
-	return s.withSheet(func() error { return s.sheet.ReplaceSelection(id, pred) })
-}
-
-func (s *Session) drop(rest string) error {
-	idWord, _ := splitWord(rest)
-	if id, err := strconv.Atoi(strings.TrimPrefix(idWord, "#")); err == nil {
-		return s.withSheet(func() error { return s.sheet.RemoveSelection(id) })
-	}
-	// Otherwise treat as a computed column name.
-	return s.withSheet(func() error { return s.sheet.RemoveComputed(idWord) })
-}
-
 func (s *Session) history() error {
-	if s.sheet == nil {
+	hist := s.eng.History()
+	if !s.eng.HasSheet() {
 		return fmt.Errorf("no current sheet")
 	}
-	hist := s.sheet.History()
 	if len(hist) == 0 {
 		fmt.Fprintln(s.out, "(empty history)")
 		return nil
@@ -471,76 +446,64 @@ func (s *Session) history() error {
 }
 
 func (s *Session) undoRedo(undo bool) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
+	kind, verb := "undo", "undid"
+	if !undo {
+		kind, verb = "redo", "redid"
 	}
-	var entry string
-	var err error
-	if undo {
-		entry, err = s.sheet.Undo()
-	} else {
-		entry, err = s.sheet.Redo()
-	}
+	eff, err := s.eng.Apply(engine.Op{Op: kind})
 	if err != nil {
 		return err
 	}
-	verb := "undid"
-	if !undo {
-		verb = "redid"
-	}
-	fmt.Fprintf(s.out, "%s: %s\n", verb, entry)
+	fmt.Fprintf(s.out, "%s: %s\n", verb, eff.Entry)
 	return s.maybeShow()
 }
 
 func (s *Session) state() error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
+	st, err := s.eng.State()
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(s.out, "sheet %s (version %d)\n", s.sheet.Name(), s.sheet.Version())
-	fmt.Fprintf(s.out, "visible: %s\n", strings.Join(s.sheet.VisibleSchema().Names(), ", "))
-	if hidden := s.sheet.HiddenColumns(); len(hidden) > 0 {
-		fmt.Fprintf(s.out, "hidden: %s\n", strings.Join(hidden, ", "))
+	fmt.Fprintf(s.out, "sheet %s (version %d)\n", st.Sheet, st.Version)
+	fmt.Fprintf(s.out, "visible: %s\n", strings.Join(st.Visible, ", "))
+	if len(st.Hidden) > 0 {
+		fmt.Fprintf(s.out, "hidden: %s\n", strings.Join(st.Hidden, ", "))
 	}
-	for _, sel := range s.sheet.Selections("") {
-		fmt.Fprintf(s.out, "selection #%d: %s\n", sel.ID, sel.Pred.SQL())
+	for _, sel := range st.Selections {
+		fmt.Fprintf(s.out, "selection #%d: %s\n", sel.ID, sel.SQL)
 	}
-	for _, c := range s.sheet.ComputedColumns() {
-		if c.Kind == core.KindAggregate {
+	for _, c := range st.Computed {
+		if c.Kind == "aggregate" {
 			fmt.Fprintf(s.out, "aggregate %s = %s(%s) at level %d\n", c.Name, c.Agg, c.Input, c.Level)
 		} else {
-			fmt.Fprintf(s.out, "formula %s = %s\n", c.Name, c.Formula.SQL())
+			fmt.Fprintf(s.out, "formula %s = %s\n", c.Name, c.Formula)
 		}
 	}
-	for i, g := range s.sheet.Grouping() {
-		fmt.Fprintf(s.out, "grouping level %d: {%s} %s\n", i+2, strings.Join(g.Rel, ", "), g.Dir)
+	for _, g := range st.Grouping {
+		fmt.Fprintf(s.out, "grouping level %d: {%s} %s\n", g.Level, strings.Join(g.Rel, ", "), g.Dir)
 	}
-	for _, k := range s.sheet.FinestOrder() {
+	for _, k := range st.Order {
 		fmt.Fprintf(s.out, "order: %s %s\n", k.Column, k.Dir)
 	}
-	if d := s.sheet.DistinctColumns(); len(d) > 0 {
-		fmt.Fprintf(s.out, "distinct on: %s\n", strings.Join(d, ", "))
+	if len(st.DistinctOn) > 0 {
+		fmt.Fprintf(s.out, "distinct on: %s\n", strings.Join(st.DistinctOn, ", "))
 	}
 	return nil
 }
 
 func (s *Session) menu(column string) error {
-	if s.sheet == nil {
+	if !s.eng.HasSheet() {
 		return fmt.Errorf("no current sheet")
 	}
 	if column == "" {
 		return fmt.Errorf("usage: menu <column>")
 	}
-	m, err := s.sheet.Suggest(column)
+	m, err := s.eng.Menu(column)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "column %s (%s)\n", m.Column, m.Kind)
 	fmt.Fprintf(s.out, "  filter operators: %s\n", strings.Join(m.FilterOps, " "))
-	aggs := make([]string, len(m.Aggregates))
-	for i, a := range m.Aggregates {
-		aggs[i] = string(a)
-	}
-	fmt.Fprintf(s.out, "  aggregates: %s (levels 1..%d)\n", strings.Join(aggs, " "), m.AggregateLevels)
+	fmt.Fprintf(s.out, "  aggregates: %s (levels 1..%d)\n", strings.Join(m.Aggregates, " "), m.AggregateLevels)
 	var can []string
 	if m.CanGroup {
 		can = append(can, "group")
@@ -555,170 +518,9 @@ func (s *Session) menu(column string) error {
 		can = append(can, "unhide")
 	}
 	fmt.Fprintf(s.out, "  actions: %s\n", strings.Join(can, " "))
-	for _, sel := range m.ExistingSelections {
-		fmt.Fprintf(s.out, "  existing filter #%d: %s (modify %d ... to change)\n", sel.ID, sel.Pred.SQL(), sel.ID)
+	for _, sel := range m.Selections {
+		fmt.Fprintf(s.out, "  existing filter #%d: %s (modify %d ... to change)\n", sel.ID, sel.SQL, sel.ID)
 	}
-	return nil
-}
-
-func (s *Session) export(path string) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
-	}
-	if path == "" {
-		return fmt.Errorf("usage: export <file.csv>")
-	}
-	res, err := s.sheet.Evaluate()
-	if err != nil {
-		return err
-	}
-	if err := res.Table.SaveCSV(path); err != nil {
-		return err
-	}
-	fmt.Fprintf(s.out, "exported %d rows to %s\n", res.Table.Len(), path)
-	return nil
-}
-
-func (s *Session) saveState(path string) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
-	}
-	if path == "" {
-		return fmt.Errorf("usage: savestate <file.json>")
-	}
-	data, err := s.sheet.MarshalState()
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(s.out, "saved query state to %s\n", path)
-	return nil
-}
-
-func (s *Session) loadState(path string) error {
-	if path == "" {
-		return fmt.Errorf("usage: loadstate <file.json>")
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	// Peek at the base name to find the backing table.
-	var head struct {
-		BaseName string `json:"base_name"`
-	}
-	if err := json.Unmarshal(data, &head); err != nil {
-		return fmt.Errorf("bad state file: %w", err)
-	}
-	base, ok := s.tables.Table(head.BaseName)
-	if !ok {
-		return fmt.Errorf("state needs table %q; load it first", head.BaseName)
-	}
-	sheet, err := core.RestoreState(base, data)
-	if err != nil {
-		return err
-	}
-	s.sheet = sheet
-	return s.maybeShow()
-}
-
-func (s *Session) sql(explain bool) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
-	}
-	plan, err := sqlgen.Compile(s.sheet)
-	if err != nil {
-		return err
-	}
-	if explain {
-		for i, st := range plan.Stages {
-			fmt.Fprintf(s.out, "stage %d: %s\n", i+1, st)
-		}
-		return nil
-	}
-	fmt.Fprintln(s.out, plan.SQL)
-	return nil
-}
-
-func (s *Session) binary(rest, kind string) error {
-	if s.sheet == nil {
-		return fmt.Errorf("no current sheet")
-	}
-	name, tail := splitWord(rest)
-	if name == "" {
-		return fmt.Errorf("usage: %s <stored-sheet> %s", kind, map[string]string{"join": "on <condition>"}[kind])
-	}
-	stored, err := s.catalog.Stored(name)
-	if err != nil {
-		// Fall back to a raw table.
-		rel, ok := s.tables.Table(name)
-		if !ok {
-			return err
-		}
-		stored = core.New(rel)
-	}
-	switch kind {
-	case "join":
-		cond, c2 := splitWord(tail)
-		if !strings.EqualFold(cond, "on") || c2 == "" {
-			return fmt.Errorf("usage: join <stored-sheet> on <condition>")
-		}
-		err = s.sheet.Join(stored, c2)
-	case "product":
-		err = s.sheet.Product(stored)
-	case "union":
-		err = s.sheet.Union(stored)
-	case "minus":
-		err = s.sheet.Difference(stored)
-	}
-	if err != nil {
-		return err
-	}
-	return s.maybeShow()
-}
-
-// compile turns a single-block SQL query into a live spreadsheet via the
-// Theorem 1 construction: type SQL once, then manipulate the result
-// directly.
-func (s *Session) compile(query string) error {
-	if query == "" {
-		return fmt.Errorf("usage: compile <single-block sql>")
-	}
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return err
-	}
-	table, ok := stmt.From.(*sql.TableRef)
-	if !ok {
-		return fmt.Errorf("compile needs a single FROM table (views handle joins)")
-	}
-	base, ok2 := s.tables.Table(table.Name)
-	if !ok2 {
-		return fmt.Errorf("no table %q (see tables)", table.Name)
-	}
-	prog, err := theorem1.Compile(base, stmt)
-	if err != nil {
-		return err
-	}
-	s.sheet = prog.Sheet
-	fmt.Fprintln(s.out, "compiled via the Theorem 1 construction:")
-	for _, l := range prog.Log {
-		fmt.Fprintf(s.out, "  %s\n", l)
-	}
-	return s.maybeShow()
-}
-
-func (s *Session) runSQL(query string) error {
-	if query == "" {
-		return fmt.Errorf("usage: run <sql>")
-	}
-	res, err := s.tables.Query(query)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(s.out, res.String())
 	return nil
 }
 
@@ -740,6 +542,7 @@ manipulation (one spreadsheet-algebra operator each)
   rename <old> <new>
 binary operators (with a stored sheet or raw table)
   save <name> / open <name> / close <name>
+  renamesheet <old> <new>      rename a stored sheet
   join <name> on <cond> | product <name> | union <name> | minus <name>
 query modification (Sec. V of the paper)
   filters [col]                list live selection predicates

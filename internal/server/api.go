@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sheetmusiq/internal/engine"
+)
+
+// The HTTP/JSON surface. One algebra operator per request, mirroring the
+// paper's one-operation-at-a-time interaction model:
+//
+//	POST   /v1/sessions              create a session            {"name": "sam"}
+//	GET    /v1/sessions              list live sessions
+//	DELETE /v1/sessions/{id}         close a session
+//	POST   /v1/sessions/{id}/op      apply one engine.Op         {"op": "select", ...}
+//	GET    /v1/sessions/{id}/state   the Sec. V-A query state
+//	GET    /v1/sessions/{id}/render  flat rows + recursive group tree [?limit=N]
+//	GET    /v1/sessions/{id}/sql     the SQL the state compiles to
+//	GET    /v1/sessions/{id}/menu/{column}  the Sec. VI contextual menu
+//	GET    /v1/sessions/{id}/tables  the session's raw tables
+//	GET    /v1/catalog               the shared stored-sheet catalog
+//	GET    /v1/healthz               liveness
+//
+// Errors are JSON: {"error": "..."} with 400 (bad op), 403 (filesystem op
+// while disabled), 404 (unknown session), 409 (no current sheet), or 410
+// (session closed mid-request).
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// createRequest is the POST /v1/sessions body.
+type createRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// createResponse acknowledges a created session.
+type createResponse struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+}
+
+// renderResponse is the full presentation: the evaluated grid and the
+// recursive group tree over it.
+type renderResponse struct {
+	*engine.Grid
+	Tree *engine.TreeNode `json:"tree"`
+}
+
+// sqlResponse carries the generated SQL and its staged form.
+type sqlResponse struct {
+	SQL    string   `json:"sql"`
+	Stages []string `json:"stages"`
+}
+
+// NewHandler builds the API handler over a session manager.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		names := m.Catalog().Names()
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"sheets": names})
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req createRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := m.Create(req.Name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createResponse{ID: s.ID(), Name: s.Name()})
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]Info{"sessions": m.List()})
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Close(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/op", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var op engine.Op
+		if err := decodeBody(r, &op); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if op.TouchesFilesystem() && !m.cfg.AllowFilesystem {
+			writeError(w, http.StatusForbidden,
+				fmt.Errorf("op %q touches the server filesystem; start the server with filesystem ops enabled", op.Op))
+			return
+		}
+		var eff *engine.Effect
+		err := s.Do(func(e *engine.Engine) error {
+			var err error
+			eff, err = e.Apply(op)
+			return err
+		})
+		if err != nil {
+			writeError(w, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, eff)
+	}))
+
+	mux.HandleFunc("GET /v1/sessions/{id}/state", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var st *engine.StateInfo
+		err := s.Do(func(e *engine.Engine) error {
+			var err error
+			st, err = e.State()
+			return err
+		})
+		if err != nil {
+			writeError(w, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}))
+
+	mux.HandleFunc("GET /v1/sessions/{id}/render", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		limit := 0
+		if q := r.URL.Query().Get("limit"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+				return
+			}
+			limit = n
+		}
+		var resp renderResponse
+		err := s.Do(func(e *engine.Engine) error {
+			grid, err := e.Grid(limit)
+			if err != nil {
+				return err
+			}
+			tree, err := e.Tree()
+			if err != nil {
+				return err
+			}
+			resp = renderResponse{Grid: grid, Tree: tree}
+			return nil
+		})
+		if err != nil {
+			writeError(w, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("GET /v1/sessions/{id}/sql", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var resp sqlResponse
+		err := s.Do(func(e *engine.Engine) error {
+			text, err := e.SQL()
+			if err != nil {
+				return err
+			}
+			stages, err := e.Stages()
+			if err != nil {
+				return err
+			}
+			resp = sqlResponse{SQL: text, Stages: stages}
+			return nil
+		})
+		if err != nil {
+			writeError(w, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("GET /v1/sessions/{id}/menu/{column}", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var menu *engine.MenuInfo
+		err := s.Do(func(e *engine.Engine) error {
+			var err error
+			menu, err = e.Menu(r.PathValue("column"))
+			return err
+		})
+		if err != nil {
+			writeError(w, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, menu)
+	}))
+
+	mux.HandleFunc("GET /v1/sessions/{id}/tables", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var names []string
+		_ = s.Do(func(e *engine.Engine) error {
+			names = e.TableNames()
+			return nil
+		})
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"tables": names})
+	}))
+
+	return mux
+}
+
+// withSession resolves {id} and hands the session to the handler.
+func withSession(m *Manager, h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s, ok := m.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+			return
+		}
+		h(w, r, s)
+	}
+}
+
+// opStatus maps engine/session errors to status codes.
+func opStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionClosed):
+		return http.StatusGone
+	case err.Error() == "no current sheet; load or demo first":
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+// decodeBody strictly decodes one JSON value.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// ListenAndServe runs the API on addr until ctx is cancelled, then drains
+// in-flight requests via http.Server.Shutdown. When an idle TTL is
+// configured, a background ticker sweeps expired sessions.
+func ListenAndServe(ctx context.Context, addr string, m *Manager) error {
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      NewHandler(m),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	return serve(ctx, srv, m)
+}
+
+// serve factors the loop so tests can drive it with a pre-built server.
+func serve(ctx context.Context, srv *http.Server, m *Manager) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	var sweep <-chan time.Time
+	if ttl := m.cfg.IdleTTL; ttl > 0 {
+		interval := ttl / 2
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		if interval < time.Second {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		sweep = t.C
+	}
+
+	for {
+		select {
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case <-sweep:
+			m.Sweep()
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutCtx); err != nil {
+				return err
+			}
+			// Drain the listener goroutine's ErrServerClosed.
+			<-errc
+			return nil
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package server turns the spreadsheet algebra into a concurrent
+// multi-session service. The paper's SheetMusiq prototype (Sec. VI) is a
+// single-user client; this package is the serving layer the ROADMAP's
+// production system needs: a SessionManager owning many engine-backed
+// sessions behind per-session mutexes, a process-wide stored-sheet catalog
+// shared between them (so one session's binary operator can consume a
+// sheet another session saved), and an HTTP/JSON API exposing one algebra
+// step per request — the paper's one-operation-at-a-time interaction,
+// preserved over the wire.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/engine"
+	"sheetmusiq/internal/sql"
+)
+
+// DefaultMaxSessions caps the session table when Config.MaxSessions is 0.
+const DefaultMaxSessions = 64
+
+// Config parameterises a Manager.
+type Config struct {
+	// MaxSessions caps live sessions; creating one past the cap evicts the
+	// least-recently-used session. 0 means DefaultMaxSessions; negative
+	// means unlimited.
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long (0 disables).
+	IdleTTL time.Duration
+	// Seed populates each new session's private raw-table registry (e.g.
+	// registering the demo datasets). It runs once per session at creation,
+	// so it should only register pre-built relations, not generate data.
+	Seed func(*sql.DB) error
+	// Catalog is the shared stored-sheet catalog; nil creates a fresh one.
+	Catalog *core.Catalog
+	// AllowFilesystem permits ops that read or write server-local files
+	// (load/savestate/loadstate/export). Off by default: remote callers
+	// should not touch the server's disk.
+	AllowFilesystem bool
+}
+
+// Manager owns the session table: create/lookup/close plus idle-TTL and
+// LRU-cap eviction. All methods are safe for concurrent use.
+type Manager struct {
+	cfg     Config
+	catalog *core.Catalog
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewManager builds a session manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = core.NewCatalog()
+	}
+	return &Manager{
+		cfg:      cfg,
+		catalog:  cat,
+		sessions: map[string]*Session{},
+		now:      time.Now,
+	}
+}
+
+// Catalog returns the shared stored-sheet catalog.
+func (m *Manager) Catalog() *core.Catalog { return m.catalog }
+
+// Session is one user's spreadsheet session: an engine serialised by a
+// mutex. Handlers funnel every engine access through Do, so concurrent
+// requests against the same session queue up instead of racing.
+type Session struct {
+	id      string
+	name    string
+	created time.Time
+
+	mu     sync.Mutex
+	eng    *engine.Engine
+	closed bool
+
+	ops atomic.Int64
+
+	// lastUsed is guarded by the Manager's mutex (it drives LRU/TTL
+	// eviction, which the manager decides).
+	lastUsed time.Time
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Name returns the session's optional label.
+func (s *Session) Name() string { return s.name }
+
+// ErrSessionClosed is returned by Do after the session was closed or
+// evicted; in-flight callers fail cleanly rather than driving a zombie.
+var ErrSessionClosed = fmt.Errorf("server: session closed")
+
+// Do runs fn with exclusive access to the session's engine.
+func (s *Session) Do(fn func(*engine.Engine) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.ops.Add(1)
+	return fn(s.eng)
+}
+
+// Create opens a new session. The id is server-assigned ("s1", "s2", ...);
+// name is an optional caller label. Creation evicts expired sessions
+// first, then the LRU session if the cap is reached.
+func (m *Manager) Create(name string) (*Session, error) {
+	eng := engine.New(m.catalog)
+	if m.cfg.Seed != nil {
+		if err := m.cfg.Seed(eng.DB()); err != nil {
+			return nil, fmt.Errorf("server: seeding session tables: %w", err)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.sweepLocked(now)
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		m.evictLRULocked()
+	}
+	m.nextID++
+	s := &Session{
+		id:       fmt.Sprintf("s%d", m.nextID),
+		name:     name,
+		created:  now,
+		eng:      eng,
+		lastUsed: now,
+	}
+	m.sessions[s.id] = s
+	return s, nil
+}
+
+// Get returns the session and refreshes its idle clock.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	if ttl := m.cfg.IdleTTL; ttl > 0 && m.now().Sub(s.lastUsed) > ttl {
+		m.closeLocked(s)
+		return nil, false
+	}
+	s.lastUsed = m.now()
+	return s, true
+}
+
+// Close terminates a session; it reports whether the id existed.
+func (m *Manager) Close(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return false
+	}
+	m.closeLocked(s)
+	return true
+}
+
+// closeLocked removes the session and marks it closed so in-flight Do
+// calls fail. Caller holds m.mu.
+func (m *Manager) closeLocked(s *Session) {
+	delete(m.sessions, s.id)
+	// Lock ordering is always manager → session, so this cannot deadlock
+	// against Do (which takes only the session mutex).
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// evictLRULocked drops the least-recently-used session. Caller holds m.mu.
+func (m *Manager) evictLRULocked() {
+	var victim *Session
+	for _, s := range m.sessions {
+		if victim == nil || s.lastUsed.Before(victim.lastUsed) {
+			victim = s
+		}
+	}
+	if victim != nil {
+		m.closeLocked(victim)
+	}
+}
+
+// Sweep evicts sessions idle past the TTL and returns how many it closed.
+// The serving loop calls this on a ticker; it is also applied lazily on
+// Create and Get.
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(m.now())
+}
+
+func (m *Manager) sweepLocked(now time.Time) int {
+	ttl := m.cfg.IdleTTL
+	if ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range m.sessions {
+		if now.Sub(s.lastUsed) > ttl {
+			m.closeLocked(s)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the live session count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Info summarises one session for listings.
+type Info struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	Sheet    string    `json:"sheet,omitempty"`
+	Version  int       `json:"version"`
+	Ops      int64     `json:"ops"`
+	Created  time.Time `json:"created"`
+	LastUsed time.Time `json:"last_used"`
+}
+
+// List summarises the live sessions in id order.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		info := Info{
+			ID:       s.id,
+			Name:     s.name,
+			Ops:      s.ops.Load(),
+			Created:  s.created,
+			LastUsed: s.lastUsed,
+		}
+		s.mu.Lock()
+		info.Sheet = s.eng.SheetName()
+		info.Version = s.eng.Version()
+		s.mu.Unlock()
+		out = append(out, info)
+	}
+	sortInfos(out)
+	return out
+}
+
+// sortInfos orders by numeric id ("s2" before "s10").
+func sortInfos(infos []Info) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && idNum(infos[j].ID) < idNum(infos[j-1].ID); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/engine"
+)
+
+// TestStressSharedCatalog runs N goroutines, each driving its own session,
+// all hammering the one shared catalog with save/open/rename/binary-op
+// interleavings. Run under `go test -race`; the point is that the only
+// cross-session state — the catalog and the stored sheets it publishes —
+// is safe while every session stays serialised behind its own mutex.
+func TestStressSharedCatalog(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 25
+	)
+	cat := core.NewCatalog()
+	m := NewManager(Config{Catalog: cat, MaxSessions: -1})
+
+	// A well-known stored sheet every worker can use as a binary operand.
+	seedSession, err := m.Create("seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = seedSession.Do(func(e *engine.Engine) error {
+		if _, err := e.Apply(engine.Op{Op: "demo", Table: "cars"}); err != nil {
+			return err
+		}
+		if _, err := e.Apply(engine.Op{Op: "select", Predicate: "Condition = 'Excellent'"}); err != nil {
+			return err
+		}
+		_, err := e.Apply(engine.Op{Op: "save", Name: "excellent"})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := m.Create(fmt.Sprintf("w%d", w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			mine := fmt.Sprintf("mine-%d", w)
+			renamed := fmt.Sprintf("theirs-%d", w)
+			for i := 0; i < iters; i++ {
+				err := s.Do(func(e *engine.Engine) error {
+					// Fresh sheet, one filter, publish under a private name.
+					if _, err := e.Apply(engine.Op{Op: "demo", Table: "cars"}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "select", Predicate: fmt.Sprintf("Price > %d", 1000*w)}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "save", Name: mine}); err != nil {
+						return err
+					}
+					// Binary ops against the shared sheet and our own.
+					if _, err := e.Apply(engine.Op{Op: "minus", Sheet: "excellent"}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "union", Sheet: mine}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "open", Name: "excellent"}); err != nil {
+						return err
+					}
+					if _, err := e.Evaluate(); err != nil {
+						return err
+					}
+					// Rename back and forth; contention with our own close
+					// below is impossible (same goroutine), with other
+					// workers impossible (distinct names), so errors here
+					// are real bugs.
+					if _, err := e.Apply(engine.Op{Op: "renamesheet", Sheet: mine, Name: renamed}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "renamesheet", Sheet: renamed, Name: mine}); err != nil {
+						return err
+					}
+					if _, err := e.Apply(engine.Op{Op: "close", Name: mine}); err != nil {
+						return err
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every private sheet was closed; only the seed survives.
+	if names := cat.Names(); len(names) != 1 || names[0] != "excellent" {
+		t.Fatalf("catalog after stress: %v", names)
+	}
+}
+
+// TestStressSingleSessionContention fires concurrent requests at ONE
+// session: Do must serialise them so the engine never races.
+func TestStressSingleSessionContention(t *testing.T) {
+	m := NewManager(Config{})
+	s, err := m.Create("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Do(func(e *engine.Engine) error {
+		_, err := e.Apply(engine.Op{Op: "demo", Table: "cars"})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = s.Do(func(e *engine.Engine) error {
+					id, err := e.Sheet().Select(fmt.Sprintf("Price > %d", w*100+i))
+					if err != nil {
+						return err
+					}
+					if _, err := e.Evaluate(); err != nil {
+						return err
+					}
+					return e.Sheet().RemoveSelection(id)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All selections were added and removed under the lock.
+	st, err := s.eng.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Selections) != 0 {
+		t.Fatalf("leftover selections: %+v", st.Selections)
+	}
+	if got := s.ops.Load(); got != 1+8*20 {
+		t.Fatalf("ops counter = %d, want %d", got, 1+8*20)
+	}
+}
