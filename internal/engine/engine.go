@@ -86,7 +86,7 @@ func (e *Engine) History() []string {
 // until the next operator). Treat the result as read-only.
 func (e *Engine) Evaluate() (*core.Result, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	return e.sheet.Evaluate()
 }
@@ -102,7 +102,7 @@ func (e *Engine) RunSQL(query string) (*relation.Relation, error) {
 // SQL compiles the current query state to its SQL equivalent.
 func (e *Engine) SQL() (string, error) {
 	if e.sheet == nil {
-		return "", errNoSheet
+		return "", ErrNoSheet
 	}
 	plan, err := sqlgen.Compile(e.sheet)
 	if err != nil {
@@ -114,7 +114,7 @@ func (e *Engine) SQL() (string, error) {
 // Stages returns the staged-evaluation explanation of the compiled SQL.
 func (e *Engine) Stages() ([]string, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	plan, err := sqlgen.Compile(e.sheet)
 	if err != nil {
@@ -123,5 +123,7 @@ func (e *Engine) Stages() ([]string, error) {
 	return append([]string(nil), plan.Stages...), nil
 }
 
-// errNoSheet is the shared "operate before loading data" failure.
-var errNoSheet = fmt.Errorf("no current sheet; load or demo first")
+// ErrNoSheet is the shared "operate before loading data" failure. It is
+// exported so front ends can map it with errors.Is (the HTTP API turns it
+// into 409 Conflict) instead of matching the message text.
+var ErrNoSheet = fmt.Errorf("no current sheet; load or demo first")

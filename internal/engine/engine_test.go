@@ -217,8 +217,13 @@ func TestErrorsAndGates(t *testing.T) {
 			t.Errorf("op %+v should fail", op)
 		}
 	}
-	// Filesystem gating is the op's own property, not a server guess.
-	for _, kind := range []string{"load", "savestate", "loadstate", "export"} {
+	// Filesystem gating is the op's own property, not a server guess, and
+	// it must match in every spelling dispatch accepts — a case-sensitive
+	// gate over a case-insensitive dispatcher is a bypass.
+	for _, kind := range []string{
+		"load", "savestate", "loadstate", "export",
+		"Load", "SaveState", "LoadState", "Export", "EXPORT",
+	} {
 		if !(Op{Op: kind}).TouchesFilesystem() {
 			t.Errorf("op %s should report TouchesFilesystem", kind)
 		}

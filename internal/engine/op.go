@@ -52,9 +52,11 @@ type Effect struct {
 }
 
 // TouchesFilesystem reports whether the op kind reads or writes local files
-// — front ends that serve remote callers gate these.
+// — front ends that serve remote callers gate these. The match is
+// case-insensitive, like dispatch: "Export" and "export" are the same op,
+// so they must hit the same gate.
 func (o Op) TouchesFilesystem() bool {
-	switch o.Op {
+	switch strings.ToLower(o.Op) {
 	case "load", "savestate", "loadstate", "export":
 		return true
 	}
@@ -160,7 +162,7 @@ func (e *Engine) dispatch(kind string) (func(Op) (*Effect, error), bool) {
 func (e *Engine) sheetOp(fn func(*core.Spreadsheet, Op) error) func(Op) (*Effect, error) {
 	return func(op Op) (*Effect, error) {
 		if e.sheet == nil {
-			return nil, errNoSheet
+			return nil, ErrNoSheet
 		}
 		if err := fn(e.sheet, op); err != nil {
 			return nil, err
@@ -230,7 +232,7 @@ func (e *Engine) opUse(op Op) (*Effect, error) {
 
 func (e *Engine) opSelect(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	id, err := e.sheet.Select(op.Predicate)
 	if err != nil {
@@ -241,7 +243,7 @@ func (e *Engine) opSelect(op Op) (*Effect, error) {
 
 func (e *Engine) opGroup(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	dir, err := core.ParseDir(op.Dir)
 	if err != nil {
@@ -255,7 +257,7 @@ func (e *Engine) opGroup(op Op) (*Effect, error) {
 
 func (e *Engine) opSort(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	dir, err := core.ParseDir(op.Dir)
 	if err != nil {
@@ -269,7 +271,7 @@ func (e *Engine) opSort(op Op) (*Effect, error) {
 
 func (e *Engine) opOrder(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	dir, err := core.ParseDir(op.Dir)
 	if err != nil {
@@ -283,7 +285,7 @@ func (e *Engine) opOrder(op Op) (*Effect, error) {
 
 func (e *Engine) opAgg(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	fn, err := relation.ParseAggFunc(op.Fn)
 	if err != nil {
@@ -298,7 +300,7 @@ func (e *Engine) opAgg(op Op) (*Effect, error) {
 
 func (e *Engine) opFormula(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	got, err := e.sheet.Formula(op.Name, op.Formula)
 	if err != nil {
@@ -309,7 +311,7 @@ func (e *Engine) opFormula(op Op) (*Effect, error) {
 
 func (e *Engine) opUndo(Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	entry, err := e.sheet.Undo()
 	if err != nil {
@@ -320,7 +322,7 @@ func (e *Engine) opUndo(Op) (*Effect, error) {
 
 func (e *Engine) opRedo(Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	entry, err := e.sheet.Redo()
 	if err != nil {
@@ -331,7 +333,7 @@ func (e *Engine) opRedo(Op) (*Effect, error) {
 
 func (e *Engine) opSave(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	if op.Name == "" {
 		return nil, fmt.Errorf("engine: save needs a name")
@@ -380,7 +382,7 @@ func (e *Engine) operand(name string) (*core.Spreadsheet, error) {
 
 func (e *Engine) opBinary(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	if op.Sheet == "" {
 		return nil, fmt.Errorf("engine: %s needs a stored-sheet operand", op.Op)
@@ -440,7 +442,7 @@ func (e *Engine) opCompile(op Op) (*Effect, error) {
 
 func (e *Engine) opSaveState(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	if op.Path == "" {
 		return nil, fmt.Errorf("engine: savestate needs a path")
@@ -484,7 +486,7 @@ func (e *Engine) opLoadState(op Op) (*Effect, error) {
 
 func (e *Engine) opExport(op Op) (*Effect, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	if op.Path == "" {
 		return nil, fmt.Errorf("engine: export needs a path")

@@ -59,7 +59,7 @@ type StateInfo struct {
 func (e *Engine) State() (*StateInfo, error) {
 	s := e.sheet
 	if s == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	info := &StateInfo{
 		Sheet:   s.Name(),
@@ -198,7 +198,7 @@ type MenuInfo struct {
 // Menu computes the contextual menu for the named column.
 func (e *Engine) Menu(column string) (*MenuInfo, error) {
 	if e.sheet == nil {
-		return nil, errNoSheet
+		return nil, ErrNoSheet
 	}
 	if column == "" {
 		return nil, fmt.Errorf("engine: menu needs a column")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -78,7 +79,9 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req createRequest
-		if err := decodeBody(r, &req); err != nil {
+		// Every createRequest field is optional, so a bodiless POST (plain
+		// `curl -X POST`) creates an anonymous session rather than 400ing.
+		if err := decodeBody(r, &req); err != nil && !errors.Is(err, io.EOF) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -238,7 +241,7 @@ func opStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrSessionClosed):
 		return http.StatusGone
-	case err.Error() == "no current sheet; load or demo first":
+	case errors.Is(err, engine.ErrNoSheet):
 		return http.StatusConflict
 	}
 	return http.StatusBadRequest

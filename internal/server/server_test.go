@@ -300,16 +300,100 @@ func TestServerErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("misspelled field: status %d", resp.StatusCode)
 	}
-	// Filesystem ops are gated off by default.
+	// Filesystem ops are gated off by default — in every case spelling the
+	// dispatcher accepts, so "Export" cannot sneak past a gate "export"
+	// hits.
 	for _, op := range []engine.Op{
 		{Op: "load", Path: "/etc/passwd"},
 		{Op: "savestate", Path: "/tmp/x"},
 		{Op: "loadstate", Path: "/tmp/x"},
 		{Op: "export", Path: "/tmp/x"},
+		{Op: "Load", Path: "/etc/passwd"},
+		{Op: "SaveState", Path: "/tmp/x"},
+		{Op: "LoadState", Path: "/tmp/x"},
+		{Op: "Export", Path: "/tmp/x"},
+		{Op: "EXPORT", Path: "/tmp/x"},
 	} {
 		if code := c.do("POST", "/v1/sessions/"+id+"/op", op, &eb); code != http.StatusForbidden {
 			t.Fatalf("op %q should be forbidden, got %d", op.Op, code)
 		}
+	}
+}
+
+// TestServerCreateEmptyBody checks that a bodiless POST /v1/sessions (the
+// natural curl -X POST) creates an anonymous session: every createRequest
+// field is optional.
+func TestServerCreateEmptyBody(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	resp, err := http.Post(c.base+"/v1/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("empty-body create: status %d, want %d", resp.StatusCode, http.StatusCreated)
+	}
+	var cr createResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ID == "" || cr.Name != "" {
+		t.Fatalf("empty-body create: %+v", cr)
+	}
+	// A malformed (non-empty) body is still rejected.
+	bad, err := http.Post(c.base+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: status %d, want %d", bad.StatusCode, http.StatusBadRequest)
+	}
+}
+
+// TestManagerCloseDoesNotBlockOnBusySession pins the non-blocking close
+// contract: closing (or evicting) a session whose engine is mid-op must not
+// wait for the op — otherwise one slow query would hold the manager mutex
+// and stall every other session's Create/Get/List.
+func TestManagerCloseDoesNotBlockOnBusySession(t *testing.T) {
+	m := NewManager(Config{})
+	s, err := m.Create("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Do(func(*engine.Engine) error {
+			close(entered)
+			<-release
+			return nil
+		})
+	}()
+	<-entered
+
+	closed := make(chan bool, 1)
+	go func() { closed <- m.Close(s.ID()) }()
+	select {
+	case ok := <-closed:
+		if !ok {
+			t.Fatal("Close reported unknown session")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on a session with an op in flight")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d after close, want 0", m.Len())
+	}
+
+	// The in-flight op runs to completion; the next one fails cleanly.
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight Do after close: %v", err)
+	}
+	if err := s.Do(func(*engine.Engine) error { return nil }); err != ErrSessionClosed {
+		t.Fatalf("Do after close = %v, want ErrSessionClosed", err)
 	}
 }
 

@@ -85,9 +85,14 @@ type Session struct {
 	name    string
 	created time.Time
 
-	mu     sync.Mutex
-	eng    *engine.Engine
-	closed bool
+	mu  sync.Mutex
+	eng *engine.Engine
+
+	// closed is atomic so the Manager can mark a session dead without
+	// taking s.mu — a long-running engine op must not stall Close, LRU
+	// eviction, or the TTL sweep (and with them every other session's
+	// Create/Get/List, which wait on the manager mutex).
+	closed atomic.Bool
 
 	ops atomic.Int64
 
@@ -106,11 +111,16 @@ func (s *Session) Name() string { return s.name }
 // evicted; in-flight callers fail cleanly rather than driving a zombie.
 var ErrSessionClosed = fmt.Errorf("server: session closed")
 
-// Do runs fn with exclusive access to the session's engine.
+// Do runs fn with exclusive access to the session's engine. An op already
+// in flight when the session is closed runs to completion; only subsequent
+// calls fail.
 func (s *Session) Do(fn func(*engine.Engine) error) error {
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrSessionClosed
 	}
 	s.ops.Add(1)
@@ -174,15 +184,13 @@ func (m *Manager) Close(id string) bool {
 	return true
 }
 
-// closeLocked removes the session and marks it closed so in-flight Do
-// calls fail. Caller holds m.mu.
+// closeLocked removes the session and marks it closed so later Do calls
+// fail. It deliberately does NOT take s.mu: waiting for an in-flight
+// engine op here would hold the manager mutex (the caller has it) for the
+// op's whole duration, stalling every other session. Caller holds m.mu.
 func (m *Manager) closeLocked(s *Session) {
 	delete(m.sessions, s.id)
-	// Lock ordering is always manager → session, so this cannot deadlock
-	// against Do (which takes only the session mutex).
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.closed.Store(true)
 }
 
 // evictLRULocked drops the least-recently-used session. Caller holds m.mu.
@@ -240,24 +248,29 @@ type Info struct {
 	LastUsed time.Time `json:"last_used"`
 }
 
-// List summarises the live sessions in id order.
+// List summarises the live sessions in id order. The per-session engine
+// reads happen after m.mu is released, so a session stuck in a long op
+// delays only this listing, not the whole manager.
 func (m *Manager) List() []Info {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	live := make([]*Session, 0, len(m.sessions))
 	out := make([]Info, 0, len(m.sessions))
 	for _, s := range m.sessions {
-		info := Info{
+		live = append(live, s)
+		out = append(out, Info{
 			ID:       s.id,
 			Name:     s.name,
 			Ops:      s.ops.Load(),
 			Created:  s.created,
 			LastUsed: s.lastUsed,
-		}
+		})
+	}
+	m.mu.Unlock()
+	for i, s := range live {
 		s.mu.Lock()
-		info.Sheet = s.eng.SheetName()
-		info.Version = s.eng.Version()
+		out[i].Sheet = s.eng.SheetName()
+		out[i].Version = s.eng.Version()
 		s.mu.Unlock()
-		out = append(out, info)
 	}
 	sortInfos(out)
 	return out
