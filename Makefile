@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench bench-json clean
 
 build:
 	$(GO) build ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
@@ -15,7 +15,12 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# bench-json records the benchmark suite into BENCH_eval.json: the file's
+# previous "after" snapshot becomes "before", and this run becomes "after".
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
 
 clean:
 	$(GO) clean ./...

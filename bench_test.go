@@ -258,7 +258,9 @@ func BenchmarkSortEvaluate10k(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		evaluate(b, base)
+		// Clone drops the memoisation cache, so every iteration prices a
+		// real re-evaluation rather than a cache hit.
+		evaluate(b, base.Clone())
 	}
 }
 
@@ -270,7 +272,54 @@ func BenchmarkFormulaEvaluate10k(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		evaluate(b, base)
+		evaluate(b, base.Clone())
+	}
+}
+
+// The 100k variants characterise the compiled, data-parallel evaluation
+// pipeline well above the parallel row threshold.
+
+func BenchmarkSelection100k(b *testing.B) {
+	base := scaleSheet(b, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.Select("Price < 20000 AND Condition IN ('Good','Excellent')"); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+func BenchmarkGroupAggregate100k(b *testing.B) {
+	base := scaleSheet(b, 100000)
+	if err := base.GroupBy(core.Asc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if err := base.GroupBy(core.Asc, "Year"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.Aggregate(relation.AggAvg, "Price", 3); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
+func BenchmarkFormulaEvaluate100k(b *testing.B) {
+	base := scaleSheet(b, 100000)
+	if _, err := base.Formula("PerMile", "Price * 1000 / (Mileage + 1)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, base.Clone())
 	}
 }
 

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output into a JSON metrics
+// snapshot, so benchmark history can be checked in and diffed. It reads the
+// benchmark text from stdin and emits, per benchmark, the ns/op, allocs/op,
+// B/op and any custom metrics (req/s and friends).
+//
+// With -update FILE it maintains a before/after pair: the file's current
+// "after" snapshot (the last recorded run) becomes "before", and the new
+// run becomes "after". `make bench-json` uses this to keep BENCH_eval.json
+// tracking the latest optimisation step against its predecessor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// snapshot maps benchmark name to metric name to value.
+type snapshot map[string]map[string]float64
+
+// history is the on-disk shape of BENCH_eval.json.
+type history struct {
+	Before snapshot `json:"before,omitempty"`
+	After  snapshot `json:"after"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// metricKey maps a go-test unit ("ns/op", "req/s") to a JSON-friendly key.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "req/s":
+		return "req_per_s"
+	}
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}
+
+// parse extracts one snapshot from `go test -bench` output.
+func parse(lines *bufio.Scanner) (snapshot, error) {
+	snap := snapshot{}
+	for lines.Scan() {
+		fields := strings.Fields(lines.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		metrics := map[string]float64{}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
+			}
+			metrics[metricKey(fields[i+1])] = v
+		}
+		snap[name] = metrics
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	return snap, nil
+}
+
+func run() error {
+	update := flag.String("update", "", "maintain a before/after history file instead of printing the snapshot")
+	flag.Parse()
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if *update == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	var h history
+	if data, err := os.ReadFile(*update); err == nil {
+		if err := json.Unmarshal(data, &h); err != nil {
+			return fmt.Errorf("benchjson: %s: %w", *update, err)
+		}
+	}
+	if h.After != nil {
+		h.Before = h.After
+	}
+	h.After = snap
+	data, err := json.MarshalIndent(&h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*update, append(data, '\n'), 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -32,7 +32,9 @@ type Result struct {
 	Levels []GroupLevel // the grouping specification the tree reflects
 }
 
-// rowEnv adapts one working row to the expression evaluator.
+// rowEnv adapts one working row to the tree-walking expression evaluator.
+// It is the fallback for expressions the compiler declines; the hot paths
+// run compiled programs that index the row directly.
 type rowEnv struct {
 	schema relation.Schema
 	row    relation.Tuple
@@ -43,6 +45,18 @@ func (e rowEnv) Lookup(name string) (value.Value, bool) {
 		return e.row[i], true
 	}
 	return value.Null, false
+}
+
+// schemaResolver resolves column names to working-row positions for
+// expression compilation. Resolution happens once per expression per
+// evaluation instead of once per reference per row.
+func schemaResolver(schema relation.Schema) expr.Resolver {
+	return func(name string) (int, bool) {
+		if i := schema.IndexOf(name); i >= 0 {
+			return i, true
+		}
+		return 0, false
+	}
 }
 
 // Evaluate replays the query state against the base relation and returns
@@ -72,35 +86,47 @@ func (s *Spreadsheet) Evaluate() (*Result, error) {
 	return res, nil
 }
 
-// evaluate is the uncached evaluation.
+// evaluate is the uncached evaluation. Stage bodies — row
+// materialisation, selection filtering, formula fill, aggregate
+// accumulation and key computation — run data-parallel over contiguous
+// row chunks above relation.ParallelThreshold; chunk-local results are
+// concatenated (or merged) in chunk order, so the output is identical to
+// the sequential scan.
 func (s *Spreadsheet) evaluate() (*Result, error) {
 	// Working schema: every base column (hidden ones still participate in
-	// predicates) followed by the computed columns.
+	// predicates) followed by the computed columns. The schema is fixed
+	// for the whole evaluation, so expressions compile against it once.
 	work := relation.New(s.name, s.base.Schema)
 	for _, c := range s.state.computed {
 		work.Schema = append(work.Schema, relation.Column{Name: c.Name, Kind: c.ResultKind})
 	}
 	nBase := len(s.base.Schema)
-	rows := make([]relation.Tuple, 0, s.base.Len())
-	for _, t := range s.base.Rows {
-		row := make(relation.Tuple, len(work.Schema))
-		copy(row, t)
-		for i := nBase; i < len(row); i++ {
-			row[i] = value.Null
+	width := len(work.Schema)
+	n := s.base.Len()
+	// One flat backing array instead of one allocation per row; the zero
+	// Value is NULL, so computed-column cells need no explicit fill.
+	flat := make([]value.Value, n*width)
+	rows := make([]relation.Tuple, n)
+	_ = relation.ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := flat[i*width : (i+1)*width : (i+1)*width]
+			copy(row[:nBase], s.base.Rows[i])
+			rows[i] = row
 		}
-		rows = append(rows, row)
-	}
+		return nil
+	})
 	work.Rows = rows
 
-	// Stratify computed columns and selections by depth.
+	// Stratify computed columns and selections by depth, keyed by position
+	// so the stage loop needs no per-iteration name normalisation.
 	maxD := 0
-	colDepth := make(map[string]int, len(s.state.computed))
-	for _, c := range s.state.computed {
+	colDepths := make([]int, len(s.state.computed))
+	for ci, c := range s.state.computed {
 		d, err := s.aggDepth(c.Name, map[string]bool{})
 		if err != nil {
 			return nil, err
 		}
-		colDepth[strings.ToLower(c.Name)] = d
+		colDepths[ci] = d
 		if d > maxD {
 			maxD = d
 		}
@@ -117,10 +143,21 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 		}
 	}
 
+	// Compile every selection predicate once against the working schema.
+	// Compilation only declines subqueries, which the algebra rejects at
+	// operator time, but keep the tree-walking fallback for safety.
+	resolve := schemaResolver(work.Schema)
+	selProgs := make([]*expr.Program, len(s.state.selections))
+	for i, sel := range s.state.selections {
+		if p, err := expr.Compile(sel.Pred, resolve); err == nil {
+			selProgs[i] = p
+		}
+	}
+
 	for d := 0; d <= maxD; d++ {
 		// Aggregate columns of depth d see rows surviving selections < d.
-		for _, c := range s.state.computed {
-			if c.Kind == KindAggregate && colDepth[strings.ToLower(c.Name)] == d {
+		for ci, c := range s.state.computed {
+			if c.Kind == KindAggregate && colDepths[ci] == d {
 				if err := s.fillAggregate(work, c); err != nil {
 					return nil, err
 				}
@@ -128,8 +165,8 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 		}
 		// Formula columns of depth d, in creation order (later formulas may
 		// reference earlier ones of the same depth).
-		for _, c := range s.state.computed {
-			if c.Kind == KindFormula && colDepth[strings.ToLower(c.Name)] == d {
+		for ci, c := range s.state.computed {
+			if c.Kind == KindFormula && colDepths[ci] == d {
 				if err := fillFormula(work, c); err != nil {
 					return nil, err
 				}
@@ -140,17 +177,9 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 			if selDepth[i] != d {
 				continue
 			}
-			kept := work.Rows[:0]
-			for _, row := range work.Rows {
-				ok, err := expr.EvalBool(sel.Pred, rowEnv{schema: work.Schema, row: row})
-				if err != nil {
-					return nil, fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
-				}
-				if ok {
-					kept = append(kept, row)
-				}
+			if err := applySelection(work, sel, selProgs[i]); err != nil {
+				return nil, err
 			}
-			work.Rows = kept
 		}
 		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
 		if d == 0 && s.state.distinctOn != nil {
@@ -158,14 +187,14 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: distinct: %w", err)
 			}
+			keys := relation.RowKeys(work.Rows, idx)
 			seen := make(map[string]bool, len(work.Rows))
 			kept := work.Rows[:0]
-			for _, row := range work.Rows {
-				k := row.KeyOn(idx)
-				if seen[k] {
+			for i, row := range work.Rows {
+				if seen[keys[i]] {
 					continue
 				}
-				seen[k] = true
+				seen[keys[i]] = true
 				kept = append(kept, row)
 			}
 			work.Rows = kept
@@ -197,11 +226,19 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 		return nil, err
 	}
 
-	// Project to the visible schema.
+	// Project to the visible schema. When nothing is hidden the visible
+	// schema is the working schema itself and the copy is skipped: work is
+	// materialised fresh per evaluation, so the result may alias it.
 	visible := s.VisibleSchema()
-	table, err := work.Project(visible.Names())
-	if err != nil {
-		return nil, err
+	var table *relation.Relation
+	if identitySchema(visible, work.Schema) {
+		table = work
+	} else {
+		var err error
+		table, err = work.Project(visible.Names())
+		if err != nil {
+			return nil, err
+		}
 	}
 	table.Name = s.name
 
@@ -212,8 +249,69 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 	return &Result{Table: table, Root: root, Levels: s.Grouping()}, nil
 }
 
+// applySelection filters the working rows by one σ predicate, in place.
+// Above the parallel threshold each chunk compacts into its own prefix of
+// the row slice (appends lag reads, and chunks are disjoint), and the
+// chunk-local kept runs are concatenated in chunk order, so the surviving
+// multiset order — and, per RunChunks, the first error — are identical to
+// the sequential scan.
+func applySelection(work *relation.Relation, sel Selection, prog *expr.Program) error {
+	rows := work.Rows
+	evalRow := func(row relation.Tuple) (bool, error) {
+		if prog != nil {
+			return prog.EvalBool(row)
+		}
+		return expr.EvalBool(sel.Pred, rowEnv{schema: work.Schema, row: row})
+	}
+	bounds := relation.Chunks(len(rows))
+	if len(bounds) <= 1 {
+		kept := rows[:0]
+		for _, row := range rows {
+			ok, err := evalRow(row)
+			if err != nil {
+				return fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		work.Rows = kept
+		return nil
+	}
+	counts := make([]int, len(bounds))
+	err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+		kept := rows[lo:lo:hi]
+		for _, row := range rows[lo:hi] {
+			ok, err := evalRow(row)
+			if err != nil {
+				return fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		counts[c] = len(kept)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := counts[0]
+	for c := 1; c < len(bounds); c++ {
+		lo := bounds[c][0]
+		copy(rows[w:], rows[lo:lo+counts[c]])
+		w += counts[c]
+	}
+	work.Rows = rows[:w]
+	return nil
+}
+
 // fillAggregate computes one η column over the current working rows,
 // writing the group's value into every member row (Def. 11 / Table III).
+// Grouping keys are computed once per row and reused by both the
+// accumulate and the write-back pass; above the parallel threshold the
+// accumulate pass keeps per-chunk partial accumulators and merges them in
+// chunk order (Accumulator.Merge), so tie-breaks match the sequential scan.
 func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) error {
 	out := work.Schema.IndexOf(c.Name)
 	in := work.Schema.IndexOf(c.Input)
@@ -225,38 +323,84 @@ func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) 
 	if err != nil {
 		return err
 	}
-	accs := map[string]*relation.Accumulator{}
-	for _, row := range work.Rows {
-		k := row.KeyOn(bidx)
-		acc := accs[k]
-		if acc == nil {
-			acc = relation.NewAccumulator(c.Agg)
-			accs[k] = acc
+	rows := work.Rows
+	if len(rows) == 0 {
+		return nil
+	}
+	keys := relation.RowKeys(rows, bidx)
+	bounds := relation.Chunks(len(rows))
+	if len(bounds) > 1 && !relation.MergeExact(c.Agg, work.Schema[in].Kind) {
+		// Float-stream summing is not associative; stay sequential so the
+		// result is bit-identical to the one-chunk scan.
+		bounds = [][2]int{{0, len(rows)}}
+	}
+	parts := make([]map[string]*relation.Accumulator, len(bounds))
+	err = relation.RunChunks(bounds, func(ch, lo, hi int) error {
+		accs := map[string]*relation.Accumulator{}
+		for i := lo; i < hi; i++ {
+			acc := accs[keys[i]]
+			if acc == nil {
+				acc = relation.NewAccumulator(c.Agg)
+				accs[keys[i]] = acc
+			}
+			if err := acc.Add(rows[i][in]); err != nil {
+				return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+			}
 		}
-		if err := acc.Add(row[in]); err != nil {
-			return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+		parts[ch] = accs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	accs := parts[0]
+	for _, part := range parts[1:] {
+		for k, acc := range part {
+			if prev := accs[k]; prev != nil {
+				prev.Merge(acc)
+			} else {
+				accs[k] = acc
+			}
 		}
 	}
-	for _, row := range work.Rows {
-		row[out] = coerce(accs[row.KeyOn(bidx)].Result(), c.ResultKind)
+	// Finalise once per group, not once per row.
+	results := make(map[string]value.Value, len(accs))
+	for k, acc := range accs {
+		results[k] = coerce(acc.Result(), c.ResultKind)
 	}
-	return nil
+	return relation.ForChunks(len(rows), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rows[i][out] = results[keys[i]]
+		}
+		return nil
+	})
 }
 
-// fillFormula computes one θ column row-locally (Def. 12).
+// fillFormula computes one θ column row-locally (Def. 12), through a
+// program compiled once against the working schema, chunk-parallel above
+// the threshold.
 func fillFormula(work *relation.Relation, c *ComputedColumn) error {
 	out := work.Schema.IndexOf(c.Name)
 	if out < 0 {
 		return fmt.Errorf("core: formula %s column missing", c.Name)
 	}
-	for _, row := range work.Rows {
-		v, err := expr.Eval(c.Formula, rowEnv{schema: work.Schema, row: row})
-		if err != nil {
-			return fmt.Errorf("core: formula %s: %w", c.Name, err)
+	prog, cerr := expr.Compile(c.Formula, schemaResolver(work.Schema))
+	return relation.ForChunks(len(work.Rows), func(_, lo, hi int) error {
+		for _, row := range work.Rows[lo:hi] {
+			var v value.Value
+			var err error
+			if cerr == nil {
+				v, err = prog.Eval(row)
+			} else {
+				v, err = expr.Eval(c.Formula, rowEnv{schema: work.Schema, row: row})
+			}
+			if err != nil {
+				return fmt.Errorf("core: formula %s: %w", c.Name, err)
+			}
+			row[out] = coerce(v, c.ResultKind)
 		}
-		row[out] = coerce(v, c.ResultKind)
-	}
-	return nil
+		return nil
+	})
 }
 
 // coerce widens an integer into a float-typed column so computed columns
@@ -266,6 +410,33 @@ func coerce(v value.Value, kind value.Kind) value.Value {
 		return value.NewFloat(float64(v.Int()))
 	}
 	return v
+}
+
+// identitySchema reports whether the visible schema is exactly the working
+// schema, making the output projection a no-op.
+func identitySchema(visible, work relation.Schema) bool {
+	if len(visible) != len(work) {
+		return false
+	}
+	for i := range visible {
+		if visible[i].Name != work[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// tuplesEqualOn reports whether two rows agree on the given columns — the
+// adjacency probe group building applies to the sorted working table.
+// Comparing values directly (NULL equals NULL, multiset identity — exactly
+// the sort's notion of adjacency) avoids building a string key per probe.
+func tuplesEqualOn(a, b relation.Tuple, idx []int) bool {
+	for _, ci := range idx {
+		if !value.Equal(a[ci], b[ci]) {
+			return false
+		}
+	}
+	return true
 }
 
 // buildGroups partitions the sorted working rows into the recursive group
@@ -285,7 +456,7 @@ func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
 		i := g.Start
 		for i < g.End {
 			j := i + 1
-			for j < g.End && work.Rows[j].KeyOn(idx) == work.Rows[i].KeyOn(idx) {
+			for j < g.End && tuplesEqualOn(work.Rows[j], work.Rows[i], idx) {
 				j++
 			}
 			key := make([]value.Value, len(idx))

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/relation"
+)
+
+// This file holds the sequential/parallel equivalence property test for
+// the compiled, data-parallel evaluation pipeline: every query shape the
+// core and commute tests exercise must render identically whether the
+// stage bodies run in one chunk or in forced-parallel chunks. Run under
+// -race via `make race`, it also proves the chunked stages share no state.
+
+// equivProgram is one named operator program.
+type equivProgram struct {
+	name  string
+	build func(s *Spreadsheet) error
+}
+
+// equivPrograms covers the operator shapes of core_test and commute_test:
+// selections (comparison, IN, LIKE, BETWEEN, boolean combinations),
+// grouping at several levels, finest ordering, projection, duplicate
+// elimination, aggregates at every level (including HAVING-style selection
+// over them), formulas, and formula-over-aggregate chains.
+func equivPrograms() []equivProgram {
+	sel := func(pred string) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error { _, err := s.Select(pred); return err }
+	}
+	seq := func(steps ...func(s *Spreadsheet) error) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error {
+			for _, step := range steps {
+				if err := step(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	group := func(dir Dir, attrs ...string) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error { return s.GroupBy(dir, attrs...) }
+	}
+	sortBy := func(col string, dir Dir) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error { return s.Sort(col, dir) }
+	}
+	agg := func(name string, fn relation.AggFunc, col string, level int) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error { _, err := s.AggregateAs(name, fn, col, level); return err }
+	}
+	formula := func(name, src string) func(s *Spreadsheet) error {
+		return func(s *Spreadsheet) error { _, err := s.Formula(name, src); return err }
+	}
+	return []equivProgram{
+		{"base", seq()},
+		{"selection", sel("Price < 20000 AND Condition IN ('Good','Excellent')")},
+		{"selection-like-between", sel("Model LIKE 'J%' OR Price BETWEEN 12000 AND 15000")},
+		{"selection-not", sel("NOT (Year = 2005) AND Mileage >= 30000")},
+		{"three-selections-grouped", seq(
+			sel("Year >= 2003"), sel("Model <> 'Civic'"), sel("Mileage < 120000"),
+			group(Asc, "Condition"), sortBy("Price", Asc))},
+		{"grouping-two-levels", seq(group(Desc, "Model"), group(Asc, "Year"), sortBy("Price", Asc))},
+		{"grouping-multi-attr", seq(group(Asc, "Model", "Condition"), sortBy("Mileage", Desc))},
+		{"hide", seq(sel("Price > 10000"), func(s *Spreadsheet) error { return s.Hide("Mileage") })},
+		{"distinct", seq(func(s *Spreadsheet) error { return s.Hide("ID") },
+			func(s *Spreadsheet) error { return s.Hide("Price") },
+			func(s *Spreadsheet) error { return s.Hide("Mileage") },
+			func(s *Spreadsheet) error { return s.Distinct() })},
+		{"aggregate-levels", seq(group(Desc, "Model"), group(Asc, "Year"),
+			agg("AvgAll", relation.AggAvg, "Price", 1),
+			agg("CntModel", relation.AggCount, "Price", 2),
+			agg("MinMY", relation.AggMin, "Price", 3),
+			agg("MaxMY", relation.AggMax, "Mileage", 3),
+			agg("SumMY", relation.AggSum, "Price", 3),
+			agg("DevModel", relation.AggStdDev, "Price", 2),
+			sortBy("Price", Asc))},
+		{"count-distinct", seq(group(Asc, "Model"),
+			agg("Conds", relation.AggCountDistinct, "Condition", 2))},
+		{"theorem2-program", seq(group(Desc, "Model"), group(Asc, "Year"), sortBy("Price", Asc),
+			sel("Condition = 'Good' OR Condition = 'Excellent'"),
+			agg("AvgP", relation.AggAvg, "Price", 3),
+			formula("Ratio", "Price / AvgP"),
+			sel("AvgP > 14000"),
+			func(s *Spreadsheet) error { return s.Hide("Mileage") })},
+		{"formula", formula("PerMile", "Price * 1000 / (Mileage + 1)")},
+		{"formula-chain", seq(formula("Double", "Price * 2"), formula("Quad", "Double * 2"),
+			sel("Quad > 50000"))},
+		{"aggregate-over-formula", seq(group(Asc, "Model"),
+			formula("PerMile", "Price * 1000 / (Mileage + 1)"),
+			agg("AvgPM", relation.AggAvg, "PerMile", 2),
+			sel("AvgPM > 100"))},
+		{"ordergroups-by", seq(group(Asc, "Model"),
+			agg("AvgP", relation.AggAvg, "Price", 2),
+			func(s *Spreadsheet) error { return s.OrderGroupsBy(1, "AvgP", Desc) })},
+	}
+}
+
+// renderAt builds the program on a fresh spreadsheet and evaluates it with
+// the given parallel threshold in force. GOMAXPROCS is raised so the
+// threshold-0 run splits into real chunks even on a single-core host.
+func renderAt(t *testing.T, base *relation.Relation, p equivProgram, threshold int) (string, string) {
+	t.Helper()
+	old := relation.ParallelThreshold
+	relation.ParallelThreshold = threshold
+	oldProcs := runtime.GOMAXPROCS(8)
+	defer func() {
+		relation.ParallelThreshold = old
+		runtime.GOMAXPROCS(oldProcs)
+	}()
+	s := New(base)
+	if err := p.build(s); err != nil {
+		t.Fatalf("%s: build: %v", p.name, err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatalf("%s: evaluate: %v", p.name, err)
+	}
+	return res.Render(), res.RenderGrouped()
+}
+
+// TestParallelEquivalence forces the chunked path (threshold 0) and the
+// sequential path (huge threshold) over every program shape and both the
+// paper's 15-row table and a larger random table, and insists the rendered
+// output — table and group structure — is identical.
+func TestParallelEquivalence(t *testing.T) {
+	bases := map[string]*relation.Relation{
+		"usedcars": dataset.UsedCars(),
+		"random3k": dataset.RandomCars(3000, 99),
+	}
+	const sequential = 1 << 30
+	for baseName, base := range bases {
+		for _, p := range equivPrograms() {
+			wantR, wantG := renderAt(t, base, p, sequential)
+			gotR, gotG := renderAt(t, base, p, 0)
+			if gotR != wantR {
+				t.Errorf("%s/%s: parallel Render diverged from sequential\n--- parallel ---\n%s\n--- sequential ---\n%s",
+					baseName, p.name, clip(gotR), clip(wantR))
+			}
+			if gotG != wantG {
+				t.Errorf("%s/%s: parallel RenderGrouped diverged from sequential", baseName, p.name)
+			}
+		}
+	}
+}
+
+// TestParallelSelectionErrorMatchesSequential pins error parity: the
+// parallel filter must surface the same first-failing-row error the
+// sequential scan does.
+func TestParallelSelectionErrorMatchesSequential(t *testing.T) {
+	base := dataset.RandomCars(3000, 5)
+	run := func(threshold int) error {
+		old := relation.ParallelThreshold
+		relation.ParallelThreshold = threshold
+		oldProcs := runtime.GOMAXPROCS(8)
+		defer func() {
+			relation.ParallelThreshold = old
+			runtime.GOMAXPROCS(oldProcs)
+		}()
+		s := New(base)
+		if _, err := s.Select("Price / (Year - Year) > 1"); err != nil {
+			t.Fatalf("select: %v", err)
+		}
+		_, err := s.Evaluate()
+		return err
+	}
+	seqErr := run(1 << 30)
+	parErr := run(0)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("division by zero not surfaced: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("error parity lost:\nsequential: %v\nparallel:   %v", seqErr, parErr)
+	}
+}
+
+// clip keeps failure messages readable for the 3000-row base.
+func clip(s string) string {
+	const max = 2000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "…"
+}

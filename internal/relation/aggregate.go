@@ -126,6 +126,45 @@ func (a *Accumulator) Add(v value.Value) error {
 	return nil
 }
 
+// MergeExact reports whether chunked accumulation merged via Merge is
+// bit-identical to the sequential scan for fn over the given input kind.
+// COUNT, COUNT_DISTINCT, MIN and MAX are order-insensitive for any input;
+// the summing functions re-associate addition, which is exact for integer
+// inputs (the int64 and sub-2^53 float paths) but not for float streams.
+// Callers keep float-stream summing sequential so every parallel result
+// stays deterministic and identical to the sequential one.
+func MergeExact(fn AggFunc, input value.Kind) bool {
+	switch fn {
+	case AggSum, AggAvg, AggStdDev:
+		return input != value.KindFloat
+	}
+	return true
+}
+
+// Merge folds o — an accumulator for the same function fed a later chunk
+// of the group's rows — into a. The parallel aggregation path accumulates
+// per-chunk partials and merges them in chunk order, so first-seen
+// tie-breaks (MIN/MAX over compare-equal values) match the sequential
+// scan. SUM, COUNT, MIN and MAX merge directly; AVG and STDDEV merge
+// through their sum/sum-of-squares/count decomposition.
+func (a *Accumulator) Merge(o *Accumulator) {
+	a.count += o.count
+	a.nonNull += o.nonNull
+	a.sum += o.sum
+	a.sumSq += o.sumSq
+	a.intSum += o.intSum
+	a.intExact = a.intExact && o.intExact
+	if !o.min.IsNull() && (a.min.IsNull() || value.MustCompare(o.min, a.min) < 0) {
+		a.min = o.min
+	}
+	if !o.max.IsNull() && (a.max.IsNull() || value.MustCompare(o.max, a.max) > 0) {
+		a.max = o.max
+	}
+	for k := range o.distinct {
+		a.distinct[k] = true
+	}
+}
+
 // Result returns the final aggregate value. Empty groups yield NULL for
 // every function except COUNT variants, which yield 0.
 func (a *Accumulator) Result() value.Value {

@@ -204,12 +204,17 @@ func (r *Relation) Project(names []string) (*Relation, error) {
 		schema[i] = r.Schema[j]
 	}
 	out := New(r.Name, schema)
-	for _, t := range r.Rows {
-		row := make(Tuple, len(idx))
+	// One flat backing array for the projected rows instead of one
+	// allocation per row; large projections dominate evaluation output.
+	w := len(idx)
+	flat := make([]value.Value, len(r.Rows)*w)
+	out.Rows = make([]Tuple, len(r.Rows))
+	for ri, t := range r.Rows {
+		row := flat[ri*w : (ri+1)*w : (ri+1)*w]
 		for i, j := range idx {
 			row[i] = t[j]
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[ri] = row
 	}
 	return out, nil
 }

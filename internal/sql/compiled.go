@@ -1,0 +1,484 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// This file holds the compiled, data-parallel fast paths of the executor.
+// Each statement compiles its row expressions once — WHERE predicates,
+// GROUP BY keys, aggregate arguments, HAVING, select items and ORDER BY
+// keys — so the per-row work is a closure call over a positional tuple
+// instead of a name lookup per column reference, and then chunks the row
+// (or group) range with relation.RunChunks. The fast path engages only when
+// it is provably equivalent to the interpreted one:
+//
+//   - no enclosing row scope (outer-correlated names cannot be resolved to
+//     a fixed index at compile time), and
+//   - no subqueries (the per-statement subquery cache memoises through a
+//     shared map and is not goroutine-safe).
+//
+// Anything else falls back to the existing rowEnv interpreter, unchanged.
+
+// compileSafe reports whether e may take the compiled fast path in this
+// scope.
+func compileSafe(e expr.Expr, outer expr.Env) bool {
+	return outer == nil && !expr.ContainsSubquery(e)
+}
+
+// srcResolver resolves names against the source's qualified row layout.
+func srcResolver(src *source) expr.Resolver {
+	return func(name string) (int, bool) {
+		i, err := src.resolve(name)
+		if err != nil {
+			return 0, false
+		}
+		return i, true
+	}
+}
+
+// compileOn compiles e against the source row layout, or returns nil when
+// the fast path is unavailable and the caller must interpret.
+func compileOn(src *source, e expr.Expr, outer expr.Env) *expr.Program {
+	if e == nil || !compileSafe(e, outer) {
+		return nil
+	}
+	p, err := expr.Compile(e, srcResolver(src))
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// aggSlot parses a lifted-aggregate placeholder name ("__agg_3") into its
+// index.
+func aggSlot(name string) (int, bool) {
+	l := strings.ToLower(name)
+	if !strings.HasPrefix(l, "__agg_") {
+		return 0, false
+	}
+	i, err := strconv.Atoi(l[len("__agg_"):])
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// extResolver resolves names against the extended grouped row layout: the
+// source columns followed by one slot per lifted aggregate. It mirrors
+// rowEnv.Lookup's precedence, where the synthetic aggregate bindings win.
+func extResolver(src *source, nAggs int) expr.Resolver {
+	n := len(src.rel.Schema)
+	return func(name string) (int, bool) {
+		if i, ok := aggSlot(name); ok && i < nAggs {
+			return n + i, true
+		}
+		if i, err := src.resolve(name); err == nil {
+			return i, true
+		}
+		return 0, false
+	}
+}
+
+// filterRows applies a compiled WHERE over the rows, chunked above the
+// threshold. Unlike the core path, the rows belong to a registered base
+// table and cannot be compacted in place: each chunk keeps its survivors in
+// a local slice and the chunks concatenate in order, reproducing the
+// sequential multiset order exactly.
+func filterRows(rows []relation.Tuple, prog *expr.Program) ([]relation.Tuple, error) {
+	bounds := relation.Chunks(len(rows))
+	parts := make([][]relation.Tuple, len(bounds))
+	err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+		kept := make([]relation.Tuple, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ok, err := prog.EvalBool(rows[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				kept = append(kept, rows[i])
+			}
+		}
+		parts[c] = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]relation.Tuple, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// orderRef is one compiled ORDER BY key: either a projection of the output
+// tuple (an output-alias reference) or a program over the evaluation row.
+type orderRef struct {
+	outCol int
+	prog   *expr.Program
+}
+
+// compileOrderRefs compiles the ORDER BY keys, resolving output aliases
+// first exactly as orderKeys does. The bool is false when any key needs the
+// interpreter.
+func compileOrderRefs(orderBy []OrderItem, schema relation.Schema, outer expr.Env, compileExpr func(expr.Expr) *expr.Program) ([]orderRef, bool) {
+	refs := make([]orderRef, len(orderBy))
+	for i, o := range orderBy {
+		if c, ok := o.Expr.(*expr.ColumnRef); ok {
+			if j := schema.IndexOf(c.Name); j >= 0 {
+				refs[i] = orderRef{outCol: j}
+				continue
+			}
+		}
+		p := compileExpr(o.Expr)
+		if p == nil {
+			return nil, false
+		}
+		refs[i] = orderRef{outCol: -1, prog: p}
+	}
+	return refs, true
+}
+
+// evalOrderRefs produces one row's sort keys from the compiled refs.
+func evalOrderRefs(refs []orderRef, tuple relation.Tuple, row []value.Value) ([]value.Value, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	keys := make([]value.Value, len(refs))
+	for i, r := range refs {
+		if r.prog == nil {
+			keys[i] = tuple[r.outCol]
+			continue
+		}
+		v, err := r.prog.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// compiledPlain is the compiled, parallel variant of execPlain: every item
+// and ORDER BY key compiled once, output slots pre-sized so chunks write
+// disjoint indexes. The bool reports whether the fast path ran.
+func compiledPlain(src *source, stmt *SelectStmt, items []SelectItem, schema relation.Schema, rows []relation.Tuple, outer expr.Env) (*relation.Relation, [][]value.Value, bool, error) {
+	itemProgs := make([]*expr.Program, len(items))
+	for i, it := range items {
+		if itemProgs[i] = compileOn(src, it.Expr, outer); itemProgs[i] == nil {
+			return nil, nil, false, nil
+		}
+	}
+	out := relation.New("result", schema)
+	refs, ok := compileOrderRefs(stmt.OrderBy, out.Schema, outer, func(e expr.Expr) *expr.Program {
+		return compileOn(src, e, outer)
+	})
+	if !ok {
+		return nil, nil, false, nil
+	}
+	out.Rows = make([]relation.Tuple, len(rows))
+	sortVals := make([][]value.Value, len(rows))
+	err := relation.ForChunks(len(rows), func(_, lo, hi int) error {
+		for ri := lo; ri < hi; ri++ {
+			tuple := make(relation.Tuple, len(items))
+			for i, p := range itemProgs {
+				v, err := p.Eval(rows[ri])
+				if err != nil {
+					return err
+				}
+				tuple[i] = widen(v, schema[i].Kind)
+			}
+			out.Rows[ri] = tuple
+			keys, err := evalOrderRefs(refs, tuple, rows[ri])
+			if err != nil {
+				return err
+			}
+			sortVals[ri] = keys
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, true, err
+	}
+	return out, sortVals, true, nil
+}
+
+// rowGroup is one GROUP BY partition in first-appearance order.
+type rowGroup struct {
+	key  []value.Value
+	rows []relation.Tuple
+}
+
+// buildRowGroups partitions the filtered rows by the GROUP BY expression
+// values. When the keys compile, the per-row key strings are computed in
+// parallel chunks first; the grouping scan itself stays sequential to keep
+// first-appearance order. An aggregate query without GROUP BY yields one
+// group even over empty input.
+func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) ([]*rowGroup, error) {
+	nG := len(stmt.GroupBy)
+	progs := make([]*expr.Program, nG)
+	compiled := true
+	for i, g := range stmt.GroupBy {
+		if progs[i] = compileOn(src, g, outer); progs[i] == nil {
+			compiled = false
+			break
+		}
+	}
+	var keyVals [][]value.Value
+	var keyStrs []string
+	if compiled && nG > 0 {
+		keyVals = make([][]value.Value, len(rows))
+		keyStrs = make([]string, len(rows))
+		err := relation.ForChunks(len(rows), func(_, lo, hi int) error {
+			var kb strings.Builder
+			for ri := lo; ri < hi; ri++ {
+				key := make([]value.Value, nG)
+				kb.Reset()
+				for i, p := range progs {
+					v, err := p.Eval(rows[ri])
+					if err != nil {
+						return err
+					}
+					key[i] = v
+					kb.WriteString(v.Key())
+					kb.WriteByte('\x1f')
+				}
+				keyVals[ri] = key
+				keyStrs[ri] = kb.String()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var groups []*rowGroup
+	index := map[string]*rowGroup{}
+	for ri, row := range rows {
+		var key []value.Value
+		var k string
+		if keyStrs != nil {
+			key, k = keyVals[ri], keyStrs[ri]
+		} else {
+			env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
+			key = make([]value.Value, nG)
+			var kb strings.Builder
+			for i, g := range stmt.GroupBy {
+				v, err := expr.Eval(g, env)
+				if err != nil {
+					return nil, err
+				}
+				key[i] = v
+				kb.WriteString(v.Key())
+				kb.WriteByte('\x1f')
+			}
+			k = kb.String()
+		}
+		grp := index[k]
+		if grp == nil {
+			grp = &rowGroup{key: key}
+			index[k] = grp
+			groups = append(groups, grp)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	if nG == 0 && len(groups) == 0 {
+		groups = append(groups, &rowGroup{})
+	}
+	return groups, nil
+}
+
+// accumulateGroup computes every lifted aggregate over one group's rows. A
+// nil program marks COUNT(*). With chunking enabled (the single-group case,
+// where cross-group parallelism has nothing to chew on) the rows split into
+// chunks whose partial accumulators merge in chunk order.
+func accumulateGroup(aggs []liftedAgg, aggProgs []*expr.Program, rows []relation.Tuple, chunked bool) ([]value.Value, error) {
+	accumulate := func(lo, hi int) ([]*relation.Accumulator, error) {
+		accs := make([]*relation.Accumulator, len(aggs))
+		for i, a := range aggs {
+			accs[i] = relation.NewAccumulator(a.fn)
+		}
+		for ri := lo; ri < hi; ri++ {
+			for ai, a := range aggs {
+				v := value.NewInt(1)
+				if !a.star {
+					var err error
+					v, err = aggProgs[ai].Eval(rows[ri])
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := accs[ai].Add(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return accs, nil
+	}
+	var accs []*relation.Accumulator
+	bounds := relation.Chunks(len(rows))
+	if !chunked || len(bounds) <= 1 {
+		var err error
+		accs, err = accumulate(0, len(rows))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		parts := make([][]*relation.Accumulator, len(bounds))
+		err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+			a, err := accumulate(lo, hi)
+			if err != nil {
+				return err
+			}
+			parts[c] = a
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		accs = parts[0]
+		for _, p := range parts[1:] {
+			for ai := range accs {
+				accs[ai].Merge(p[ai])
+			}
+		}
+	}
+	results := make([]value.Value, len(aggs))
+	for ai, acc := range accs {
+		results[ai] = acc.Result()
+	}
+	return results, nil
+}
+
+// compiledGroupOutput is the compiled, parallel variant of execGrouped's
+// output loop. Aggregate arguments compile against the source layout;
+// HAVING, items and ORDER BY keys compile against the extended layout of
+// source columns plus one slot per lifted aggregate. Groups process in
+// parallel chunks (chunk-local outputs concatenated in chunk order); the
+// single-group case chunks the aggregate accumulation instead. The bool
+// reports whether the fast path ran.
+func compiledGroupOutput(src *source, groups []*rowGroup, aggs []liftedAgg, items []SelectItem, having expr.Expr, orderBy []OrderItem, schema relation.Schema, outer expr.Env) (*relation.Relation, [][]value.Value, bool, error) {
+	nSrc := len(src.rel.Schema)
+	res := extResolver(src, len(aggs))
+	compileExt := func(e expr.Expr) *expr.Program {
+		if !compileSafe(e, outer) {
+			return nil
+		}
+		p, err := expr.Compile(e, res)
+		if err != nil {
+			return nil
+		}
+		return p
+	}
+	aggProgs := make([]*expr.Program, len(aggs))
+	chunkSafe := true
+	kindOf := func(name string) (value.Kind, bool) {
+		i, err := src.resolve(name)
+		if err != nil {
+			return value.KindNull, false
+		}
+		return src.rel.Schema[i].Kind, true
+	}
+	for i, a := range aggs {
+		if a.star {
+			continue
+		}
+		if aggProgs[i] = compileOn(src, a.arg, outer); aggProgs[i] == nil {
+			return nil, nil, false, nil
+		}
+		// Chunked accumulation must be bit-identical to the sequential
+		// scan; float-stream summing is not (addition re-associates), so
+		// any such aggregate keeps the whole pass sequential.
+		in, err := expr.Check(a.arg, kindOf)
+		if err != nil || !relation.MergeExact(a.fn, in) {
+			chunkSafe = false
+		}
+	}
+	var havingProg *expr.Program
+	if having != nil {
+		if havingProg = compileExt(having); havingProg == nil {
+			return nil, nil, false, nil
+		}
+	}
+	itemProgs := make([]*expr.Program, len(items))
+	for i, it := range items {
+		if itemProgs[i] = compileExt(it.Expr); itemProgs[i] == nil {
+			return nil, nil, false, nil
+		}
+	}
+	out := relation.New("result", schema)
+	refs, ok := compileOrderRefs(orderBy, out.Schema, outer, compileExt)
+	if !ok {
+		return nil, nil, false, nil
+	}
+
+	type part struct {
+		rows []relation.Tuple
+		keys [][]value.Value
+	}
+	bounds := relation.Chunks(len(groups))
+	parts := make([]part, len(bounds))
+	chunkRows := len(groups) == 1 && chunkSafe
+	err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+		p := &parts[c]
+		for gi := lo; gi < hi; gi++ {
+			grp := groups[gi]
+			results, err := accumulateGroup(aggs, aggProgs, grp.rows, chunkRows)
+			if err != nil {
+				return err
+			}
+			// Extended row: a representative source row (all NULL for the
+			// empty ungrouped group) followed by the aggregate results.
+			ext := make(relation.Tuple, nSrc+len(aggs))
+			if len(grp.rows) > 0 {
+				copy(ext, grp.rows[0])
+			}
+			copy(ext[nSrc:], results)
+			if havingProg != nil {
+				ok, err := havingProg.EvalBool(ext)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			tuple := make(relation.Tuple, len(items))
+			for i, ip := range itemProgs {
+				v, err := ip.Eval(ext)
+				if err != nil {
+					return err
+				}
+				tuple[i] = widen(v, schema[i].Kind)
+			}
+			keys, err := evalOrderRefs(refs, tuple, ext)
+			if err != nil {
+				return err
+			}
+			p.rows = append(p.rows, tuple)
+			p.keys = append(p.keys, keys)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, true, err
+	}
+	sortVals := make([][]value.Value, 0, len(groups))
+	for _, p := range parts {
+		out.Rows = append(out.Rows, p.rows...)
+		sortVals = append(sortVals, p.keys...)
+	}
+	return out, sortVals, true, nil
+}

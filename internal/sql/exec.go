@@ -429,17 +429,25 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 		if expr.ContainsAggregate(stmt.Where) {
 			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
 		}
-		kept := make([]relation.Tuple, 0, len(rows))
-		for _, row := range rows {
-			ok, err := expr.EvalBool(stmt.Where, rowEnv{src: src, row: row, db: db, outer: outer, subs: subs})
+		if prog := compileOn(src, stmt.Where, outer); prog != nil {
+			kept, err := filterRows(rows, prog)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				kept = append(kept, row)
+			rows = kept
+		} else {
+			kept := make([]relation.Tuple, 0, len(rows))
+			for _, row := range rows {
+				ok, err := expr.EvalBool(stmt.Where, rowEnv{src: src, row: row, db: db, outer: outer, subs: subs})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, row)
+				}
 			}
+			rows = kept
 		}
-		rows = kept
 	}
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || hasAggregates(stmt)
@@ -499,6 +507,12 @@ func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, out
 	if err != nil {
 		return nil, nil, err
 	}
+	if out, sortVals, handled, err := compiledPlain(src, stmt, items, schema, rows, outer); handled {
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, sortVals, nil
+	}
 	out := relation.New("result", schema)
 	sortVals := make([][]value.Value, 0, len(rows))
 	for _, row := range rows {
@@ -529,36 +543,9 @@ func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, o
 		}
 	}
 	// Group rows by the GROUP BY expression values.
-	type group struct {
-		key  []value.Value
-		rows []relation.Tuple
-	}
-	var groups []*group
-	index := map[string]*group{}
-	for _, row := range rows {
-		env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
-		key := make([]value.Value, len(stmt.GroupBy))
-		var kb strings.Builder
-		for i, g := range stmt.GroupBy {
-			v, err := expr.Eval(g, env)
-			if err != nil {
-				return nil, nil, err
-			}
-			key[i] = v
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
-		}
-		k := kb.String()
-		grp := index[k]
-		if grp == nil {
-			grp = &group{key: key}
-			index[k] = grp
-			groups = append(groups, grp)
-		}
-		grp.rows = append(grp.rows, row)
-	}
-	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
-		groups = append(groups, &group{}) // aggregate over empty input
+	groups, err := buildRowGroups(db, src, stmt, rows, outer, subs)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// Collect every aggregate call appearing in the statement.
@@ -622,6 +609,12 @@ func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, o
 	schema, err := groupedSchema(src, stmt, items, aggs)
 	if err != nil {
 		return nil, nil, err
+	}
+	if out, sortVals, handled, err := compiledGroupOutput(src, groups, aggs, items, having, orderBy, schema, outer); handled {
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, sortVals, nil
 	}
 	out := relation.New("result", schema)
 	sortVals := make([][]value.Value, 0, len(groups))
