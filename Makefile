@@ -5,8 +5,12 @@ GO ?= go
 build:
 	$(GO) build ./...
 
+# The obs registry and the instrumented server are the most
+# concurrency-sensitive packages, so test always re-runs them under the
+# race detector (full-tree race stays available as `make race`).
 test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs ./internal/server
 
 race:
 	$(GO) test -race ./...
@@ -19,6 +23,8 @@ bench:
 
 # bench-json records the benchmark suite into BENCH_eval.json: the file's
 # previous "after" snapshot becomes "before", and this run becomes "after".
+# BenchmarkInstrumentedEval/{bare,instrumented}/* pairs land in the same
+# file; their ratio is the observability layer's overhead (budget <5%).
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
 

@@ -1,0 +1,75 @@
+// Instrumentation-overhead benchmarks: the same eval-pipeline workloads
+// as the operator benchmarks, run once with the obs registry recording
+// (the default) and once with recording disabled. Comparing the
+// bare/instrumented pairs in BENCH_eval.json prices the observability
+// layer itself; the budget is <5% on every workload.
+package sheetmusiq
+
+import (
+	"testing"
+
+	"sheetmusiq/internal/core"
+	"sheetmusiq/internal/obs"
+	"sheetmusiq/internal/relation"
+)
+
+// obsWorkloads are the eval-pipeline shapes that cross every instrumented
+// layer: predicate compile + chunked filter, compiled formula fill, and
+// grouped aggregation (including the chunk merge path).
+var obsWorkloads = []struct {
+	name string
+	run  func(b *testing.B, base *core.Spreadsheet)
+}{
+	{"Selection10k", func(b *testing.B, base *core.Spreadsheet) {
+		s := base.Clone()
+		if _, err := s.Select("Price < 20000 AND Condition IN ('Good','Excellent')"); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}},
+	{"Formula10k", func(b *testing.B, base *core.Spreadsheet) {
+		s := base.Clone()
+		if _, err := s.Formula("PerMile", "Price * 1000 / (Mileage + 1)"); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}},
+	{"GroupAggregate10k", func(b *testing.B, base *core.Spreadsheet) {
+		s := base.Clone()
+		if err := s.GroupBy(core.Asc, "Model"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Aggregate(relation.AggAvg, "Price", 2); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}},
+}
+
+// BenchmarkInstrumentedEval runs each workload under bare (recording off)
+// and instrumented (recording on) modes. The instrumentation contract —
+// per-stage and per-op recording only, never per-row — holds when the
+// instrumented/bare ratio stays under 1.05.
+func BenchmarkInstrumentedEval(b *testing.B) {
+	wasEnabled := obs.Enabled()
+	defer obs.SetEnabled(wasEnabled)
+
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"bare", false}, {"instrumented", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.SetEnabled(mode.enabled)
+			for _, w := range obsWorkloads {
+				b.Run(w.name, func(b *testing.B) {
+					base := scaleSheet(b, 10000)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						w.run(b, base)
+					}
+				})
+			}
+		})
+	}
+}

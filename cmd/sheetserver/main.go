@@ -11,18 +11,25 @@
 //	curl -s -X POST localhost:8080/v1/sessions/s1/op -d '{"op":"demo","table":"cars"}'
 //	curl -s -X POST localhost:8080/v1/sessions/s1/op -d '{"op":"select","predicate":"Year = 2005"}'
 //	curl -s localhost:8080/v1/sessions/s1/render
+//	curl -s localhost:8080/v1/metrics
 //
 // Each POST …/op applies exactly one algebra step — the paper's
 // one-operation-at-a-time interaction model, preserved over the wire.
+//
+// Observability: GET /v1/metrics returns the live metrics snapshot
+// (DESIGN.md §8 documents the series), -pprof mounts net/http/pprof under
+// /debug/pprof/, and -log-level debug logs one structured line per request
+// with its request ID and engine span timings.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,6 +37,22 @@ import (
 	"sheetmusiq/internal/sql"
 	"sheetmusiq/internal/tpch"
 )
+
+// newLogger builds the process logger from the -log-level/-log-json flags.
+func newLogger(level string, jsonOut bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -41,17 +64,32 @@ func main() {
 		"pre-generate TPC-H tables at this scale factor and register them in every session (0 disables)")
 	allowFS := flag.Bool("allow-fs", false,
 		"permit ops that read/write server-local files (load, savestate, loadstate, export)")
+	enablePprof := flag.Bool("pprof", false,
+		"mount net/http/pprof under /debug/pprof/ on the API listener")
+	logLevel := flag.String("log-level", "info",
+		"log verbosity: debug (per-request lines with span timings), info, warn, error")
+	logJSON := flag.Bool("log-json", false,
+		"emit logs as JSON instead of text")
 	flag.Parse()
+
+	logger, err := newLogger(strings.ToUpper(*logLevel), *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sheetserver:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	cfg := server.Config{
 		MaxSessions:     *maxSessions,
 		IdleTTL:         *idleTTL,
 		AllowFilesystem: *allowFS,
+		EnablePprof:     *enablePprof,
+		Logger:          logger,
 	}
 	if sf := *tpchScale; sf > 0 {
 		// Generate once; every session's private registry gets the same
 		// relations (they are read-only, so sharing the backing data is safe).
-		log.Printf("generating TPC-H tables at scale factor %v", sf)
+		logger.Info("generating TPC-H tables", "scale_factor", sf)
 		tb := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: 1})
 		rels := tb.All()
 		cfg.Seed = func(db *sql.DB) error {
@@ -66,11 +104,12 @@ func main() {
 	defer stop()
 
 	m := server.NewManager(cfg)
-	log.Printf("sheetserver listening on %s (max sessions %d, idle TTL %s)",
-		*addr, *maxSessions, *idleTTL)
+	logger.Info("sheetserver listening",
+		"addr", *addr, "max_sessions", *maxSessions, "idle_ttl", *idleTTL,
+		"pprof", *enablePprof)
 	if err := server.ListenAndServe(ctx, *addr, m); err != nil {
-		fmt.Fprintln(os.Stderr, "sheetserver:", err)
+		logger.Error("sheetserver failed", "err", err)
 		os.Exit(1)
 	}
-	log.Print("sheetserver: drained and stopped")
+	logger.Info("sheetserver drained and stopped")
 }

@@ -5,8 +5,25 @@ import (
 	"strings"
 
 	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 	"sheetmusiq/internal/value"
+)
+
+// Evaluation-pipeline metrics, recorded once per (uncached) replay — per
+// evaluation and per stage, never per row. evalReplayOps accumulates the
+// replayed operator count (selections + computed columns + grouping +
+// ordering), so evalReplayOps/evalCount is the mean replay length.
+// evalMergeFallback counts aggregate passes forced sequential because
+// chunked merging would not be bit-identical (relation.MergeExact) — the
+// determinism contract of the parallel pipeline.
+var (
+	evalCount         = obs.Default.Counter("core.eval.count")
+	evalCacheHits     = obs.Default.Counter("core.eval.cache_hits")
+	evalReplayOps     = obs.Default.Counter("core.eval.replay_ops")
+	evalMergeFallback = obs.Default.Counter("core.eval.merge_fallback")
+	evalCompileSec    = obs.Default.Histogram("core.eval.compile_seconds")
+	evalSec           = obs.Default.Histogram("core.eval.seconds")
 )
 
 // Group is one node of the recursive grouping tree (Sec. II-A). The root is
@@ -75,6 +92,7 @@ func schemaResolver(schema relation.Schema) expr.Resolver {
 // (copy the table before mutating it).
 func (s *Spreadsheet) Evaluate() (*Result, error) {
 	if s.cacheResult != nil && s.cacheVersion == s.version {
+		evalCacheHits.Inc()
 		return s.cacheResult, nil
 	}
 	res, err := s.evaluate()
@@ -93,6 +111,12 @@ func (s *Spreadsheet) Evaluate() (*Result, error) {
 // concatenated (or merged) in chunk order, so the output is identical to
 // the sequential scan.
 func (s *Spreadsheet) evaluate() (*Result, error) {
+	evalCount.Inc()
+	evalReplayOps.Add(int64(len(s.state.selections) + len(s.state.computed) +
+		len(s.state.hidden) + len(s.state.grouping) + len(s.state.finest)))
+	evalStart := obs.StartTimer()
+	defer evalSec.Since(evalStart)
+
 	// Working schema: every base column (hidden ones still participate in
 	// predicates) followed by the computed columns. The schema is fixed
 	// for the whole evaluation, so expressions compile against it once.
@@ -146,6 +170,7 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 	// Compile every selection predicate once against the working schema.
 	// Compilation only declines subqueries, which the algebra rejects at
 	// operator time, but keep the tree-walking fallback for safety.
+	compileStart := obs.StartTimer()
 	resolve := schemaResolver(work.Schema)
 	selProgs := make([]*expr.Program, len(s.state.selections))
 	for i, sel := range s.state.selections {
@@ -153,6 +178,7 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 			selProgs[i] = p
 		}
 	}
+	evalCompileSec.Since(compileStart)
 
 	for d := 0; d <= maxD; d++ {
 		// Aggregate columns of depth d see rows surviving selections < d.
@@ -332,6 +358,7 @@ func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) 
 	if len(bounds) > 1 && !relation.MergeExact(c.Agg, work.Schema[in].Kind) {
 		// Float-stream summing is not associative; stay sequential so the
 		// result is bit-identical to the one-chunk scan.
+		evalMergeFallback.Inc()
 		bounds = [][2]int{{0, len(rows)}}
 	}
 	parts := make([]map[string]*relation.Accumulator, len(bounds))

@@ -8,6 +8,7 @@ import (
 
 	"sheetmusiq/internal/core"
 	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 	"sheetmusiq/internal/sql"
 	"sheetmusiq/internal/theorem1"
@@ -75,14 +76,20 @@ func (o Op) TouchesFilesystem() bool {
 //	persistence:   savestate, loadstate, export
 //	compilation:   compile
 func (e *Engine) Apply(op Op) (*Effect, error) {
-	fn, ok := e.dispatch(op.Op)
+	kind := strings.ToLower(op.Op)
+	fn, ok := e.dispatch(kind)
 	if !ok {
+		opUnknown.Inc()
 		return nil, fmt.Errorf("engine: unknown op %q", op.Op)
 	}
+	start := obs.StartTimer()
 	eff, err := fn(op)
+	obs.Default.Histogram("engine.op_seconds."+kind).Since(start)
 	if err != nil {
+		obs.Default.Counter("engine.op_errors."+kind).Inc()
 		return nil, err
 	}
+	obs.Default.Counter("engine.ops."+kind).Inc()
 	eff.Op = op.Op
 	eff.Sheet = e.SheetName()
 	eff.Version = e.Version()
@@ -94,8 +101,12 @@ func (e *Engine) Apply(op Op) (*Effect, error) {
 	return eff, nil
 }
 
+// opUnknown counts dispatch misses (bad op names from clients).
+var opUnknown = obs.Default.Counter("engine.ops.unknown")
+
+// dispatch resolves a lower-cased op kind to its handler.
 func (e *Engine) dispatch(kind string) (func(Op) (*Effect, error), bool) {
-	switch strings.ToLower(kind) {
+	switch kind {
 	case "demo":
 		return e.opDemo, true
 	case "load":

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/value"
 )
 
@@ -44,10 +45,22 @@ type Program struct {
 func Compile(e Expr, resolve Resolver) (*Program, error) {
 	fn, err := compile(e, resolve)
 	if err != nil {
+		if errors.Is(err, ErrNotCompilable) {
+			compileDeclined.Inc()
+		}
 		return nil, err
 	}
+	compileOK.Inc()
 	return &Program{src: e, fn: fn}, nil
 }
+
+// Compile outcome counters: compileDeclined counts ErrNotCompilable
+// declines (subqueries falling back to the tree-walking interpreter), the
+// fast-path miss the metrics endpoint surfaces as expr.compile.declined.
+var (
+	compileOK       = obs.Default.Counter("expr.compile.ok")
+	compileDeclined = obs.Default.Counter("expr.compile.declined")
+)
 
 // Source returns the expression the program was compiled from.
 func (p *Program) Source() Expr { return p.src }

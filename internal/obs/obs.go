@@ -1,0 +1,406 @@
+// Package obs is the dependency-free observability substrate of the
+// system: a metrics registry (atomic counters, gauges, and fixed-bucket
+// latency histograms with snapshot/merge) plus lightweight request tracing
+// (per-request IDs and span timings threaded via context.Context).
+//
+// Everything here is stdlib-only and safe for concurrent use. The hot
+// layers — the HTTP server, the engine command surface, and the parallel
+// evaluation pipeline — record at stage granularity (one increment per
+// request, per operator, per chunked pass), never per row, so the
+// instrumented build stays within a few percent of the bare one
+// (BenchmarkInstrumentedEval pins the overhead).
+//
+// Metric names are dotted paths: "server.requests.op",
+// "engine.op_seconds.select", "core.eval.merge_fallback". A process
+// normally uses the package-level Default registry; tests may construct
+// private registries with NewRegistry.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates every recording call. It exists so benchmarks can measure
+// the bare (uninstrumented) cost of a workload in the same binary; servers
+// leave it on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns recording on or off process-wide. With recording off,
+// Counter/Gauge/Histogram mutations and StartTimer become no-ops; reads
+// still work. Intended for benchmarks, not for request-time toggling.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// StartTimer returns the current time when recording is enabled and the
+// zero time otherwise, so disabled builds skip the clock read too. Pair it
+// with Histogram.Since.
+func StartTimer() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (recording must be enabled).
+func (c *Counter) Add(d int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is an atomically updated instantaneous value (e.g. in-flight
+// requests, live sessions).
+type Gauge struct{ n atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.n.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.n.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// numBounds is the number of finite histogram bounds; each Histogram has
+// one extra +Inf overflow bucket.
+const numBounds = 15
+
+// DefaultBuckets are the histogram upper bounds: 1µs to 10s in a 1-5-10
+// ladder, plus an implicit +Inf overflow bucket. They cover everything from
+// a single compiled-predicate pass to a cold TPC-H generation.
+var DefaultBuckets = [numBounds]time.Duration{
+	time.Microsecond,
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram: one atomic count per
+// DefaultBuckets bound plus an overflow bucket, and exact (integer
+// nanosecond) count/sum so snapshots merge associatively.
+type Histogram struct {
+	counts [numBounds + 1]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Since records the time elapsed from a StartTimer call. A zero start
+// (recording was disabled at StartTimer) records nothing, so a toggle
+// mid-request cannot record a garbage duration.
+func (h *Histogram) Since(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// bucketIndex finds the first bound >= d; len(DefaultBuckets) is overflow.
+func bucketIndex(d time.Duration) int {
+	lo, hi := 0, len(DefaultBuckets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= DefaultBuckets[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		Buckets:  make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts and the
+// nanosecond sum are exact integers, so Merge is associative and
+// commutative: merging per-shard snapshots in any order yields the same
+// totals.
+type HistogramSnapshot struct {
+	Count    int64   `json:"count"`
+	SumNanos int64   `json:"sum_ns"`
+	Buckets  []int64 `json:"buckets"` // one per DefaultBuckets bound, then +Inf
+}
+
+// Merge folds o into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.SumNanos += o.SumNanos
+	if s.Buckets == nil {
+		s.Buckets = make([]int64, len(DefaultBuckets)+1)
+	}
+	for i := range o.Buckets {
+		if i < len(s.Buckets) {
+			s.Buckets[i] += o.Buckets[i]
+		}
+	}
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// MarshalJSON renders the snapshot with human-readable bucket bounds:
+// {"count":N,"sum_ns":S,"mean_ns":M,"buckets":{"<=1ms":n,...,"+Inf":n}}.
+// Empty buckets are omitted; key order follows the bound ladder via an
+// ordered object built by hand (encoding/json maps would sort
+// lexically, putting "<=10ms" before "<=1ms").
+func (s HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	var buckets []bucket
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(DefaultBuckets) {
+			le = DefaultBuckets[i].String()
+		}
+		buckets = append(buckets, bucket{Le: le, Count: n})
+	}
+	return json.Marshal(struct {
+		Count    int64    `json:"count"`
+		SumNanos int64    `json:"sum_ns"`
+		MeanNano int64    `json:"mean_ns"`
+		Buckets  []bucket `json:"buckets,omitempty"`
+	}{s.Count, s.SumNanos, int64(s.Mean()), buckets})
+}
+
+// UnmarshalJSON inverts MarshalJSON, so a scraped /v1/metrics document
+// round-trips into Snapshot values that Merge can fold across shards.
+func (s *HistogramSnapshot) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Count    int64 `json:"count"`
+		SumNanos int64 `json:"sum_ns"`
+		Buckets  []struct {
+			Le    string `json:"le"`
+			Count int64  `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	s.Count = wire.Count
+	s.SumNanos = wire.SumNanos
+	s.Buckets = make([]int64, numBounds+1)
+	for _, b := range wire.Buckets {
+		i := numBounds // "+Inf" and unknown bounds land in overflow
+		if d, err := time.ParseDuration(b.Le); err == nil {
+			i = bucketIndex(d)
+		}
+		s.Buckets[i] += b.Count
+	}
+	return nil
+}
+
+// Registry is a named-metric table. Lookups get-or-create under an RWMutex;
+// callers on hot paths resolve their metrics once (package-level vars) and
+// then touch only the atomics.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry every built-in instrumentation site
+// records into and GET /v1/metrics serves.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of a whole registry. Maps marshal with
+// sorted keys under encoding/json, so two snapshots of identical state
+// produce byte-identical JSON (the determinism the metrics endpoint and its
+// tests rely on).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric currently in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge folds o into s: counters, gauges and histograms add (gauges are
+// additive quantities like in-flight counts, so summing shards is the
+// meaningful combination). Merge is associative and commutative.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+}
+
+// Counter delta helpers for tests: CounterValue reads a counter without
+// creating it when absent.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}

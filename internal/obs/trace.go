@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: a per-request ID plus the timed spans recorded while
+// serving it, both carried through context.Context. The server's middleware
+// opens a trace per request; handlers (and anything they call with the
+// request context) wrap interesting sections in StartSpan, and the
+// middleware logs the assembled span summary alongside the request line.
+
+type ctxKey int
+
+const (
+	ridKey ctxKey = iota
+	traceKey
+)
+
+// ridFallback distinguishes request IDs when the random source fails.
+var ridFallback atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-character request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Trace accumulates the spans of one request. Safe for concurrent use: a
+// handler may fan work out and record spans from several goroutines.
+type Trace struct {
+	ID string
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace starts an empty trace with the given request ID.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// add appends a finished span.
+func (t *Trace) add(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the finished spans in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Summary renders the spans as "name=dur name=dur …" for log lines; empty
+// when no spans were recorded.
+func (t *Trace) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		b.WriteString(s.Duration.Round(time.Microsecond).String())
+	}
+	return b.String()
+}
+
+// Span is an in-flight timed section.
+type Span struct {
+	name  string
+	start time.Time
+	trace *Trace
+	hist  *Histogram
+}
+
+// StartSpan opens a span named name on the context's trace. It is safe to
+// call with any context: without a trace (or with recording disabled) the
+// span is inert and End is a no-op.
+func StartSpan(ctx context.Context, name string) *Span {
+	t := TraceFrom(ctx)
+	if t == nil || !enabled.Load() {
+		return &Span{}
+	}
+	return &Span{name: name, start: time.Now(), trace: t}
+}
+
+// WithHistogram also records the span's duration into h at End.
+func (s *Span) WithHistogram(h *Histogram) *Span {
+	s.hist = h
+	return s
+}
+
+// End finishes the span, recording it on the trace (and the attached
+// histogram, if any). It returns the span duration.
+func (s *Span) End() time.Duration {
+	if s.trace == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.trace.add(SpanRecord{Name: s.name, Duration: d})
+	if s.hist != nil {
+		s.hist.Observe(d)
+	}
+	return d
+}

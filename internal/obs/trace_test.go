@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context should have no request id")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q", got)
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpansRecordOnTrace(t *testing.T) {
+	tr := NewTrace("rid")
+	ctx := WithTrace(context.Background(), tr)
+
+	sp := StartSpan(ctx, "work")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+
+	var h Histogram
+	StartSpan(ctx, "timed").WithHistogram(&h).End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "work" || spans[1].Name != "timed" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if h.Snapshot().Count != 1 {
+		t.Fatal("WithHistogram did not record")
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "work=") || !strings.Contains(sum, "timed=") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+// TestSpanWithoutTrace: spans on a bare context are inert, not panics.
+func TestSpanWithoutTrace(t *testing.T) {
+	sp := StartSpan(context.Background(), "orphan")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("orphan span duration = %v", d)
+	}
+}
+
+// TestTraceConcurrent records spans from many goroutines; under -race this
+// is the trace's data-race check.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("rid")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				StartSpan(ctx, "s").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+}

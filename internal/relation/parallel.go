@@ -3,6 +3,8 @@ package relation
 import (
 	"runtime"
 	"sync"
+
+	"sheetmusiq/internal/obs"
 )
 
 // Data-parallel stage execution. The replay loop of the spreadsheet algebra
@@ -51,12 +53,27 @@ func Chunks(n int) [][2]int {
 	return bounds
 }
 
+// Chunking metrics, recorded per stage pass (never per row): how many
+// passes stayed sequential, how many fanned out, and the total number of
+// chunk goroutine bodies spawned by the parallel passes.
+var (
+	chunkRunsSequential = obs.Default.Counter("relation.chunk_runs.sequential")
+	chunkRunsParallel   = obs.Default.Counter("relation.chunk_runs.parallel")
+	chunksSpawned       = obs.Default.Counter("relation.chunks.spawned")
+)
+
 // RunChunks invokes fn(chunk, lo, hi) for every chunk, concurrently when
 // there is more than one. It returns the first error in chunk order.
 func RunChunks(bounds [][2]int, fn func(chunk, lo, hi int) error) error {
 	if len(bounds) == 1 {
+		chunkRunsSequential.Inc()
 		return fn(0, bounds[0][0], bounds[0][1])
 	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	chunkRunsParallel.Inc()
+	chunksSpawned.Add(int64(len(bounds)))
 	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
 	for c, b := range bounds {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sheetmusiq/internal/engine"
+	"sheetmusiq/internal/obs"
 )
 
 // The HTTP/JSON surface. One algebra operator per request, mirroring the
@@ -26,15 +27,20 @@ import (
 //	GET    /v1/sessions/{id}/menu/{column}  the Sec. VI contextual menu
 //	GET    /v1/sessions/{id}/tables  the session's raw tables
 //	GET    /v1/catalog               the shared stored-sheet catalog
+//	GET    /v1/metrics               process metrics snapshot (obs registry)
 //	GET    /v1/healthz               liveness
 //
-// Errors are JSON: {"error": "..."} with 400 (bad op), 403 (filesystem op
-// while disabled), 404 (unknown session), 409 (no current sheet), or 410
-// (session closed mid-request).
+// Every response carries an X-Request-ID header (the inbound one when the
+// caller set it, a fresh one otherwise). Errors are JSON:
+// {"error": "...", "request_id": "..."} with 400 (bad op), 403 (filesystem
+// op while disabled), 404 (unknown session), 409 (no current sheet), or
+// 410 (session closed mid-request).
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. RequestID ties a client-side
+// failure report to the server's log line for the same request.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // createRequest is the POST /v1/sessions body.
@@ -61,15 +67,22 @@ type sqlResponse struct {
 	Stages []string `json:"stages"`
 }
 
-// NewHandler builds the API handler over a session manager.
+// NewHandler builds the API handler over a session manager. Every route is
+// registered through Manager.instrument, which provides per-route metrics,
+// request-ID propagation, and the per-request log line.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern, route string, fn http.HandlerFunc) {
+		mux.HandleFunc(pattern, m.instrument(route, fn))
+	}
 
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/metrics", "metrics", metricsHandler)
+
+	handle("GET /v1/catalog", "catalog", func(w http.ResponseWriter, r *http.Request) {
 		names := m.Catalog().Names()
 		if names == nil {
 			names = []string{}
@@ -77,84 +90,84 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string][]string{"sheets": names})
 	})
 
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/sessions", "session_create", func(w http.ResponseWriter, r *http.Request) {
 		var req createRequest
 		// Every createRequest field is optional, so a bodiless POST (plain
 		// `curl -X POST`) creates an anonymous session rather than 400ing.
 		if err := decodeBody(r, &req); err != nil && !errors.Is(err, io.EOF) {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		s, err := m.Create(req.Name)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, createResponse{ID: s.ID(), Name: s.Name()})
 	})
 
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions", "session_list", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]Info{"sessions": m.List()})
 	})
 
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/sessions/{id}", "session_close", func(w http.ResponseWriter, r *http.Request) {
 		if !m.Close(r.PathValue("id")) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
-	mux.HandleFunc("POST /v1/sessions/{id}/op", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("POST /v1/sessions/{id}/op", "op", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		var op engine.Op
 		if err := decodeBody(r, &op); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		if op.TouchesFilesystem() && !m.cfg.AllowFilesystem {
-			writeError(w, http.StatusForbidden,
+			writeError(w, r, http.StatusForbidden,
 				fmt.Errorf("op %q touches the server filesystem; start the server with filesystem ops enabled", op.Op))
 			return
 		}
 		var eff *engine.Effect
-		err := s.Do(func(e *engine.Engine) error {
+		err := doSpan(r, s, "engine.apply", func(e *engine.Engine) error {
 			var err error
 			eff, err = e.Apply(op)
 			return err
 		})
 		if err != nil {
-			writeError(w, opStatus(err), err)
+			writeError(w, r, opStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, eff)
 	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/state", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("GET /v1/sessions/{id}/state", "state", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		var st *engine.StateInfo
-		err := s.Do(func(e *engine.Engine) error {
+		err := doSpan(r, s, "engine.state", func(e *engine.Engine) error {
 			var err error
 			st, err = e.State()
 			return err
 		})
 		if err != nil {
-			writeError(w, opStatus(err), err)
+			writeError(w, r, opStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/render", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("GET /v1/sessions/{id}/render", "render", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		limit := 0
 		if q := r.URL.Query().Get("limit"); q != "" {
 			n, err := strconv.Atoi(q)
 			if err != nil || n < 1 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+				writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
 				return
 			}
 			limit = n
 		}
 		var resp renderResponse
-		err := s.Do(func(e *engine.Engine) error {
+		err := doSpan(r, s, "engine.render", func(e *engine.Engine) error {
 			grid, err := e.Grid(limit)
 			if err != nil {
 				return err
@@ -167,15 +180,15 @@ func NewHandler(m *Manager) http.Handler {
 			return nil
 		})
 		if err != nil {
-			writeError(w, opStatus(err), err)
+			writeError(w, r, opStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/sql", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("GET /v1/sessions/{id}/sql", "sql", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		var resp sqlResponse
-		err := s.Do(func(e *engine.Engine) error {
+		err := doSpan(r, s, "engine.sql", func(e *engine.Engine) error {
 			text, err := e.SQL()
 			if err != nil {
 				return err
@@ -188,27 +201,27 @@ func NewHandler(m *Manager) http.Handler {
 			return nil
 		})
 		if err != nil {
-			writeError(w, opStatus(err), err)
+			writeError(w, r, opStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/menu/{column}", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("GET /v1/sessions/{id}/menu/{column}", "menu", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		var menu *engine.MenuInfo
-		err := s.Do(func(e *engine.Engine) error {
+		err := doSpan(r, s, "engine.menu", func(e *engine.Engine) error {
 			var err error
 			menu, err = e.Menu(r.PathValue("column"))
 			return err
 		})
 		if err != nil {
-			writeError(w, opStatus(err), err)
+			writeError(w, r, opStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, menu)
 	}))
 
-	mux.HandleFunc("GET /v1/sessions/{id}/tables", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	handle("GET /v1/sessions/{id}/tables", "tables", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		var names []string
 		_ = s.Do(func(e *engine.Engine) error {
 			names = e.TableNames()
@@ -220,7 +233,20 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string][]string{"tables": names})
 	}))
 
+	if m.cfg.EnablePprof {
+		mountPprof(mux)
+	}
+
 	return mux
+}
+
+// doSpan runs fn on the session's engine inside a trace span, so the
+// engine time (including any wait for the per-session mutex) shows up in
+// the request's span summary.
+func doSpan(r *http.Request, s *Session, name string, fn func(*engine.Engine) error) error {
+	sp := obs.StartSpan(r.Context(), name)
+	defer sp.End()
+	return s.Do(fn)
 }
 
 // withSession resolves {id} and hands the session to the handler.
@@ -229,7 +255,7 @@ func withSession(m *Manager, h func(http.ResponseWriter, *http.Request, *Session
 		id := r.PathValue("id")
 		s, ok := m.Get(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("no session %q", id))
 			return
 		}
 		h(w, r, s)
@@ -263,8 +289,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+// writeError emits the JSON error envelope, stamped with the request's ID
+// so a client-reported failure can be matched to the server's log line.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), RequestID: obs.RequestID(r.Context())})
 }
 
 // ListenAndServe runs the API on addr until ctx is cancelled, then drains

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"sheetmusiq/internal/obs"
+)
+
+// Server-layer metrics. Request metrics are per route (the route name, not
+// the raw path, keys the counter so /v1/sessions/{id}/op is one series no
+// matter how many sessions exist); session metrics count lifecycle events
+// by cause plus a live gauge.
+var (
+	srvInflight  = obs.Default.Gauge("server.inflight")
+	sessLive     = obs.Default.Gauge("server.sessions.live")
+	sessCreated  = obs.Default.Counter("server.sessions.created")
+	sessClosed   = obs.Default.Counter("server.sessions.closed")
+	sessEvicted  = obs.Default.Counter("server.sessions.evicted")
+	sessExpired  = obs.Default.Counter("server.sessions.expired")
+)
+
+// closeReason tags closeLocked with the lifecycle counter to bump.
+type closeReason int
+
+const (
+	reasonClosed  closeReason = iota // explicit DELETE
+	reasonEvicted                    // LRU cap
+	reasonExpired                    // idle TTL
+)
+
+func (c closeReason) String() string {
+	switch c {
+	case reasonEvicted:
+		return "evicted"
+	case reasonExpired:
+		return "expired"
+	}
+	return "closed"
+}
+
+func (c closeReason) counter() *obs.Counter {
+	switch c {
+	case reasonEvicted:
+		return sessEvicted
+	case reasonExpired:
+		return sessExpired
+	}
+	return sessClosed
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps one route's handler with the observability envelope:
+//
+//   - request-ID handling: an inbound X-Request-ID is honoured (so a
+//     gateway's ID follows the request through), otherwise one is minted;
+//     either way it is echoed on the response header, carried in the
+//     request context (writeError puts it in JSON error bodies), and
+//     stamped on every log line;
+//   - a per-request obs.Trace, so handler spans (engine calls) show up in
+//     the request log;
+//   - per-route request/error counters and a latency histogram, plus the
+//     process-wide in-flight gauge;
+//   - one structured log line per request.
+func (m *Manager) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.Default.Counter("server.requests." + route)
+	errs := obs.Default.Counter("server.request_errors." + route)
+	lat := obs.Default.Histogram("server.request_seconds." + route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		tr := obs.NewTrace(rid)
+		ctx := obs.WithTrace(obs.WithRequestID(r.Context(), rid), tr)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", rid)
+
+		srvInflight.Add(1)
+		defer srvInflight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		fn(sw, r)
+		dur := time.Since(start)
+		lat.Observe(dur)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+
+		level := slog.LevelDebug
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelError
+		case sw.status >= 400:
+			level = slog.LevelWarn
+		}
+		if !m.log.Enabled(ctx, level) {
+			return
+		}
+		attrs := []slog.Attr{
+			slog.String("rid", rid),
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("dur", dur),
+		}
+		if sid := r.PathValue("id"); sid != "" {
+			attrs = append(attrs, slog.String("session", sid))
+		}
+		if spans := tr.Summary(); spans != "" {
+			attrs = append(attrs, slog.String("spans", spans))
+		}
+		m.log.LogAttrs(ctx, level, "request", attrs...)
+	}
+}
+
+// metricsHandler serves GET /v1/metrics: a JSON snapshot of the process
+// registry — server request/session series, engine per-op series, and the
+// eval-pipeline series from core/relation/sql/expr. Maps marshal with
+// sorted keys, so the document is deterministic for a given state.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}
+
+// mountPprof exposes the standard net/http/pprof handlers on the API mux.
+// Gated behind Config.EnablePprof: profiles reveal internals (and the CPU
+// profile costs real time), so production deployments opt in explicitly.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

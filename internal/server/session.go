@@ -11,6 +11,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,13 @@ type Config struct {
 	// (load/savestate/loadstate/export). Off by default: remote callers
 	// should not touch the server's disk.
 	AllowFilesystem bool
+	// Logger receives one structured line per request (request ID, route,
+	// session, status, duration, engine span timings) plus lifecycle
+	// events. Nil discards logs, which keeps tests quiet.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// handler. Off by default: profiles expose process internals.
+	EnablePprof bool
 }
 
 // Manager owns the session table: create/lookup/close plus idle-TTL and
@@ -48,6 +57,7 @@ type Config struct {
 type Manager struct {
 	cfg     Config
 	catalog *core.Catalog
+	log     *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -66,9 +76,14 @@ func NewManager(cfg Config) *Manager {
 	if cat == nil {
 		cat = core.NewCatalog()
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
 	return &Manager{
 		cfg:      cfg,
 		catalog:  cat,
+		log:      log,
 		sessions: map[string]*Session{},
 		now:      time.Now,
 	}
@@ -153,6 +168,9 @@ func (m *Manager) Create(name string) (*Session, error) {
 		lastUsed: now,
 	}
 	m.sessions[s.id] = s
+	sessCreated.Inc()
+	sessLive.Set(int64(len(m.sessions)))
+	m.log.Debug("session created", "session", s.id, "name", name)
 	return s, nil
 }
 
@@ -165,7 +183,7 @@ func (m *Manager) Get(id string) (*Session, bool) {
 		return nil, false
 	}
 	if ttl := m.cfg.IdleTTL; ttl > 0 && m.now().Sub(s.lastUsed) > ttl {
-		m.closeLocked(s)
+		m.closeLocked(s, reasonExpired)
 		return nil, false
 	}
 	s.lastUsed = m.now()
@@ -180,7 +198,7 @@ func (m *Manager) Close(id string) bool {
 	if !ok {
 		return false
 	}
-	m.closeLocked(s)
+	m.closeLocked(s, reasonClosed)
 	return true
 }
 
@@ -188,9 +206,12 @@ func (m *Manager) Close(id string) bool {
 // fail. It deliberately does NOT take s.mu: waiting for an in-flight
 // engine op here would hold the manager mutex (the caller has it) for the
 // op's whole duration, stalling every other session. Caller holds m.mu.
-func (m *Manager) closeLocked(s *Session) {
+func (m *Manager) closeLocked(s *Session, reason closeReason) {
 	delete(m.sessions, s.id)
 	s.closed.Store(true)
+	reason.counter().Inc()
+	sessLive.Set(int64(len(m.sessions)))
+	m.log.Debug("session closed", "session", s.id, "reason", reason.String())
 }
 
 // evictLRULocked drops the least-recently-used session. Caller holds m.mu.
@@ -202,7 +223,7 @@ func (m *Manager) evictLRULocked() {
 		}
 	}
 	if victim != nil {
-		m.closeLocked(victim)
+		m.closeLocked(victim, reasonEvicted)
 	}
 }
 
@@ -223,7 +244,7 @@ func (m *Manager) sweepLocked(now time.Time) int {
 	n := 0
 	for _, s := range m.sessions {
 		if now.Sub(s.lastUsed) > ttl {
-			m.closeLocked(s)
+			m.closeLocked(s, reasonExpired)
 			n++
 		}
 	}

@@ -5,8 +5,21 @@ import (
 	"strings"
 
 	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 	"sheetmusiq/internal/value"
+)
+
+// Executor-path metrics, one increment per statement: which of the two
+// output loops ran compiled vs. fell back to the rowEnv interpreter, and
+// how often chunked aggregate accumulation was kept sequential because the
+// merge would not be bit-identical (relation.MergeExact).
+var (
+	execPlainCompiled      = obs.Default.Counter("sql.exec.plain_compiled")
+	execPlainInterpreted   = obs.Default.Counter("sql.exec.plain_interpreted")
+	execGroupedCompiled    = obs.Default.Counter("sql.exec.grouped_compiled")
+	execGroupedInterpreted = obs.Default.Counter("sql.exec.grouped_interpreted")
+	execMergeFallback      = obs.Default.Counter("sql.exec.merge_fallback")
 )
 
 // This file holds the compiled, data-parallel fast paths of the executor.
@@ -405,6 +418,9 @@ func compiledGroupOutput(src *source, groups []*rowGroup, aggs []liftedAgg, item
 		if err != nil || !relation.MergeExact(a.fn, in) {
 			chunkSafe = false
 		}
+	}
+	if !chunkSafe {
+		execMergeFallback.Inc()
 	}
 	var havingProg *expr.Program
 	if having != nil {

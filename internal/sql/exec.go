@@ -508,11 +508,13 @@ func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, out
 		return nil, nil, err
 	}
 	if out, sortVals, handled, err := compiledPlain(src, stmt, items, schema, rows, outer); handled {
+		execPlainCompiled.Inc()
 		if err != nil {
 			return nil, nil, err
 		}
 		return out, sortVals, nil
 	}
+	execPlainInterpreted.Inc()
 	out := relation.New("result", schema)
 	sortVals := make([][]value.Value, 0, len(rows))
 	for _, row := range rows {
@@ -611,11 +613,13 @@ func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, o
 		return nil, nil, err
 	}
 	if out, sortVals, handled, err := compiledGroupOutput(src, groups, aggs, items, having, orderBy, schema, outer); handled {
+		execGroupedCompiled.Inc()
 		if err != nil {
 			return nil, nil, err
 		}
 		return out, sortVals, nil
 	}
+	execGroupedInterpreted.Inc()
 	out := relation.New("result", schema)
 	sortVals := make([][]value.Value, 0, len(groups))
 	for _, grp := range groups {
