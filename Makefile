@@ -5,12 +5,13 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# The obs registry and the instrumented server are the most
-# concurrency-sensitive packages, so test always re-runs them under the
-# race detector (full-tree race stays available as `make race`).
+# The obs registry, the instrumented server, and the packages with parallel
+# kernels (grouping/join/sort chunk fan-out) are the most
+# concurrency-sensitive, so test always re-runs them under the race detector
+# (full-tree race stays available as `make race`).
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/server
+	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql
 
 race:
 	$(GO) test -race ./...

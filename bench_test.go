@@ -25,6 +25,7 @@ import (
 	"sheetmusiq/internal/theorem1"
 	"sheetmusiq/internal/tpch"
 	"sheetmusiq/internal/uistudy"
+	"sheetmusiq/internal/value"
 )
 
 func evaluate(b *testing.B, s *core.Spreadsheet) *core.Result {
@@ -320,6 +321,138 @@ func BenchmarkFormulaEvaluate100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		evaluate(b, base.Clone())
+	}
+}
+
+// --- relation-kernel benchmarks --------------------------------------------
+//
+// These isolate the grouping, duplicate-elimination and sort kernels at the
+// relation layer, without the surrounding evaluate pipeline, so BENCH_eval.json
+// tracks the kernels themselves across optimisation steps.
+
+func BenchmarkAggregate10k(b *testing.B) {
+	r := dataset.RandomCars(10000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Aggregate([]string{"Model", "Year"}, relation.AggAvg, "Price"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate100k(b *testing.B) {
+	r := dataset.RandomCars(100000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Aggregate([]string{"Model", "Year"}, relation.AggAvg, "Price"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistinct100k(b *testing.B) {
+	r := dataset.RandomCars(100000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Distinct(); out.Len() == 0 {
+			b.Fatal("empty distinct")
+		}
+	}
+}
+
+func BenchmarkDistinctOn100k(b *testing.B) {
+	r := dataset.RandomCars(100000, 42)
+	idx, err := r.ColumnIndexes([]string{"Model", "Year", "Condition"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.DistinctOn(idx); out.Len() == 0 {
+			b.Fatal("empty distinct")
+		}
+	}
+}
+
+func BenchmarkSort100k(b *testing.B) {
+	r := dataset.RandomCars(100000, 42)
+	keys := []relation.SortKey{{Column: "Model"}, {Column: "Price", Desc: true}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SortedClone(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// onIDEqual returns an equi-predicate over the join's product layout: left
+// ID (column 0) equals right ID (column w). RandomCars assigns IDs 1000..n,
+// so two same-sized relations join one-to-one.
+func onIDEqual(w int) func(relation.Tuple) (bool, error) {
+	return func(t relation.Tuple) (bool, error) {
+		return value.Equal(t[0], t[w]), nil
+	}
+}
+
+// BenchmarkHashJoin10kx10k prices the equi-hash-join kernel at scale: build
+// on one 10k side, probe the other, 10k one-to-one matches out.
+func BenchmarkHashJoin10kx10k(b *testing.B) {
+	l := dataset.RandomCars(10000, 42)
+	r := dataset.RandomCars(10000, 43)
+	on := onIDEqual(len(l.Schema))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := l.HashJoin(r, []int{0}, []int{0}, on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j.Len() != 10000 {
+			b.Fatalf("join rows = %d", j.Len())
+		}
+	}
+}
+
+// BenchmarkHashJoin1kx1k and BenchmarkJoinProductFilter1kx1k run the same
+// one-to-one equi-join through the hash kernel and the theta pair scan at a
+// scale where the quadratic baseline is still feasible; their ratio is the
+// kernel's speedup over the product-then-filter path.
+func BenchmarkHashJoin1kx1k(b *testing.B) {
+	l := dataset.RandomCars(1000, 42)
+	r := dataset.RandomCars(1000, 43)
+	on := onIDEqual(len(l.Schema))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := l.HashJoin(r, []int{0}, []int{0}, on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j.Len() != 1000 {
+			b.Fatalf("join rows = %d", j.Len())
+		}
+	}
+}
+
+func BenchmarkJoinProductFilter1kx1k(b *testing.B) {
+	l := dataset.RandomCars(1000, 42)
+	r := dataset.RandomCars(1000, 43)
+	on := onIDEqual(len(l.Schema))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := l.Join(r, on)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j.Len() != 1000 {
+			b.Fatalf("join rows = %d", j.Len())
+		}
 	}
 }
 

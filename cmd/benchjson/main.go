@@ -23,10 +23,33 @@ import (
 // snapshot maps benchmark name to metric name to value.
 type snapshot map[string]map[string]float64
 
-// history is the on-disk shape of BENCH_eval.json.
+// history is the on-disk shape of BENCH_eval.json. Speedup holds, per
+// benchmark present in both snapshots, before-ns/op divided by after-ns/op —
+// >1 means the recorded run got faster than its predecessor.
 type history struct {
-	Before snapshot `json:"before,omitempty"`
-	After  snapshot `json:"after"`
+	Before  snapshot           `json:"before,omitempty"`
+	After   snapshot           `json:"after"`
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// speedups computes the before/after ns-per-op ratio for every benchmark
+// recorded in both snapshots, rounded to two decimals.
+func speedups(before, after snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for name, am := range after {
+		bm, ok := before[name]
+		if !ok {
+			continue
+		}
+		b, a := bm["ns_per_op"], am["ns_per_op"]
+		if b > 0 && a > 0 {
+			out[name] = float64(int(b/a*100+0.5)) / 100
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -97,6 +120,7 @@ func run() error {
 		h.Before = h.After
 	}
 	h.After = snap
+	h.Speedup = speedups(h.Before, h.After)
 	data, err := json.MarshalIndent(&h, "", "  ")
 	if err != nil {
 		return err

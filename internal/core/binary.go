@@ -161,6 +161,12 @@ func (s *Spreadsheet) Difference(stored *Spreadsheet) error {
 // language supports. Column-name collisions on the stored side are
 // disambiguated with its name as a prefix, so conditions reference e.g.
 // "orders.o_custkey". An empty condition degenerates to Product.
+//
+// When the condition carries conjunctive cross-relation column equalities
+// (`a = b` with a from the current sheet and b from the stored one), the
+// join runs through the equi-hash-join kernel — only hash-matching
+// candidate pairs reach the full predicate. Genuinely theta conditions fall
+// back to the pair scan.
 func (s *Spreadsheet) Join(stored *Spreadsheet, condition string) error {
 	if strings.TrimSpace(condition) == "" {
 		return s.Product(stored)
@@ -179,7 +185,9 @@ func (s *Spreadsheet) Join(stored *Spreadsheet, condition string) error {
 	}
 	// Validate the condition against the product schema before joining, so
 	// invalid conditions are "reported to the user immediately" (Sec. VI-A).
-	probe := left.Product(right)
+	// An empty product of the two schemas gives the layout without
+	// materialising a single row.
+	probe := relation.New(left.Name, left.Schema).Product(relation.New(right.Name, right.Schema))
 	kind, err := expr.Check(e, func(name string) (value.Kind, bool) {
 		if i := probe.Schema.IndexOf(name); i >= 0 {
 			return probe.Schema[i].Kind, true
@@ -192,12 +200,61 @@ func (s *Spreadsheet) Join(stored *Spreadsheet, condition string) error {
 	if kind != value.KindBool && kind != value.KindNull {
 		return fmt.Errorf("core: join condition must be boolean, got %s", kind)
 	}
-	j, err := left.Join(right, func(t relation.Tuple) (bool, error) {
+	prog, progErr := expr.Compile(e, schemaResolver(probe.Schema))
+	on := func(t relation.Tuple) (bool, error) {
+		if progErr == nil {
+			return prog.EvalBool(t)
+		}
 		return expr.EvalBool(e, rowEnv{schema: probe.Schema, row: t})
-	})
+	}
+	var j *relation.Relation
+	if lcols, rcols := equiPairs(e, probe.Schema, len(left.Schema)); len(lcols) > 0 {
+		j, err = left.HashJoin(right, lcols, rcols, on)
+	} else {
+		j, err = left.Join(right, on)
+	}
 	if err != nil {
 		return err
 	}
 	j.Name = s.name
 	return s.rebase(j, "⋈ "+stored.Name()+" ON "+e.SQL())
+}
+
+// equiPairs extracts the cross-relation column-equality conjuncts of a join
+// condition over the product schema: top-level AND-connected `a = b` where
+// one column lies left of split and the other at or right of it. Returned
+// right positions are relative to the right relation. A predicate that is
+// true implies every returned pair compares equal, which is what lets the
+// hash kernel prune non-matching pairs safely.
+func equiPairs(e expr.Expr, schema relation.Schema, split int) (lcols, rcols []int) {
+	var visit func(expr.Expr)
+	visit = func(n expr.Expr) {
+		b, ok := n.(*expr.Binary)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case expr.OpAnd:
+			visit(b.L)
+			visit(b.R)
+		case expr.OpEq:
+			lc, lok := b.L.(*expr.ColumnRef)
+			rc, rok := b.R.(*expr.ColumnRef)
+			if !lok || !rok {
+				return
+			}
+			li, ri := schema.IndexOf(lc.Name), schema.IndexOf(rc.Name)
+			switch {
+			case li < 0 || ri < 0:
+			case li < split && ri >= split:
+				lcols = append(lcols, li)
+				rcols = append(rcols, ri-split)
+			case ri < split && li >= split:
+				lcols = append(lcols, ri)
+				rcols = append(rcols, li-split)
+			}
+		}
+	}
+	visit(e)
+	return lcols, rcols
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 	"sheetmusiq/internal/value"
 )
@@ -110,6 +113,83 @@ func TestJoinColumnCollisionPrefixed(t *testing.T) {
 	// Self-join on Model: 6*6 Jetta pairs + 3*3 Civic pairs.
 	if res.Table.Len() != 45 {
 		t.Fatalf("self-join rows = %d, want 45", res.Table.Len())
+	}
+}
+
+// TestJoinEquiDispatchesToHashKernel: a conjunctive cross-relation equality
+// routes through the hash-join kernel (counter advances) and produces
+// exactly the rows the theta pair scan produces for the same predicate.
+func TestJoinEquiDispatchesToHashKernel(t *testing.T) {
+	hashBefore := obs.Default.CounterValue("relation.join.hash")
+
+	s := New(dataset.UsedCars())
+	d := New(dealers())
+	if err := s.Join(d, "Model = Specialty AND Price > 14000"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.CounterValue("relation.join.hash"); got <= hashBefore {
+		t.Fatal("equality condition must dispatch to the hash-join kernel")
+	}
+
+	// Reference: the same predicate wrapped so equiPairs cannot extract it
+	// (OR with a false arm), forcing the theta pair scan.
+	fallBefore := obs.Default.CounterValue("relation.join.fallback")
+	ref := New(dataset.UsedCars())
+	if err := ref.Join(d, "(Model = Specialty AND Price > 14000) OR 1 = 2"); err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.CounterValue("relation.join.fallback"); got <= fallBefore {
+		t.Fatal("OR condition must fall back to the theta pair scan")
+	}
+	if res.Table.Len() != refRes.Table.Len() {
+		t.Fatalf("hash join rows = %d, theta join rows = %d", res.Table.Len(), refRes.Table.Len())
+	}
+	for i := range res.Table.Rows {
+		for j := range res.Table.Rows[i] {
+			if !value.Equal(res.Table.Rows[i][j], refRes.Table.Rows[i][j]) {
+				t.Fatalf("row %d differs between hash and theta paths", i)
+			}
+		}
+	}
+}
+
+func TestEquiPairsExtraction(t *testing.T) {
+	schema := relation.Schema{
+		{Name: "a", Kind: value.KindInt},
+		{Name: "b", Kind: value.KindInt},
+		{Name: "x", Kind: value.KindInt},
+		{Name: "y", Kind: value.KindInt},
+	}
+	cases := []struct {
+		cond  string
+		wantL []int
+		wantR []int
+	}{
+		{"a = x", []int{0}, []int{0}},
+		{"x = a", []int{0}, []int{0}},                 // orientation-insensitive
+		{"a = x AND b = y", []int{0, 1}, []int{0, 1}}, // both conjuncts
+		{"a = x AND b > y", []int{0}, []int{0}},       // residual theta kept out
+		{"a = b", nil, nil},                           // same-side equality
+		{"a = x OR b = y", nil, nil},                  // OR is not conjunctive
+		{"a + 1 = x", nil, nil},                       // not a bare column ref
+	}
+	for _, c := range cases {
+		e, err := expr.Parse(c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, r := equiPairs(e, schema, 2)
+		if fmt.Sprint(l) != fmt.Sprint(c.wantL) || fmt.Sprint(r) != fmt.Sprint(c.wantR) {
+			t.Fatalf("equiPairs(%q) = %v,%v want %v,%v", c.cond, l, r, c.wantL, c.wantR)
+		}
 	}
 }
 

@@ -208,20 +208,17 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 			}
 		}
 		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
+		// Each group's first row compacts in place: first-row indexes are
+		// ascending and never lag the write cursor.
 		if d == 0 && s.state.distinctOn != nil {
 			idx, err := work.ColumnIndexes(s.state.distinctOn)
 			if err != nil {
 				return nil, fmt.Errorf("core: distinct: %w", err)
 			}
-			keys := relation.RowKeys(work.Rows, idx)
-			seen := make(map[string]bool, len(work.Rows))
+			gr := relation.GroupRowsOn(work.Rows, idx)
 			kept := work.Rows[:0]
-			for i, row := range work.Rows {
-				if seen[keys[i]] {
-					continue
-				}
-				seen[keys[i]] = true
-				kept = append(kept, row)
+			for _, ri := range gr.First {
+				kept = append(kept, work.Rows[ri])
 			}
 			work.Rows = kept
 		}
@@ -334,10 +331,11 @@ func applySelection(work *relation.Relation, sel Selection, prog *expr.Program) 
 
 // fillAggregate computes one η column over the current working rows,
 // writing the group's value into every member row (Def. 11 / Table III).
-// Grouping keys are computed once per row and reused by both the
-// accumulate and the write-back pass; above the parallel threshold the
-// accumulate pass keeps per-chunk partial accumulators and merges them in
-// chunk order (Accumulator.Merge), so tie-breaks match the sequential scan.
+// Rows map to dense group IDs once (relation.GroupRowsOn) and both the
+// accumulate and write-back passes index flat per-group arrays — no string
+// keys, no maps. Above the parallel threshold the accumulate pass keeps
+// per-chunk partial accumulators and merges them in chunk order
+// (Accumulator.Merge), so tie-breaks match the sequential scan.
 func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) error {
 	out := work.Schema.IndexOf(c.Name)
 	in := work.Schema.IndexOf(c.Input)
@@ -353,7 +351,8 @@ func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) 
 	if len(rows) == 0 {
 		return nil
 	}
-	keys := relation.RowKeys(rows, bidx)
+	gr := relation.GroupRowsOn(rows, bidx)
+	gids, ng := gr.IDs, gr.NumGroups()
 	bounds := relation.Chunks(len(rows))
 	if len(bounds) > 1 && !relation.MergeExact(c.Agg, work.Schema[in].Kind) {
 		// Float-stream summing is not associative; stay sequential so the
@@ -361,14 +360,14 @@ func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) 
 		evalMergeFallback.Inc()
 		bounds = [][2]int{{0, len(rows)}}
 	}
-	parts := make([]map[string]*relation.Accumulator, len(bounds))
+	parts := make([][]*relation.Accumulator, len(bounds))
 	err = relation.RunChunks(bounds, func(ch, lo, hi int) error {
-		accs := map[string]*relation.Accumulator{}
+		accs := make([]*relation.Accumulator, ng)
 		for i := lo; i < hi; i++ {
-			acc := accs[keys[i]]
+			acc := accs[gids[i]]
 			if acc == nil {
 				acc = relation.NewAccumulator(c.Agg)
-				accs[keys[i]] = acc
+				accs[gids[i]] = acc
 			}
 			if err := acc.Add(rows[i][in]); err != nil {
 				return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
@@ -382,22 +381,26 @@ func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) 
 	}
 	accs := parts[0]
 	for _, part := range parts[1:] {
-		for k, acc := range part {
-			if prev := accs[k]; prev != nil {
+		for g, acc := range part {
+			if acc == nil {
+				continue
+			}
+			if prev := accs[g]; prev != nil {
 				prev.Merge(acc)
 			} else {
-				accs[k] = acc
+				accs[g] = acc
 			}
 		}
 	}
-	// Finalise once per group, not once per row.
-	results := make(map[string]value.Value, len(accs))
-	for k, acc := range accs {
-		results[k] = coerce(acc.Result(), c.ResultKind)
+	// Finalise once per group, not once per row. Every group has at least
+	// one row, so every merged accumulator is non-nil.
+	results := make([]value.Value, ng)
+	for g, acc := range accs {
+		results[g] = coerce(acc.Result(), c.ResultKind)
 	}
 	return relation.ForChunks(len(rows), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			rows[i][out] = results[keys[i]]
+			rows[i][out] = results[gids[i]]
 		}
 		return nil
 	})
@@ -467,19 +470,24 @@ func tuplesEqualOn(a, b relation.Tuple, idx []int) bool {
 }
 
 // buildGroups partitions the sorted working rows into the recursive group
-// tree.
+// tree. Each level's relative basis resolves to column positions once, up
+// front, instead of once per sibling group at that level.
 func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
-	root := &Group{Level: 1, Start: 0, End: len(work.Rows)}
-	var build func(g *Group, levelIdx int) error
-	build = func(g *Group, levelIdx int) error {
-		if levelIdx >= len(s.state.grouping) {
-			return nil
-		}
-		rel := s.state.grouping[levelIdx].Rel
-		idx, err := work.ColumnIndexes(rel)
+	levelIdx := make([][]int, len(s.state.grouping))
+	for li, g := range s.state.grouping {
+		idx, err := work.ColumnIndexes(g.Rel)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		levelIdx[li] = idx
+	}
+	root := &Group{Level: 1, Start: 0, End: len(work.Rows)}
+	var build func(g *Group, li int)
+	build = func(g *Group, li int) {
+		if li >= len(levelIdx) {
+			return
+		}
+		idx := levelIdx[li]
 		i := g.Start
 		for i < g.End {
 			j := i + 1
@@ -490,18 +498,13 @@ func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
 			for k, ci := range idx {
 				key[k] = work.Rows[i][ci]
 			}
-			child := &Group{Level: levelIdx + 2, Key: key, Start: i, End: j}
-			if err := build(child, levelIdx+1); err != nil {
-				return err
-			}
+			child := &Group{Level: li + 2, Key: key, Start: i, End: j}
+			build(child, li+1)
 			g.Children = append(g.Children, child)
 			i = j
 		}
-		return nil
 	}
-	if err := build(root, 0); err != nil {
-		return nil, err
-	}
+	build(root, 0)
 	return root, nil
 }
 

@@ -61,6 +61,66 @@ func (f AggFunc) ResultKind(input value.Kind) value.Kind {
 	}
 }
 
+// valueSet is a small open-addressing set of values under value.Equal —
+// COUNT_DISTINCT's backing store, with no per-value string key.
+type valueSet struct {
+	slots  []int32 // index+1 into vals; 0 marks an empty slot
+	mask   uint64
+	vals   []value.Value
+	hashes []uint64
+}
+
+func newValueSet() *valueSet {
+	return &valueSet{slots: make([]int32, 16), mask: 15}
+}
+
+// Len returns the number of distinct values added.
+func (s *valueSet) Len() int { return len(s.vals) }
+
+// Add inserts v unless an equal value is already present.
+func (s *valueSet) Add(v value.Value) { s.addHashed(v, value.Hash(v)) }
+
+func (s *valueSet) addHashed(v value.Value, h uint64) {
+	i := h & s.mask
+	for {
+		sl := s.slots[i]
+		if sl == 0 {
+			break
+		}
+		if j := sl - 1; s.hashes[j] == h && value.Equal(s.vals[j], v) {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+	s.vals = append(s.vals, v)
+	s.hashes = append(s.hashes, h)
+	s.slots[i] = int32(len(s.vals))
+	if 4*len(s.vals) >= 3*len(s.slots) {
+		s.grow()
+	}
+}
+
+func (s *valueSet) grow() {
+	slots := make([]int32, 2*len(s.slots))
+	mask := uint64(len(slots) - 1)
+	for j, h := range s.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(j) + 1
+	}
+	s.slots = slots
+	s.mask = mask
+}
+
+// AddAll folds every value of o into s.
+func (s *valueSet) AddAll(o *valueSet) {
+	for i, v := range o.vals {
+		s.addHashed(v, o.hashes[i])
+	}
+}
+
 // Accumulator incrementally computes one aggregate.
 type Accumulator struct {
 	fn       AggFunc
@@ -71,14 +131,14 @@ type Accumulator struct {
 	intSum   int64
 	intExact bool
 	min, max value.Value
-	distinct map[string]bool
+	distinct *valueSet
 }
 
 // NewAccumulator returns an accumulator for fn.
 func NewAccumulator(fn AggFunc) *Accumulator {
 	a := &Accumulator{fn: fn, intExact: true}
 	if fn == AggCountDistinct {
-		a.distinct = make(map[string]bool)
+		a.distinct = newValueSet()
 	}
 	return a
 }
@@ -95,7 +155,7 @@ func (a *Accumulator) Add(v value.Value) error {
 	case AggCount:
 		return nil
 	case AggCountDistinct:
-		a.distinct[v.Key()] = true
+		a.distinct.Add(v)
 		return nil
 	case AggMin:
 		if a.min.IsNull() {
@@ -160,8 +220,8 @@ func (a *Accumulator) Merge(o *Accumulator) {
 	if !o.max.IsNull() && (a.max.IsNull() || value.MustCompare(o.max, a.max) > 0) {
 		a.max = o.max
 	}
-	for k := range o.distinct {
-		a.distinct[k] = true
+	if o.distinct != nil {
+		a.distinct.AddAll(o.distinct)
 	}
 }
 
@@ -172,7 +232,7 @@ func (a *Accumulator) Result() value.Value {
 	case AggCount:
 		return value.NewInt(a.count)
 	case AggCountDistinct:
-		return value.NewInt(int64(len(a.distinct)))
+		return value.NewInt(int64(a.distinct.Len()))
 	}
 	if a.nonNull == 0 {
 		return value.Null
@@ -223,21 +283,28 @@ func (r *Relation) GroupBy(cols []string) (keys [][]value.Value, groups [][]int,
 	if err != nil {
 		return nil, nil, err
 	}
-	pos := make(map[string]int)
-	for ri, t := range r.Rows {
-		k := t.KeyOn(idx)
-		g, ok := pos[k]
-		if !ok {
-			g = len(groups)
-			pos[k] = g
-			kv := make([]value.Value, len(idx))
-			for i, j := range idx {
-				kv[i] = t[j]
-			}
-			keys = append(keys, kv)
-			groups = append(groups, nil)
+	gr := GroupRowsOn(r.Rows, idx)
+	n := gr.NumGroups()
+	if n == 0 {
+		return nil, nil, nil
+	}
+	counts := make([]int, n)
+	for _, gid := range gr.IDs {
+		counts[gid]++
+	}
+	keys = make([][]value.Value, n)
+	groups = make([][]int, n)
+	for g, ri := range gr.First {
+		t := r.Rows[ri]
+		kv := make([]value.Value, len(idx))
+		for i, j := range idx {
+			kv[i] = t[j]
 		}
-		groups[g] = append(groups[g], ri)
+		keys[g] = kv
+		groups[g] = make([]int, 0, counts[g])
+	}
+	for ri, gid := range gr.IDs {
+		groups[gid] = append(groups[gid], ri)
 	}
 	return keys, groups, nil
 }

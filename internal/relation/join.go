@@ -1,0 +1,138 @@
+package relation
+
+import "sheetmusiq/internal/obs"
+
+// Equi-hash-join kernel. The generic theta-join enumerates the full
+// Cartesian pair space; when the join predicate contains conjunctive
+// `a = b` column equalities across the two relations, HashJoin builds a
+// Grouper table on the smaller side's key columns and probes with the
+// other side, so only hash-matching candidate pairs reach the predicate.
+// The result is identical, in product order, to filtering the product with
+// the same predicate — provided the predicate implies the key equalities
+// (callers extract the pairs from the predicate itself, so it does).
+//
+// Hash candidates use value.Equal semantics, which is at least as inclusive
+// as any evaluator's `=`; the full predicate then re-filters candidates, so
+// extra candidates are harmless and matching pairs are never missed. One
+// caveat, shared with the SQL executor's hash join: a predicate that would
+// *error* on a non-candidate pair (say a residual conjunct comparing
+// incompatible kinds) reports that error only on the product path.
+var (
+	joinHash     = obs.Default.Counter("relation.join.hash")
+	joinFallback = obs.Default.Counter("relation.join.fallback")
+)
+
+// HashJoin joins r and s on the column-equality pairs lcols[i] = rcols[i],
+// then filters the surviving candidate pairs with on (the full join
+// predicate over the product row layout; nil keeps every candidate).
+// Output rows appear in product order — left rows in order, each with its
+// matching right rows ascending — bit-identical to Join(s, on).
+func (r *Relation) HashJoin(s *Relation, lcols, rcols []int, on func(Tuple) (bool, error)) (*Relation, error) {
+	joinHash.Inc()
+	out := New(r.Name+"_x_"+s.Name, productSchema(r, s))
+	na, nb := len(r.Rows), len(s.Rows)
+	if na == 0 || nb == 0 {
+		return out, nil
+	}
+	// Build the key table on the smaller side, probe with the larger; either
+	// way the per-row outcome is the same two arrays: each left row's group
+	// ID (or -1) and each right row's group ID (or -1). Probing only reads
+	// the table, so it fans out across chunks.
+	agids := make([]int32, na)
+	bgids := make([]int32, nb)
+	var g *Grouper
+	if na <= nb {
+		g = NewGrouper(lcols, na)
+		for i, t := range r.Rows {
+			agids[i], _ = g.Add(t)
+		}
+		_ = ForChunks(nb, func(_, lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				bgids[j] = g.FindOn(s.Rows[j], rcols)
+			}
+			return nil
+		})
+	} else {
+		g = NewGrouper(rcols, nb)
+		for j, t := range s.Rows {
+			bgids[j], _ = g.Add(t)
+		}
+		_ = ForChunks(na, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				agids[i] = g.FindOn(r.Rows[i], lcols)
+			}
+			return nil
+		})
+	}
+	// Posting lists: the right rows of each group, ascending, in CSR layout —
+	// one flat entry array sliced per group by offsets, not one slice per
+	// group.
+	starts := make([]int32, g.Len()+1)
+	for _, gid := range bgids {
+		if gid >= 0 {
+			starts[gid+1]++
+		}
+	}
+	for gid := 0; gid < g.Len(); gid++ {
+		starts[gid+1] += starts[gid]
+	}
+	entries := make([]int32, starts[g.Len()])
+	cursor := make([]int32, g.Len())
+	copy(cursor, starts[:g.Len()])
+	for j, gid := range bgids {
+		if gid >= 0 {
+			entries[cursor[gid]] = int32(j)
+			cursor[gid]++
+		}
+	}
+	// Probe left rows in chunks; each chunk evaluates the predicate over its
+	// candidates with a private scratch row and aborts at its first error,
+	// so RunChunks reports the error of the first failing candidate in
+	// product order — matching the sequential scan over the same candidates.
+	w, wl := len(out.Schema), len(r.Schema)
+	bounds := Chunks(na)
+	pas := make([][]int32, len(bounds))
+	pbs := make([][]int32, len(bounds))
+	err := RunChunks(bounds, func(c, lo, hi int) error {
+		scratch := make(Tuple, w)
+		var pa, pb []int32
+		for a := lo; a < hi; a++ {
+			gid := agids[a]
+			if gid < 0 || starts[gid] == starts[gid+1] {
+				continue
+			}
+			copy(scratch, r.Rows[a])
+			for _, b := range entries[starts[gid]:starts[gid+1]] {
+				if on != nil {
+					copy(scratch[wl:], s.Rows[b])
+					ok, err := on(scratch)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+				}
+				pa = append(pa, int32(a))
+				pb = append(pb, b)
+			}
+		}
+		pas[c], pbs[c] = pa, pb
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, pa := range pas {
+		total += len(pa)
+	}
+	pa := make([]int32, 0, total)
+	pb := make([]int32, 0, total)
+	for c := range pas {
+		pa = append(pa, pas[c]...)
+		pb = append(pb, pbs[c]...)
+	}
+	MaterializePairs(out, r, s, pa, pb)
+	return out, nil
+}

@@ -219,10 +219,10 @@ func (r *Relation) Project(names []string) (*Relation, error) {
 	return out, nil
 }
 
-// Product returns the Cartesian product r × s. Columns whose names collide
-// are disambiguated with the relation-name prefix of the right operand,
-// joined with an underscore so result names stay plain identifiers.
-func (r *Relation) Product(s *Relation) *Relation {
+// productSchema is the concatenated schema of r × s. Columns whose names
+// collide are disambiguated with the relation-name prefix of the right
+// operand, joined with an underscore so result names stay plain identifiers.
+func productSchema(r, s *Relation) Schema {
 	schema := r.Schema.Clone()
 	for _, c := range s.Schema {
 		name := c.Name
@@ -240,13 +240,29 @@ func (r *Relation) Product(s *Relation) *Relation {
 		}
 		schema = append(schema, Column{Name: name, Kind: c.Kind})
 	}
-	out := New(r.Name+"_x_"+s.Name, schema)
+	return schema
+}
+
+// Product returns the Cartesian product r × s with productSchema naming.
+func (r *Relation) Product(s *Relation) *Relation {
+	out := New(r.Name+"_x_"+s.Name, productSchema(r, s))
+	n := len(r.Rows) * len(s.Rows)
+	if n == 0 {
+		return out
+	}
+	// One flat backing array for all output rows instead of one allocation
+	// per row; the product is the largest materialisation in the system.
+	w, wl := len(out.Schema), len(r.Schema)
+	flat := make([]value.Value, n*w)
+	out.Rows = make([]Tuple, n)
+	k := 0
 	for _, a := range r.Rows {
 		for _, b := range s.Rows {
-			row := make(Tuple, 0, len(a)+len(b))
-			row = append(row, a...)
-			row = append(row, b...)
-			out.Rows = append(out.Rows, row)
+			row := flat[k*w : (k+1)*w : (k+1)*w]
+			copy(row, a)
+			copy(row[wl:], b)
+			out.Rows[k] = row
+			k++
 		}
 	}
 	return out
@@ -270,15 +286,19 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 	if !r.Schema.Equal(s.Schema) {
 		return nil, fmt.Errorf("difference: incompatible schemas [%s] vs [%s]", r.Schema, s.Schema)
 	}
-	counts := make(map[string]int)
+	g := NewGrouper(nil, len(s.Rows))
+	counts := make([]int, 0, len(s.Rows))
 	for _, t := range s.Rows {
-		counts[t.Key()]++
+		gid, fresh := g.Add(t)
+		if fresh {
+			counts = append(counts, 0)
+		}
+		counts[gid]++
 	}
 	out := New(r.Name, r.Schema)
 	for _, t := range r.Rows {
-		k := t.Key()
-		if counts[k] > 0 {
-			counts[k]--
+		if gid := g.Find(t); gid >= 0 && counts[gid] > 0 {
+			counts[gid]--
 			continue
 		}
 		out.Rows = append(out.Rows, t.Clone())
@@ -288,54 +308,84 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 
 // Distinct removes duplicate tuples, keeping first occurrences in order.
 func (r *Relation) Distinct() *Relation {
-	seen := make(map[string]bool, len(r.Rows))
-	out := New(r.Name, r.Schema)
-	for _, t := range r.Rows {
-		k := t.Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out.Rows = append(out.Rows, t.Clone())
-	}
-	return out
+	return r.distinctKept(GroupRowsOn(r.Rows, nil))
 }
 
 // DistinctOn removes rows that duplicate an earlier row on the given
 // columns, keeping first occurrences.
 func (r *Relation) DistinctOn(cols []int) *Relation {
-	seen := make(map[string]bool, len(r.Rows))
+	return r.distinctKept(GroupRowsOn(r.Rows, cols))
+}
+
+// distinctKept materialises each group's first-occurrence row, in order,
+// into one flat backing array.
+func (r *Relation) distinctKept(gr *Grouping) *Relation {
 	out := New(r.Name, r.Schema)
-	for _, t := range r.Rows {
-		k := t.KeyOn(cols)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out.Rows = append(out.Rows, t.Clone())
+	n, w := gr.NumGroups(), len(r.Schema)
+	if n == 0 {
+		return out
+	}
+	flat := make([]value.Value, n*w)
+	out.Rows = make([]Tuple, n)
+	for g, ri := range gr.First {
+		row := flat[g*w : (g+1)*w : (g+1)*w]
+		copy(row, r.Rows[ri])
+		out.Rows[g] = row
 	}
 	return out
 }
 
 // Join computes the theta-join of r and s using on as the join predicate
 // over the product row layout (r's columns then s's, disambiguated as in
-// Product). A nil predicate degenerates to the product.
+// Product). A nil predicate degenerates to the product. Candidate pairs are
+// enumerated with a scratch row — the full product is never materialised —
+// and matches land in one flat backing array, in product order.
 func (r *Relation) Join(s *Relation, on func(Tuple) (bool, error)) (*Relation, error) {
-	prod := r.Product(s) // layout and naming
 	if on == nil {
-		return prod, nil
+		return r.Product(s), nil
 	}
-	out := New(prod.Name, prod.Schema)
-	for _, t := range prod.Rows {
-		ok, err := on(t)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.Rows = append(out.Rows, t)
+	joinFallback.Inc()
+	out := New(r.Name+"_x_"+s.Name, productSchema(r, s))
+	w, wl := len(out.Schema), len(r.Schema)
+	scratch := make(Tuple, w)
+	var pa, pb []int32
+	for a, ta := range r.Rows {
+		copy(scratch, ta)
+		for b, tb := range s.Rows {
+			copy(scratch[wl:], tb)
+			ok, err := on(scratch)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				pa = append(pa, int32(a))
+				pb = append(pb, int32(b))
+			}
 		}
 	}
+	MaterializePairs(out, r, s, pa, pb)
 	return out, nil
+}
+
+// MaterializePairs fills out with the concatenation of r's and s's rows for
+// each (a, b) index pair, in pair order, backed by a single flat array. out
+// must have the product-layout schema (r's columns then s's).
+func MaterializePairs(out *Relation, r, s *Relation, pa, pb []int32) {
+	n, w, wl := len(pa), len(out.Schema), len(r.Schema)
+	if n == 0 {
+		return
+	}
+	flat := make([]value.Value, n*w)
+	out.Rows = make([]Tuple, n)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			row := flat[k*w : (k+1)*w : (k+1)*w]
+			copy(row, r.Rows[pa[k]])
+			copy(row[wl:], s.Rows[pb[k]])
+			out.Rows[k] = row
+		}
+		return nil
+	})
 }
 
 // String renders the relation as an aligned text table (for debugging and

@@ -2,8 +2,9 @@ package relation
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/value"
 )
 
@@ -13,31 +14,197 @@ type SortKey struct {
 	Desc   bool
 }
 
+// Presentation-sort kernel. The ordering operator λ runs on every replay, so
+// the sort used to pay closure + interface dispatch per comparison through
+// sort.SliceStable, re-indexing the key columns out of each row every time.
+// The keyed sort extracts the sort columns once into a flat array, orders an
+// int32 index permutation with a typed stable merge sort, and applies the
+// permutation in one pass. Above ParallelThreshold the permutation is
+// chunk-sorted concurrently and the sorted runs merge pairwise; every merge
+// prefers the left (lower original index) run on ties, so the result is
+// stable and bit-identical to the sequential sort.
+var (
+	sortKeyed    = obs.Default.Counter("relation.sort.keyed")
+	sortParallel = obs.Default.Counter("relation.sort.parallel")
+)
+
+// keyedSorter orders row indexes by precomputed key columns. keys holds k
+// values per row, row-major; desc flips the direction per key position.
+type keyedSorter struct {
+	keys []value.Value
+	k    int
+	desc []bool
+}
+
+func (s *keyedSorter) less(a, b int32) bool {
+	ka := s.keys[int(a)*s.k : int(a)*s.k+s.k]
+	kb := s.keys[int(b)*s.k : int(b)*s.k+s.k]
+	for i := 0; i < s.k; i++ {
+		c := value.MustCompare(ka[i], kb[i])
+		if c == 0 {
+			continue
+		}
+		if s.desc[i] {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// sortRunCutoff is the run length below which the merge sort switches to
+// insertion sort (stable, cache-friendly, no merge buffer traffic).
+const sortRunCutoff = 24
+
+// insertionSort stably orders a short run in place.
+func (s *keyedSorter) insertionSort(p []int32) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && s.less(p[j], p[j-1]); j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+// sortRun stably orders p using buf (same length) as merge scratch.
+func (s *keyedSorter) sortRun(p, buf []int32) {
+	if len(p) <= sortRunCutoff {
+		s.insertionSort(p)
+		return
+	}
+	mid := len(p) / 2
+	s.sortRun(p[:mid], buf[:mid])
+	s.sortRun(p[mid:], buf[mid:])
+	if !s.less(p[mid], p[mid-1]) {
+		return // halves already in order
+	}
+	// Copy the left half out and merge back into p. The write cursor can
+	// never overtake the right half's read cursor, so the overlap is safe.
+	copy(buf[:mid], p[:mid])
+	s.mergeInto(buf[:mid], p[mid:], p)
+}
+
+// mergeInto merges sorted runs a and b into out, preferring a on ties.
+// Stability follows because a always holds lower original positions than b.
+func (s *keyedSorter) mergeInto(a, b, out []int32) {
+	i, j, w := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if s.less(b[j], a[i]) {
+			out[w] = b[j]
+			j++
+		} else {
+			out[w] = a[i]
+			i++
+		}
+		w++
+	}
+	copy(out[w:], a[i:])
+	copy(out[w+len(a)-i:], b[j:])
+}
+
+// sort stably orders the full permutation, fanning out above the parallel
+// threshold: chunks sort concurrently, then sorted runs merge pairwise (also
+// concurrently) until one run remains.
+func (s *keyedSorter) sort(perm []int32) {
+	n := len(perm)
+	buf := make([]int32, n)
+	bounds := Chunks(n)
+	if len(bounds) <= 1 {
+		s.sortRun(perm, buf)
+		return
+	}
+	sortParallel.Inc()
+	_ = RunChunks(bounds, func(_, lo, hi int) error {
+		s.sortRun(perm[lo:hi], buf[lo:hi])
+		return nil
+	})
+	src, dst := perm, buf
+	for len(bounds) > 1 {
+		next := make([][2]int, 0, (len(bounds)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i < len(bounds); i += 2 {
+			lo := bounds[i][0]
+			if i+1 == len(bounds) {
+				// Odd run out: carry it into the destination unchanged.
+				hi := bounds[i][1]
+				copy(dst[lo:hi], src[lo:hi])
+				next = append(next, bounds[i])
+				continue
+			}
+			mid, hi := bounds[i][1], bounds[i+1][1]
+			next = append(next, [2]int{lo, hi})
+			wg.Add(1)
+			go func(lo, mid, hi int) {
+				defer wg.Done()
+				s.mergeInto(src[lo:mid], src[mid:hi], dst[lo:hi])
+			}(lo, mid, hi)
+		}
+		wg.Wait()
+		src, dst = dst, src
+		bounds = next
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+}
+
+// SortPermByKeys stably orders row indexes 0..n-1 by precomputed keys — k
+// values per row, row-major, with desc flipping the direction per key
+// position — and returns the permutation. Relation.Sort is this kernel
+// applied to extracted column values; the SQL executor feeds it computed
+// ORDER BY expression results.
+func SortPermByKeys(keys []value.Value, k int, desc []bool) []int32 {
+	n := len(keys) / k
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if n < 2 {
+		return perm
+	}
+	sortKeyed.Inc()
+	s := &keyedSorter{keys: keys, k: k, desc: desc}
+	s.sort(perm)
+	return perm
+}
+
 // Sort stably orders the relation's rows by the given keys, NULLs first
-// within ascending order. The receiver is modified in place.
+// within ascending order. The receiver is modified in place (Rows is
+// replaced with a newly ordered slice).
 func (r *Relation) Sort(keys []SortKey) error {
 	idx := make([]int, len(keys))
+	desc := make([]bool, len(keys))
 	for i, k := range keys {
 		j := r.Schema.IndexOf(k.Column)
 		if j < 0 {
 			return fmt.Errorf("sort: no column %q in %s", k.Column, r.Name)
 		}
 		idx[i] = j
+		desc[i] = k.Desc
 	}
-	sort.SliceStable(r.Rows, func(a, b int) bool {
-		ta, tb := r.Rows[a], r.Rows[b]
-		for i, j := range idx {
-			c := value.MustCompare(ta[j], tb[j])
-			if c == 0 {
-				continue
+	n := len(r.Rows)
+	if n < 2 || len(keys) == 0 {
+		return nil
+	}
+	k := len(idx)
+	flat := make([]value.Value, n*k)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row, out := r.Rows[i], flat[i*k:(i+1)*k]
+			for j, c := range idx {
+				out[j] = row[c]
 			}
-			if keys[i].Desc {
-				return c > 0
-			}
-			return c < 0
 		}
-		return false
+		return nil
 	})
+	perm := SortPermByKeys(flat, k, desc)
+	rows := make([]Tuple, n)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rows[i] = r.Rows[perm[i]]
+		}
+		return nil
+	})
+	r.Rows = rows
 	return nil
 }
 

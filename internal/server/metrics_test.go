@@ -45,6 +45,19 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 			t.Fatalf("render: status %d", code)
 		}
 	}
+	// Kernel workload on the first session: grouping + aggregation + sort
+	// drive the hash-group and keyed-sort kernels at render time, and an
+	// equi-join against a saved copy drives the hash-join kernel.
+	c.op(ids[0], engine.Op{Op: "group", Columns: []string{"Model"}, Dir: "asc"})
+	c.op(ids[0], engine.Op{Op: "agg", Fn: "avg", Column: "Price", Level: 2})
+	c.op(ids[0], engine.Op{Op: "sort", Column: "Price", Dir: "desc"})
+	c.op(ids[0], engine.Op{Op: "save", Name: "other"})
+	c.op(ids[0], engine.Op{Op: "join", Sheet: "other", On: "Year = other_Year"})
+	var out json.RawMessage
+	if code := c.do("GET", "/v1/sessions/"+ids[0]+"/render?limit=3", nil, &out); code != http.StatusOK {
+		t.Fatalf("render after join: status %d", code)
+	}
+
 	var eb errorBody
 	if code := c.do("POST", "/v1/sessions/"+ids[0]+"/op", engine.Op{Op: "no-such-op"}, &eb); code != http.StatusBadRequest {
 		t.Fatalf("bad op: status %d", code)
@@ -60,19 +73,19 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	if d := delta("server.requests.session_create"); d != 2 {
 		t.Errorf("session_create requests delta = %d, want 2", d)
 	}
-	if d := delta("server.requests.op"); d != 5 {
-		t.Errorf("op requests delta = %d, want 5 (4 ok + 1 bad)", d)
+	if d := delta("server.requests.op"); d != 10 {
+		t.Errorf("op requests delta = %d, want 10 (9 ok + 1 bad)", d)
 	}
-	if d := delta("server.requests.render"); d != 2 {
-		t.Errorf("render requests delta = %d, want 2", d)
+	if d := delta("server.requests.render"); d != 3 {
+		t.Errorf("render requests delta = %d, want 3", d)
 	}
 	if d := delta("server.request_errors.op"); d != 1 {
 		t.Errorf("op error delta = %d, want 1", d)
 	}
 	hb := before.Histograms["server.request_seconds.op"]
 	ha := after.Histograms["server.request_seconds.op"]
-	if ha.Count-hb.Count != 5 {
-		t.Errorf("op latency histogram count delta = %d, want 5", ha.Count-hb.Count)
+	if ha.Count-hb.Count != 10 {
+		t.Errorf("op latency histogram count delta = %d, want 10", ha.Count-hb.Count)
 	}
 
 	// Session lifecycle.
@@ -101,6 +114,22 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	}
 	if d := delta("relation.chunk_runs.sequential") + delta("relation.chunk_runs.parallel"); d < 2 {
 		t.Errorf("chunk runs delta = %d, want >= 2", d)
+	}
+
+	// Kernel layer: the grouped aggregate replays build hash-group tables,
+	// the sort replays go through the keyed sorter, and the equi-join ran
+	// through the hash-join kernel (never the theta fallback).
+	if d := delta("relation.grouper.builds"); d < 1 {
+		t.Errorf("grouper builds delta = %d, want >= 1", d)
+	}
+	if d := delta("relation.sort.keyed"); d < 1 {
+		t.Errorf("keyed sort delta = %d, want >= 1", d)
+	}
+	if d := delta("relation.join.hash"); d != 1 {
+		t.Errorf("hash join delta = %d, want 1", d)
+	}
+	if d := delta("relation.join.fallback"); d != 0 {
+		t.Errorf("theta fallback delta = %d, want 0 (condition is an equi-join)", d)
 	}
 }
 

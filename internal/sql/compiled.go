@@ -235,10 +235,11 @@ type rowGroup struct {
 }
 
 // buildRowGroups partitions the filtered rows by the GROUP BY expression
-// values. When the keys compile, the per-row key strings are computed in
-// parallel chunks first; the grouping scan itself stays sequential to keep
-// first-appearance order. An aggregate query without GROUP BY yields one
-// group even over empty input.
+// values. When the keys compile, the per-row key tuples are computed in
+// parallel chunks and grouped by the batch hash kernel (first-appearance
+// order preserved); otherwise keys evaluate sequentially (tree-walking
+// fallback, possibly with subqueries) into an incremental hash table. An
+// aggregate query without GROUP BY yields one group even over empty input.
 func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) ([]*rowGroup, error) {
 	nG := len(stmt.GroupBy)
 	progs := make([]*expr.Program, nG)
@@ -249,63 +250,56 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 			break
 		}
 	}
-	var keyVals [][]value.Value
-	var keyStrs []string
 	if compiled && nG > 0 {
-		keyVals = make([][]value.Value, len(rows))
-		keyStrs = make([]string, len(rows))
+		keyVals := make([]relation.Tuple, len(rows))
 		err := relation.ForChunks(len(rows), func(_, lo, hi int) error {
-			var kb strings.Builder
 			for ri := lo; ri < hi; ri++ {
-				key := make([]value.Value, nG)
-				kb.Reset()
+				key := make(relation.Tuple, nG)
 				for i, p := range progs {
 					v, err := p.Eval(rows[ri])
 					if err != nil {
 						return err
 					}
 					key[i] = v
-					kb.WriteString(v.Key())
-					kb.WriteByte('\x1f')
 				}
 				keyVals[ri] = key
-				keyStrs[ri] = kb.String()
 			}
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		gr := relation.GroupRowsOn(keyVals, nil)
+		counts := make([]int, gr.NumGroups())
+		for _, gid := range gr.IDs {
+			counts[gid]++
+		}
+		groups := make([]*rowGroup, gr.NumGroups())
+		for g, ri := range gr.First {
+			groups[g] = &rowGroup{key: keyVals[ri], rows: make([]relation.Tuple, 0, counts[g])}
+		}
+		for ri, gid := range gr.IDs {
+			groups[gid].rows = append(groups[gid].rows, rows[ri])
+		}
+		return groups, nil
 	}
+	table := relation.NewGrouper(nil, len(rows)/4+1)
 	var groups []*rowGroup
-	index := map[string]*rowGroup{}
-	for ri, row := range rows {
-		var key []value.Value
-		var k string
-		if keyStrs != nil {
-			key, k = keyVals[ri], keyStrs[ri]
-		} else {
-			env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
-			key = make([]value.Value, nG)
-			var kb strings.Builder
-			for i, g := range stmt.GroupBy {
-				v, err := expr.Eval(g, env)
-				if err != nil {
-					return nil, err
-				}
-				key[i] = v
-				kb.WriteString(v.Key())
-				kb.WriteByte('\x1f')
+	for _, row := range rows {
+		env := rowEnv{src: src, row: row, db: db, outer: outer, subs: subs}
+		key := make(relation.Tuple, nG)
+		for i, g := range stmt.GroupBy {
+			v, err := expr.Eval(g, env)
+			if err != nil {
+				return nil, err
 			}
-			k = kb.String()
+			key[i] = v
 		}
-		grp := index[k]
-		if grp == nil {
-			grp = &rowGroup{key: key}
-			index[k] = grp
-			groups = append(groups, grp)
+		gid, fresh := table.Add(key)
+		if fresh {
+			groups = append(groups, &rowGroup{key: key})
 		}
-		grp.rows = append(grp.rows, row)
+		groups[gid].rows = append(groups[gid].rows, row)
 	}
 	if nG == 0 && len(groups) == 0 {
 		groups = append(groups, &rowGroup{})

@@ -2,7 +2,6 @@ package sql
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"sheetmusiq/internal/expr"
@@ -309,8 +308,12 @@ func qualify(rel *relation.Relation, alias string) *source {
 	return &source{rel: out}
 }
 
-// joinSources computes left ⋈ right (hash join on equality conjuncts when
-// possible, nested loops otherwise).
+// joinSources computes left ⋈ right: the equi-hash-join kernel when the ON
+// clause carries equality conjuncts, a scratch-row nested loop otherwise.
+// Either way matched rows land in one flat backing array; the full product
+// row set is never allocated. The ON predicate cannot run subqueries (its
+// row env has no database handle), so it is pure and the kernel's parallel
+// candidate probe is safe.
 func joinSources(left, right *source, on expr.Expr) (*source, error) {
 	schema := append(left.rel.Schema.Clone(), right.rel.Schema.Clone()...)
 	seen := map[string]bool{}
@@ -323,47 +326,40 @@ func joinSources(left, right *source, on expr.Expr) (*source, error) {
 	}
 	out := relation.New(left.rel.Name+"_"+right.rel.Name, schema)
 	probe := &source{rel: out}
+	onFn := func(row relation.Tuple) (bool, error) {
+		return evalOn(probe, row, on)
+	}
 
-	// Try to extract an equality conjunct usable as a hash-join key.
-	lk, rk := hashKeys(left, right, on)
-	if len(lk) > 0 {
-		build := make(map[string][]relation.Tuple, right.rel.Len())
-		for _, rt := range right.rel.Rows {
-			build[rt.KeyOn(rk)] = append(build[rt.KeyOn(rk)], rt)
+	// Try to extract an equality conjunct usable as a hash-join key. Source
+	// names never collide (checked above), so the kernel's product layout is
+	// exactly this concatenated schema and its rows drop straight in.
+	if lk, rk := hashKeys(left, right, on); len(lk) > 0 {
+		j, err := left.rel.HashJoin(right.rel, lk, rk, onFn)
+		if err != nil {
+			return nil, err
 		}
-		for _, lt := range left.rel.Rows {
-			for _, rt := range build[lt.KeyOn(lk)] {
-				row := concatRow(lt, rt)
-				ok, err := evalOn(probe, row, on)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					out.Rows = append(out.Rows, row)
-				}
-			}
-		}
+		out.Rows = j.Rows
 		return probe, nil
 	}
-	for _, lt := range left.rel.Rows {
-		for _, rt := range right.rel.Rows {
-			row := concatRow(lt, rt)
-			ok, err := evalOn(probe, row, on)
+	wl := len(left.rel.Schema)
+	scratch := make(relation.Tuple, len(schema))
+	var pa, pb []int32
+	for a, lt := range left.rel.Rows {
+		copy(scratch, lt)
+		for b, rt := range right.rel.Rows {
+			copy(scratch[wl:], rt)
+			ok, err := onFn(scratch)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				out.Rows = append(out.Rows, row)
+				pa = append(pa, int32(a))
+				pb = append(pb, int32(b))
 			}
 		}
 	}
+	relation.MaterializePairs(out, left.rel, right.rel, pa, pb)
 	return probe, nil
-}
-
-func concatRow(a, b relation.Tuple) relation.Tuple {
-	row := make(relation.Tuple, 0, len(a)+len(b))
-	row = append(row, a...)
-	return append(row, b...)
 }
 
 func evalOn(probe *source, row relation.Tuple, on expr.Expr) (bool, error) {
@@ -945,48 +941,42 @@ func orderKeys(orderBy []OrderItem, env rowEnv, out *relation.Relation, tuple re
 	return keys, nil
 }
 
-// sortOutput stably sorts the output rows by the precomputed keys.
+// sortOutput stably sorts the output rows by the precomputed keys, through
+// the relation layer's keyed parallel sort kernel.
 func sortOutput(out *relation.Relation, sortVals [][]value.Value, orderBy []OrderItem) {
-	type pair struct {
-		row  relation.Tuple
-		keys []value.Value
+	n, k := len(out.Rows), len(orderBy)
+	if n < 2 || k == 0 {
+		return
 	}
-	pairs := make([]pair, len(out.Rows))
-	for i := range out.Rows {
-		pairs[i] = pair{row: out.Rows[i], keys: sortVals[i]}
+	flat := make([]value.Value, n*k)
+	desc := make([]bool, k)
+	for i := range orderBy {
+		desc[i] = orderBy[i].Desc
 	}
-	sort.SliceStable(pairs, func(a, b int) bool {
-		for i := range orderBy {
-			c := value.MustCompare(pairs[a].keys[i], pairs[b].keys[i])
-			if c == 0 {
-				continue
-			}
-			if orderBy[i].Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	for i := range pairs {
-		out.Rows[i] = pairs[i].row
+	for i, keys := range sortVals {
+		copy(flat[i*k:(i+1)*k], keys)
 	}
+	perm := relation.SortPermByKeys(flat, k, desc)
+	rows := make([]relation.Tuple, n)
+	for i, p := range perm {
+		rows[i] = out.Rows[p]
+	}
+	out.Rows = rows
 }
 
 // distinctRows dedupes output rows, keeping the parallel sort keys aligned.
 func distinctRows(out *relation.Relation, sortVals [][]value.Value) (*relation.Relation, [][]value.Value) {
-	seen := map[string]bool{}
+	gr := relation.GroupRowsOn(out.Rows, nil)
 	res := relation.New(out.Name, out.Schema)
+	res.Rows = make([]relation.Tuple, gr.NumGroups())
 	var keys [][]value.Value
-	for i, row := range out.Rows {
-		k := row.Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		res.Rows = append(res.Rows, row)
+	if sortVals != nil {
+		keys = make([][]value.Value, gr.NumGroups())
+	}
+	for g, ri := range gr.First {
+		res.Rows[g] = out.Rows[ri]
 		if sortVals != nil {
-			keys = append(keys, sortVals[i])
+			keys[g] = sortVals[ri]
 		}
 	}
 	return res, keys

@@ -1,0 +1,109 @@
+package value
+
+import "math"
+
+// Hashing for grouping and join kernels. The contract mirrors Key(): two
+// values that compare equal under Compare must produce the same hash, so
+// numerically equal integers and floats coincide. Unlike Key(), hashing
+// never formats a string, which is what makes the hash-based grouping and
+// join kernels allocation-free per row.
+//
+// The hash is deterministic for the life of the process (no per-process
+// seed): chunked parallel builds merge per-chunk tables, and a stable hash
+// keeps the merged table identical to the sequential build.
+
+// Hash tags. Numeric kinds share one tag so int/float coincidence reduces
+// to payload coincidence.
+const (
+	hashTagNull    uint64 = 0x9ae16a3b2f90404f
+	hashTagNumeric uint64 = 0xc3a5c85c97cb3127
+	hashTagBigInt  uint64 = 0xb492b66fbe98f273
+	hashTagString  uint64 = 0x8648dbdb54b3b215
+	hashTagBool    uint64 = 0xff51afd7ed558ccd
+	hashTagDate    uint64 = 0xc4ceb9fe1a85ec53
+)
+
+// mix64 is the SplitMix64 finaliser: a cheap, well-distributed 64-bit
+// avalanche (Steele et al.), the standard way to turn raw payload bits into
+// table-ready hash bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// floatHashBits normalises a float payload so that numeric equality implies
+// bit equality: -0 folds into +0 (Compare treats them as equal) and every
+// NaN payload folds into one canonical NaN (NaNs group with themselves).
+func floatHashBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
+
+// maxExactFloat is 2^63 as a float64; int64 payloads at or above it cannot
+// be round-tripped through float64 safely.
+const maxExactFloat = 9223372036854775808.0
+
+// Hash returns a 64-bit hash of v such that Equal(a, b) implies
+// Hash(a) == Hash(b) for all values Compare orders consistently. Integers
+// hash through their float64 image whenever that image is exact (always
+// below 2^53, and for exactly representable larger values such as powers of
+// two), so cross-kind numeric equality lands in the same hash bucket.
+func Hash(v Value) uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashTagNull
+	case KindInt:
+		if v.i > -(1<<53) && v.i < 1<<53 {
+			return hashTagNumeric ^ mix64(floatHashBits(float64(v.i)))
+		}
+		// The range check is inclusive below: -2^63 is itself an int64
+		// (MinInt64), while +2^63 is not.
+		if f := float64(v.i); f >= -maxExactFloat && f < maxExactFloat && int64(f) == v.i {
+			return hashTagNumeric ^ mix64(floatHashBits(f))
+		}
+		return hashTagBigInt ^ mix64(uint64(v.i))
+	case KindFloat:
+		// A float that exactly equals an int64 above 2^53 must coincide with
+		// that integer's hash; such floats are exactly representable, so both
+		// sides use the float image (the KindInt arm above).
+		return hashTagNumeric ^ mix64(floatHashBits(v.f))
+	case KindString:
+		return hashTagString ^ hashString(v.s)
+	case KindBool:
+		return hashTagBool ^ mix64(uint64(v.i))
+	case KindDate:
+		return hashTagDate ^ mix64(uint64(v.i))
+	default:
+		return mix64(uint64(v.kind))
+	}
+}
+
+// hashString is FNV-1a 64 over the bytes, finalised through mix64 for
+// avalanche on short keys.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// HashCombine folds the hash of one more value into a running row hash.
+// The combine is order-dependent (grouping keys are positional).
+func HashCombine(h uint64, v Value) uint64 {
+	return mix64(h ^ Hash(v))
+}

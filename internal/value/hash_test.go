@@ -1,0 +1,99 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randValue draws from every kind, with numeric payloads concentrated on a
+// small range so cross-kind coincidences (int 5 vs float 5.0) occur often.
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(7) {
+	case 0:
+		return NewInt(int64(rng.Intn(20) - 10))
+	case 1:
+		return NewFloat(float64(rng.Intn(20) - 10))
+	case 2:
+		return NewFloat(rng.Float64() * 10)
+	case 3:
+		return NewString(string(rune('a' + rng.Intn(5))))
+	case 4:
+		return NewBool(rng.Intn(2) == 0)
+	case 5:
+		return NewDateDays(int64(rng.Intn(10)))
+	default:
+		return Null
+	}
+}
+
+// TestHashRespectsEqual is the core hash contract: values that compare
+// equal must hash identically, across kinds.
+func TestHashRespectsEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		a, b := randValue(rng), randValue(rng)
+		if Equal(a, b) && Hash(a) != Hash(b) {
+			t.Fatalf("Equal(%v, %v) but Hash %x != %x", a, b, Hash(a), Hash(b))
+		}
+	}
+}
+
+func TestHashNumericCoincidence(t *testing.T) {
+	cases := [][2]Value{
+		{NewInt(5), NewFloat(5)},
+		{NewInt(0), NewFloat(0)},
+		{NewInt(-3), NewFloat(-3)},
+		{NewFloat(0), NewFloat(math.Copysign(0, -1))}, // -0 folds into +0
+		{NewInt(1 << 60), NewFloat(1 << 60)},          // exactly representable above 2^53
+		{NewInt(math.MinInt64), NewFloat(-9223372036854775808)},
+	}
+	for _, c := range cases {
+		if !Equal(c[0], c[1]) {
+			t.Fatalf("fixture %v vs %v not Equal", c[0], c[1])
+		}
+		if Hash(c[0]) != Hash(c[1]) {
+			t.Fatalf("Hash(%v) = %x != Hash(%v) = %x", c[0], Hash(c[0]), c[1], Hash(c[1]))
+		}
+	}
+}
+
+func TestHashBigIntsDistinct(t *testing.T) {
+	// Neighbouring int64s above 2^53 collapse to the same float64; their
+	// hashes must still differ, since Compare orders them exactly.
+	a, b := NewInt(1<<60+1), NewInt(1<<60+2)
+	if Hash(a) == Hash(b) {
+		t.Fatalf("neighbouring big ints share a hash")
+	}
+}
+
+func TestHashNaNCanonical(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	negNaN := NewFloat(math.Float64frombits(math.Float64bits(math.NaN()) | 1<<63))
+	if Hash(nan) != Hash(negNaN) {
+		t.Fatalf("NaN payloads hash differently")
+	}
+}
+
+func TestHashCombineOrderDependent(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	h1 := HashCombine(HashCombine(0, a), b)
+	h2 := HashCombine(HashCombine(0, b), a)
+	if h1 == h2 {
+		t.Fatalf("HashCombine is order-insensitive; grouping keys are positional")
+	}
+}
+
+func TestHashNoAllocs(t *testing.T) {
+	vals := []Value{NewInt(7), NewFloat(2.5), NewString("abcdef"), NewBool(true), NewDateDays(3), Null}
+	n := testing.AllocsPerRun(100, func() {
+		var h uint64
+		for _, v := range vals {
+			h = HashCombine(h, v)
+		}
+		_ = h
+	})
+	if n != 0 {
+		t.Fatalf("Hash allocates %v per run, want 0", n)
+	}
+}
