@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json clean
+.PHONY: build test race vet lint bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,28 @@ build:
 # The obs registry, the instrumented server, and the packages with parallel
 # kernels (grouping/join/sort chunk fan-out) are the most
 # concurrency-sensitive, so test always re-runs them under the race detector
-# (full-tree race stays available as `make race`).
-test: vet
+# (full-tree race stays available as `make race`). internal/core additionally
+# races with the parallel threshold forced low, so the chunk fan-out in every
+# evaluation stage fires even on the small test relations.
+test: lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql
+	SHEETMUSIQ_PARALLEL_THRESHOLD=4 $(GO) test -race ./internal/core
 
 race:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint prefers staticcheck when it is on PATH and falls back to go vet, so
+# `make test` needs no network access or extra tooling to run.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "$(GO) vet ./... (staticcheck not installed)"; $(GO) vet ./...; \
+	fi
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -324,6 +324,106 @@ func BenchmarkFormulaEvaluate100k(b *testing.B) {
 	}
 }
 
+// BenchmarkModifyEvaluate100k prices the paper's Sec. V interaction loop at
+// scale: a 100k-row sheet carrying a selection, a grouping level, an
+// aggregate and an ordering, where every iteration applies exactly one
+// modification — replace the predicate, flip the ordering, add a predicate,
+// remove it again — and re-evaluates. This is the workload the incremental
+// stage pipeline exists for: each gesture invalidates one stage and reuses
+// every snapshot upstream of it.
+func BenchmarkModifyEvaluate100k(b *testing.B) {
+	s := scaleSheet(b, 100000)
+	yearID, err := s.Select("Year >= 2003")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.GroupBy(core.Asc, "Model"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Sort("Price", core.Asc); err != nil {
+		b.Fatal(err)
+	}
+	evaluate(b, s)
+	extraID := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 4 {
+		case 0:
+			if err := s.ReplaceSelection(yearID, "Year >= 2004"); err != nil {
+				b.Fatal(err)
+			}
+		case 1:
+			if err := s.Sort("Price", core.Desc); err != nil {
+				b.Fatal(err)
+			}
+		case 2:
+			extraID, err = s.Select("Mileage < 180000")
+			if err != nil {
+				b.Fatal(err)
+			}
+		case 3:
+			if err := s.RemoveSelection(extraID); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.ReplaceSelection(yearID, "Year >= 2003"); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Sort("Price", core.Asc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		evaluate(b, s)
+	}
+}
+
+// BenchmarkEvalColdVsWarm100k contrasts a cold full replay (Clone drops
+// every cache) with a warm single-gesture re-evaluation of the same state
+// (flip the finest ordering, re-evaluate); their ratio is the incremental
+// pipeline's reuse win on a 100k-row sheet.
+func BenchmarkEvalColdVsWarm100k(b *testing.B) {
+	build := func() *core.Spreadsheet {
+		s := scaleSheet(b, 100000)
+		if _, err := s.Select("Year >= 2003"); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.GroupBy(core.Asc, "Model"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Sort("Price", core.Asc); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			evaluate(b, s.Clone())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := build()
+		evaluate(b, s)
+		dirs := []core.Dir{core.Desc, core.Asc}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Sort("Price", dirs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			evaluate(b, s)
+		}
+	})
+}
+
 // --- relation-kernel benchmarks --------------------------------------------
 //
 // These isolate the grouping, duplicate-elimination and sort kernels at the

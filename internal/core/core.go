@@ -187,11 +187,23 @@ type Spreadsheet struct {
 	undo []snapshot
 	redo []snapshot
 
-	// cache memoises the last Evaluate for the current version; direct
-	// manipulation re-renders constantly, and an unchanged state need not
-	// recompute. Invalidation is by version comparison.
+	// cache memoises the last Evaluate — result or error — for the current
+	// version; direct manipulation re-renders constantly, and an unchanged
+	// state need not recompute (nor re-fail). Invalidation is by version
+	// comparison.
 	cacheVersion int
 	cacheResult  *Result
+	cacheErr     error
+
+	// Incremental-evaluation state (plan.go / snapcache.go): the
+	// fingerprint-keyed stage-snapshot cache, the base-identity generation
+	// that fences snapshots to one base relation (baseSeen is the pointer
+	// the generation was issued for), and the stage plan of the most
+	// recent evaluation for the explain surface.
+	snapCache *snapCache
+	baseSeen  *relation.Relation
+	baseGen   uint64
+	lastPlan  *EvalPlan
 }
 
 type snapshot struct {

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"strings"
+	"time"
 
 	"sheetmusiq/internal/expr"
 	"sheetmusiq/internal/obs"
@@ -16,7 +16,8 @@ import (
 // ordering), so evalReplayOps/evalCount is the mean replay length.
 // evalMergeFallback counts aggregate passes forced sequential because
 // chunked merging would not be bit-identical (relation.MergeExact) — the
-// determinism contract of the parallel pipeline.
+// determinism contract of the parallel pipeline. The stage-cache series
+// (stage_hits, stage_recomputes, snapshot_bytes) live in snapcache.go.
 var (
 	evalCount         = obs.Default.Counter("core.eval.count")
 	evalCacheHits     = obs.Default.Counter("core.eval.cache_hits")
@@ -88,26 +89,27 @@ func schemaResolver(schema relation.Schema) expr.Resolver {
 // update when the underlying data changes" and makes the unary operators
 // commute exactly as Theorem 2 states.
 //
-// The result is memoised until the next operator: treat it as read-only
+// Both the result and an evaluation error are memoised until the next
+// operator: direct manipulation re-renders constantly, and an erroring
+// state (a cyclic computed column, a runtime type error) would otherwise
+// re-run the full replay on every render. Treat the result as read-only
 // (copy the table before mutating it).
 func (s *Spreadsheet) Evaluate() (*Result, error) {
-	if s.cacheResult != nil && s.cacheVersion == s.version {
+	if s.cacheVersion == s.version && (s.cacheResult != nil || s.cacheErr != nil) {
 		evalCacheHits.Inc()
-		return s.cacheResult, nil
+		return s.cacheResult, s.cacheErr
 	}
 	res, err := s.evaluate()
-	if err != nil {
-		return nil, err
-	}
 	s.cacheVersion = s.version
-	s.cacheResult = res
-	return res, nil
+	s.cacheResult, s.cacheErr = res, err
+	return res, err
 }
 
-// evaluate is the uncached evaluation. Stage bodies — row
-// materialisation, selection filtering, formula fill, aggregate
-// accumulation and key computation — run data-parallel over contiguous
-// row chunks above relation.ParallelThreshold; chunk-local results are
+// evaluate is the uncached evaluation: build the stage pipeline
+// (plan.go), resume it from the deepest cached snapshot, run the remaining
+// stages (stage.go), and assemble the visible table and group tree from
+// the final snapshot. Stage bodies run data-parallel over contiguous row
+// chunks above relation.ParallelThreshold; chunk-local results are
 // concatenated (or merged) in chunk order, so the output is identical to
 // the sequential scan.
 func (s *Spreadsheet) evaluate() (*Result, error) {
@@ -117,320 +119,73 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 	evalStart := obs.StartTimer()
 	defer evalSec.Since(evalStart)
 
-	// Working schema: every base column (hidden ones still participate in
-	// predicates) followed by the computed columns. The schema is fixed
-	// for the whole evaluation, so expressions compile against it once.
-	work := relation.New(s.name, s.base.Schema)
-	for _, c := range s.state.computed {
-		work.Schema = append(work.Schema, relation.Column{Name: c.Name, Kind: c.ResultKind})
-	}
-	nBase := len(s.base.Schema)
-	width := len(work.Schema)
-	n := s.base.Len()
-	// One flat backing array instead of one allocation per row; the zero
-	// Value is NULL, so computed-column cells need no explicit fill.
-	flat := make([]value.Value, n*width)
-	rows := make([]relation.Tuple, n)
-	_ = relation.ForChunks(n, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			row := flat[i*width : (i+1)*width : (i+1)*width]
-			copy(row[:nBase], s.base.Rows[i])
-			rows[i] = row
-		}
-		return nil
-	})
-	work.Rows = rows
+	s.checkBaseGeneration()
 
-	// Stratify computed columns and selections by depth, keyed by position
-	// so the stage loop needs no per-iteration name normalisation.
-	maxD := 0
-	colDepths := make([]int, len(s.state.computed))
-	for ci, c := range s.state.computed {
-		d, err := s.aggDepth(c.Name, map[string]bool{})
-		if err != nil {
-			return nil, err
-		}
-		colDepths[ci] = d
-		if d > maxD {
-			maxD = d
-		}
-	}
-	selDepth := make([]int, len(s.state.selections))
-	for i, sel := range s.state.selections {
-		d, err := s.exprDepth(sel.Pred)
-		if err != nil {
-			return nil, err
-		}
-		selDepth[i] = d
-		if d > maxD {
-			maxD = d
-		}
-	}
-
-	// Compile every selection predicate once against the working schema.
-	// Compilation only declines subqueries, which the algebra rejects at
-	// operator time, but keep the tree-walking fallback for safety.
 	compileStart := obs.StartTimer()
-	resolve := schemaResolver(work.Schema)
-	selProgs := make([]*expr.Program, len(s.state.selections))
-	for i, sel := range s.state.selections {
-		if p, err := expr.Compile(sel.Pred, resolve); err == nil {
-			selProgs[i] = p
-		}
-	}
+	ev, stages, err := s.buildPipeline()
 	evalCompileSec.Since(compileStart)
-
-	for d := 0; d <= maxD; d++ {
-		// Aggregate columns of depth d see rows surviving selections < d.
-		for ci, c := range s.state.computed {
-			if c.Kind == KindAggregate && colDepths[ci] == d {
-				if err := s.fillAggregate(work, c); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// Formula columns of depth d, in creation order (later formulas may
-		// reference earlier ones of the same depth).
-		for ci, c := range s.state.computed {
-			if c.Kind == KindFormula && colDepths[ci] == d {
-				if err := fillFormula(work, c); err != nil {
-					return nil, err
-				}
-			}
-		}
-		// Selections of depth d.
-		for i, sel := range s.state.selections {
-			if selDepth[i] != d {
-				continue
-			}
-			if err := applySelection(work, sel, selProgs[i]); err != nil {
-				return nil, err
-			}
-		}
-		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
-		// Each group's first row compacts in place: first-row indexes are
-		// ascending and never lag the write cursor.
-		if d == 0 && s.state.distinctOn != nil {
-			idx, err := work.ColumnIndexes(s.state.distinctOn)
-			if err != nil {
-				return nil, fmt.Errorf("core: distinct: %w", err)
-			}
-			gr := relation.GroupRowsOn(work.Rows, idx)
-			kept := work.Rows[:0]
-			for _, ri := range gr.First {
-				kept = append(kept, work.Rows[ri])
-			}
-			work.Rows = kept
-		}
-	}
-
-	// Presentation order: each grouping level's relative basis in the
-	// level's direction, then the finest-level keys — the Sec. II-A remark
-	// that any recursive grouping can be emulated by one ordering.
-	var keys []relation.SortKey
-	for _, g := range s.state.grouping {
-		if g.By != "" {
-			// OrderGroupsBy extension: groups sort by a per-group-constant
-			// column, with the relative basis as the tiebreak.
-			keys = append(keys, relation.SortKey{Column: g.By, Desc: g.Dir == Desc})
-			for _, a := range g.Rel {
-				keys = append(keys, relation.SortKey{Column: a})
-			}
-			continue
-		}
-		for _, a := range g.Rel {
-			keys = append(keys, relation.SortKey{Column: a, Desc: g.Dir == Desc})
-		}
-	}
-	for _, k := range s.state.finest {
-		keys = append(keys, relation.SortKey{Column: k.Column, Desc: k.Dir == Desc})
-	}
-	if err := work.Sort(keys); err != nil {
+	if err != nil {
+		s.lastPlan = nil
 		return nil, err
 	}
 
-	// Project to the visible schema. When nothing is hidden the visible
-	// schema is the working schema itself and the copy is skipped: work is
-	// materialised fresh per evaluation, so the result may alias it.
-	visible := s.VisibleSchema()
-	var table *relation.Relation
-	if identitySchema(visible, work.Schema) {
-		table = work
-	} else {
-		var err error
-		table, err = work.Project(visible.Names())
-		if err != nil {
-			return nil, err
+	plan := make([]StageInfo, len(stages))
+	for i, st := range stages {
+		plan[i] = StageInfo{Name: st.name, Fingerprint: st.fp}
+	}
+
+	// Resume from the deepest cached snapshot. Its fingerprint chains over
+	// every upstream definition and the base generation, so a hit proves
+	// the whole prefix of the pipeline is unchanged — every upstream
+	// snapshot is reused by construction. Probing every stage (not just
+	// the deepest) refreshes the live chain's LRU standing.
+	cache := s.snaps()
+	start := -1
+	var cur *stageSnap
+	for i := range stages {
+		if snap := cache.get(stages[i].fp); snap != nil {
+			start, cur = i, snap
+			plan[i].Rows = len(snap.idx)
 		}
 	}
-	table.Name = s.name
+	for i := 0; i <= start; i++ {
+		plan[i].Cached = true
+	}
+	evalStageHits.Add(int64(start + 1))
 
-	root, err := s.buildGroups(work)
+	for i := start + 1; i < len(stages); i++ {
+		stageStart := time.Now()
+		next, err := stages[i].run(ev, cur)
+		if err != nil {
+			s.lastPlan = &EvalPlan{Version: s.version, Stages: plan, Error: err.Error()}
+			return nil, err
+		}
+		next.fp = stages[i].fp
+		cache.put(next, stages[i].rank)
+		evalStageRecomputes.Inc()
+		plan[i].Rows = len(next.idx)
+		plan[i].Duration = time.Since(stageStart)
+		cur = next
+	}
+	s.lastPlan = &EvalPlan{Version: s.version, Stages: plan}
+
+	// Final assembly from the last snapshot: project the visible schema
+	// into a fresh table (the one full copy the evaluation makes) and
+	// build the group tree by adjacency over the presentation-ordered
+	// view. Assembly is not snapshot-cached — the whole-Result memo above
+	// covers the unchanged-version case.
+	view := ev.viewOf(cur)
+	visible := s.VisibleSchema()
+	visPos, err := ev.positions(visible.Names())
+	if err != nil {
+		return nil, err
+	}
+	table := relation.MaterializeView(view, visPos, s.name, visible)
+	root, err := ev.buildGroups(view)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Table: table, Root: root, Levels: s.Grouping()}, nil
-}
-
-// applySelection filters the working rows by one σ predicate, in place.
-// Above the parallel threshold each chunk compacts into its own prefix of
-// the row slice (appends lag reads, and chunks are disjoint), and the
-// chunk-local kept runs are concatenated in chunk order, so the surviving
-// multiset order — and, per RunChunks, the first error — are identical to
-// the sequential scan.
-func applySelection(work *relation.Relation, sel Selection, prog *expr.Program) error {
-	rows := work.Rows
-	evalRow := func(row relation.Tuple) (bool, error) {
-		if prog != nil {
-			return prog.EvalBool(row)
-		}
-		return expr.EvalBool(sel.Pred, rowEnv{schema: work.Schema, row: row})
-	}
-	bounds := relation.Chunks(len(rows))
-	if len(bounds) <= 1 {
-		kept := rows[:0]
-		for _, row := range rows {
-			ok, err := evalRow(row)
-			if err != nil {
-				return fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
-			}
-			if ok {
-				kept = append(kept, row)
-			}
-		}
-		work.Rows = kept
-		return nil
-	}
-	counts := make([]int, len(bounds))
-	err := relation.RunChunks(bounds, func(c, lo, hi int) error {
-		kept := rows[lo:lo:hi]
-		for _, row := range rows[lo:hi] {
-			ok, err := evalRow(row)
-			if err != nil {
-				return fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
-			}
-			if ok {
-				kept = append(kept, row)
-			}
-		}
-		counts[c] = len(kept)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	w := counts[0]
-	for c := 1; c < len(bounds); c++ {
-		lo := bounds[c][0]
-		copy(rows[w:], rows[lo:lo+counts[c]])
-		w += counts[c]
-	}
-	work.Rows = rows[:w]
-	return nil
-}
-
-// fillAggregate computes one η column over the current working rows,
-// writing the group's value into every member row (Def. 11 / Table III).
-// Rows map to dense group IDs once (relation.GroupRowsOn) and both the
-// accumulate and write-back passes index flat per-group arrays — no string
-// keys, no maps. Above the parallel threshold the accumulate pass keeps
-// per-chunk partial accumulators and merges them in chunk order
-// (Accumulator.Merge), so tie-breaks match the sequential scan.
-func (s *Spreadsheet) fillAggregate(work *relation.Relation, c *ComputedColumn) error {
-	out := work.Schema.IndexOf(c.Name)
-	in := work.Schema.IndexOf(c.Input)
-	if out < 0 || in < 0 {
-		return fmt.Errorf("core: aggregate %s references missing column", c.Name)
-	}
-	basis := s.state.cumulativeBasis(c.Level)
-	bidx, err := work.ColumnIndexes(basis)
-	if err != nil {
-		return err
-	}
-	rows := work.Rows
-	if len(rows) == 0 {
-		return nil
-	}
-	gr := relation.GroupRowsOn(rows, bidx)
-	gids, ng := gr.IDs, gr.NumGroups()
-	bounds := relation.Chunks(len(rows))
-	if len(bounds) > 1 && !relation.MergeExact(c.Agg, work.Schema[in].Kind) {
-		// Float-stream summing is not associative; stay sequential so the
-		// result is bit-identical to the one-chunk scan.
-		evalMergeFallback.Inc()
-		bounds = [][2]int{{0, len(rows)}}
-	}
-	parts := make([][]*relation.Accumulator, len(bounds))
-	err = relation.RunChunks(bounds, func(ch, lo, hi int) error {
-		accs := make([]*relation.Accumulator, ng)
-		for i := lo; i < hi; i++ {
-			acc := accs[gids[i]]
-			if acc == nil {
-				acc = relation.NewAccumulator(c.Agg)
-				accs[gids[i]] = acc
-			}
-			if err := acc.Add(rows[i][in]); err != nil {
-				return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
-			}
-		}
-		parts[ch] = accs
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	accs := parts[0]
-	for _, part := range parts[1:] {
-		for g, acc := range part {
-			if acc == nil {
-				continue
-			}
-			if prev := accs[g]; prev != nil {
-				prev.Merge(acc)
-			} else {
-				accs[g] = acc
-			}
-		}
-	}
-	// Finalise once per group, not once per row. Every group has at least
-	// one row, so every merged accumulator is non-nil.
-	results := make([]value.Value, ng)
-	for g, acc := range accs {
-		results[g] = coerce(acc.Result(), c.ResultKind)
-	}
-	return relation.ForChunks(len(rows), func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			rows[i][out] = results[gids[i]]
-		}
-		return nil
-	})
-}
-
-// fillFormula computes one θ column row-locally (Def. 12), through a
-// program compiled once against the working schema, chunk-parallel above
-// the threshold.
-func fillFormula(work *relation.Relation, c *ComputedColumn) error {
-	out := work.Schema.IndexOf(c.Name)
-	if out < 0 {
-		return fmt.Errorf("core: formula %s column missing", c.Name)
-	}
-	prog, cerr := expr.Compile(c.Formula, schemaResolver(work.Schema))
-	return relation.ForChunks(len(work.Rows), func(_, lo, hi int) error {
-		for _, row := range work.Rows[lo:hi] {
-			var v value.Value
-			var err error
-			if cerr == nil {
-				v, err = prog.Eval(row)
-			} else {
-				v, err = expr.Eval(c.Formula, rowEnv{schema: work.Schema, row: row})
-			}
-			if err != nil {
-				return fmt.Errorf("core: formula %s: %w", c.Name, err)
-			}
-			row[out] = coerce(v, c.ResultKind)
-		}
-		return nil
-	})
 }
 
 // coerce widens an integer into a float-typed column so computed columns
@@ -442,46 +197,33 @@ func coerce(v value.Value, kind value.Kind) value.Value {
 	return v
 }
 
-// identitySchema reports whether the visible schema is exactly the working
-// schema, making the output projection a no-op.
-func identitySchema(visible, work relation.Schema) bool {
-	if len(visible) != len(work) {
-		return false
-	}
-	for i := range visible {
-		if visible[i].Name != work[i].Name {
+// viewEqualOn reports whether two view rows agree on the given working
+// positions — the adjacency probe group building applies to the ordered
+// view. Comparing values directly (NULL equals NULL, multiset identity —
+// exactly the sort's notion of adjacency) avoids building string keys.
+func viewEqualOn(v *relation.IndexView, a, b int, cols []int) bool {
+	for _, c := range cols {
+		if !value.Equal(v.At(a, c), v.At(b, c)) {
 			return false
 		}
 	}
 	return true
 }
 
-// tuplesEqualOn reports whether two rows agree on the given columns — the
-// adjacency probe group building applies to the sorted working table.
-// Comparing values directly (NULL equals NULL, multiset identity — exactly
-// the sort's notion of adjacency) avoids building a string key per probe.
-func tuplesEqualOn(a, b relation.Tuple, idx []int) bool {
-	for _, ci := range idx {
-		if !value.Equal(a[ci], b[ci]) {
-			return false
-		}
-	}
-	return true
-}
-
-// buildGroups partitions the sorted working rows into the recursive group
-// tree. Each level's relative basis resolves to column positions once, up
-// front, instead of once per sibling group at that level.
-func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
-	levelIdx := make([][]int, len(s.state.grouping))
-	for li, g := range s.state.grouping {
-		idx, err := work.ColumnIndexes(g.Rel)
+// buildGroups partitions the ordered view rows into the recursive group
+// tree. Each level's relative basis resolves to working positions once, up
+// front; reading through the view keeps hidden basis columns addressable
+// even though they are projected out of the visible table.
+func (ev *evalCtx) buildGroups(view *relation.IndexView) (*Group, error) {
+	levelIdx := make([][]int, len(ev.s.state.grouping))
+	for li, g := range ev.s.state.grouping {
+		pos, err := ev.positions(g.Rel)
 		if err != nil {
 			return nil, err
 		}
-		levelIdx[li] = idx
+		levelIdx[li] = pos
 	}
-	root := &Group{Level: 1, Start: 0, End: len(work.Rows)}
+	root := &Group{Level: 1, Start: 0, End: view.Len()}
 	var build func(g *Group, li int)
 	build = func(g *Group, li int) {
 		if li >= len(levelIdx) {
@@ -491,12 +233,12 @@ func (s *Spreadsheet) buildGroups(work *relation.Relation) (*Group, error) {
 		i := g.Start
 		for i < g.End {
 			j := i + 1
-			for j < g.End && tuplesEqualOn(work.Rows[j], work.Rows[i], idx) {
+			for j < g.End && viewEqualOn(view, j, i, idx) {
 				j++
 			}
 			key := make([]value.Value, len(idx))
 			for k, ci := range idx {
-				key[k] = work.Rows[i][ci]
+				key[k] = view.At(i, ci)
 			}
 			child := &Group{Level: li + 2, Key: key, Start: i, End: j}
 			build(child, li+1)

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/obs"
+	"sheetmusiq/internal/relation"
+)
+
+func stageCounters() (hits, recomputes int64) {
+	return obs.Default.CounterValue("core.eval.stage_hits"),
+		obs.Default.CounterValue("core.eval.stage_recomputes")
+}
+
+// bigSheet builds the acceptance-criteria state over a 100k-row sheet:
+// base → σ Year >= 2003 → η AvgP (level 2 over Model) → λ Price. Pipeline:
+// base, σ, η, λ — four stages.
+func bigSheet(t testing.TB) (*Spreadsheet, int) {
+	t.Helper()
+	s := New(dataset.RandomCars(100_000, 42))
+	id, err := s.Select("Year >= 2003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GroupBy(Asc, "Model"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AggregateAs("AvgP", relation.AggAvg, "Price", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sort("Price", Asc); err != nil {
+		t.Fatal(err)
+	}
+	return s, id
+}
+
+// TestSingleOpModificationReusesUpstreamSnapshots pins the tentpole
+// acceptance criterion: after a warm evaluation of a 100k-row sheet, a
+// single-op modification that only touches the ordering stage recomputes
+// exactly that one stage and serves every upstream stage from its cached
+// snapshot.
+func TestSingleOpModificationReusesUpstreamSnapshots(t *testing.T) {
+	s, _ := bigSheet(t)
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Sort("Price", Desc); err != nil {
+		t.Fatal(err)
+	}
+	hits0, rec0 := stageCounters()
+	got, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, rec := stageCounters()
+	if d := rec - rec0; d != 1 {
+		t.Fatalf("λ re-order recomputed %d stages, want exactly 1 (the ordering)", d)
+	}
+	if d := hits - hits0; d != 3 {
+		t.Fatalf("λ re-order hit %d cached stages, want 3 (base, σ, η)", d)
+	}
+
+	// The incremental result is bit-identical to a cold full replay.
+	want, err := s.Clone().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() || got.RenderGrouped() != want.RenderGrouped() {
+		t.Fatal("incremental evaluation diverged from cold replay after λ re-order")
+	}
+}
+
+// TestReplaceSelectionRecomputesSuffix checks the ReplaceSelection case of
+// the paper's query-modification workflow: the base snapshot is reused, the
+// σ stage and everything downstream recompute.
+func TestReplaceSelectionRecomputesSuffix(t *testing.T) {
+	s, id := bigSheet(t)
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceSelection(id, "Year >= 2004"); err != nil {
+		t.Fatal(err)
+	}
+	hits0, rec0 := stageCounters()
+	got, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, rec := stageCounters()
+	if d := hits - hits0; d != 1 {
+		t.Fatalf("modified σ hit %d cached stages, want 1 (base)", d)
+	}
+	if d := rec - rec0; d != 3 {
+		t.Fatalf("modified σ recomputed %d stages, want 3 (σ, η, λ)", d)
+	}
+	want, err := s.Clone().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("incremental evaluation diverged from cold replay after ReplaceSelection")
+	}
+}
+
+// TestModificationToggleRevivesSnapshots pins the stale-revival contract of
+// the snapshot cache: reverting a modification (the paper's "change Year =
+// 2005 to Year = 2006" dialog, toggled back) restores the previous
+// fingerprint chain, so the whole pipeline serves from cache.
+func TestModificationToggleRevivesSnapshots(t *testing.T) {
+	s, id := bigSheet(t)
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceSelection(id, "Year >= 2004"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	// Toggle back: every stage fingerprint returns to its first value.
+	if err := s.ReplaceSelection(id, "Year >= 2003"); err != nil {
+		t.Fatal(err)
+	}
+	hits0, rec0 := stageCounters()
+	got, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, rec := stageCounters()
+	if d := rec - rec0; d != 0 {
+		t.Fatalf("toggled-back state recomputed %d stages, want 0", d)
+	}
+	if d := hits - hits0; d != 4 {
+		t.Fatalf("toggled-back state hit %d cached stages, want all 4", d)
+	}
+	want, err := s.Clone().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("fully cached evaluation diverged from cold replay")
+	}
+}
+
+// TestEvaluateErrorMemoised pins the error-memoisation satellite: an
+// erroring state fails once per version, not once per render.
+func TestEvaluateErrorMemoised(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if _, err := s.Formula("Bad", "Price / (Year - 2005)"); err != nil {
+		t.Fatal(err)
+	}
+	evals0 := obs.Default.CounterValue("core.eval.count")
+	_, err1 := s.Evaluate()
+	if err1 == nil {
+		t.Fatal("division by zero during evaluation must error")
+	}
+	_, err2 := s.Evaluate()
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("memoised error mismatch: %v vs %v", err1, err2)
+	}
+	if d := obs.Default.CounterValue("core.eval.count") - evals0; d != 1 {
+		t.Fatalf("erroring state replayed %d times for two Evaluate calls, want 1", d)
+	}
+	// The next operator clears the memoised error.
+	if err := s.RemoveComputed("Bad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaseReplacementClearsSnapshots: renaming a base column replaces the
+// base relation pointer, which must fence off every cached snapshot (they
+// index into the old base) and still evaluate correctly.
+func TestBaseReplacementClearsSnapshots(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if _, err := s.Select("Price < 17000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("Price", "Cost"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Clone().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("evaluation after base-schema rename diverged from cold replay")
+	}
+	if !strings.Contains(got.Render(), "Cost") {
+		t.Fatalf("renamed column missing from output:\n%s", got.Render())
+	}
+}
+
+// TestPlanReportsCacheStatus drives the explain surface: a warm plan marks
+// every stage cached; a modification marks the recomputed suffix.
+func TestPlanReportsCacheStatus(t *testing.T) {
+	s, _ := bigSheet(t)
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 4 {
+		t.Fatalf("plan has %d stages, want 4:\n%+v", len(plan.Stages), plan.Stages)
+	}
+	wantNames := []string{"base", "σ (Year >= 2003) d0", "η AvgP d1", "λ"}
+	for i, st := range plan.Stages {
+		if st.Name != wantNames[i] {
+			t.Fatalf("stage %d named %q, want %q", i, st.Name, wantNames[i])
+		}
+	}
+	if err := s.Sort("Price", Desc); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range plan.Stages {
+		wantCached := i < 3
+		if st.Cached != wantCached {
+			t.Fatalf("after λ re-order, stage %d (%s) cached=%v, want %v\nplan: %+v",
+				i, st.Name, st.Cached, wantCached, plan.Stages)
+		}
+	}
+	if plan.Stages[3].Rows == 0 {
+		t.Fatal("recomputed ordering stage should report its row count")
+	}
+}
+
+// TestPlanOnErroringState: the plan survives a failing stage, reporting the
+// error and the stages reached.
+func TestPlanOnErroringState(t *testing.T) {
+	s := New(dataset.UsedCars())
+	if _, err := s.Formula("Bad", "Price / (Year - 2005)"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Error == "" {
+		t.Fatal("plan of an erroring state must carry the error")
+	}
+	if len(plan.Stages) != 2 { // base, θ Bad
+		t.Fatalf("plan has %d stages, want 2:\n%+v", len(plan.Stages), plan.Stages)
+	}
+}
+
+// TestSnapshotBytesGaugeMoves sanity-checks the snapshot_bytes series: it
+// rises when snapshots are cached and falls when a base replacement clears
+// them.
+func TestSnapshotBytesGaugeMoves(t *testing.T) {
+	before := obs.Default.Gauge("core.eval.snapshot_bytes").Value()
+	s := New(dataset.RandomCars(4096, 7))
+	if _, err := s.Select("Year >= 2003"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	mid := obs.Default.Gauge("core.eval.snapshot_bytes").Value()
+	if mid <= before {
+		t.Fatalf("snapshot_bytes did not rise: %d -> %d", before, mid)
+	}
+	// Rename a base column: the base pointer changes and the next
+	// evaluation must clear this sheet's snapshots.
+	if err := s.Rename("Price", "Cost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	// The cleared bytes were re-added for the new base's snapshots; the
+	// gauge must stay self-consistent (never negative relative to start).
+	after := obs.Default.Gauge("core.eval.snapshot_bytes").Value()
+	if after <= before {
+		t.Fatalf("snapshot_bytes lost accounting: %d -> %d", before, after)
+	}
+}
+
+// TestStageFingerprintsDistinguishStates: different operator definitions
+// must produce different final-stage fingerprints, equal states equal ones
+// — otherwise the cache would serve wrong snapshots.
+func TestStageFingerprintsDistinguishStates(t *testing.T) {
+	build := func(pred string) uint64 {
+		s := New(dataset.UsedCars())
+		if _, err := s.Select(pred); err != nil {
+			t.Fatal(err)
+		}
+		_, stages, err := s.buildPipeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stages[len(stages)-1].fp
+	}
+	a := build("Year >= 2003")
+	b := build("Year >= 2004")
+	c := build("Year >= 2003")
+	if a == b {
+		t.Fatal("different predicates produced the same stage fingerprint")
+	}
+	if a != c {
+		t.Fatal("identical states produced different stage fingerprints")
+	}
+}
+
+// TestSnapshotCacheEviction fills the cache past its cap and checks the
+// sheet still evaluates correctly with bounded entries.
+func TestSnapshotCacheEviction(t *testing.T) {
+	s := New(dataset.RandomCars(256, 3))
+	id, err := s.Select("Year >= 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*snapCacheCap; i++ {
+		if err := s.ReplaceSelection(id, fmt.Sprintf("Price >= %d", 8000+i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Evaluate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.snaps().entries); n > snapCacheCap {
+		t.Fatalf("snapshot cache holds %d entries, cap is %d", n, snapCacheCap)
+	}
+	got, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Clone().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("evaluation under cache eviction diverged from cold replay")
+	}
+}

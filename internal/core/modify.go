@@ -33,10 +33,14 @@ func (s *Spreadsheet) ReplaceSelection(id int, predicate string) error {
 	}
 	for i, sel := range s.state.selections {
 		if sel.ID == id {
+			// The earlier of the old and new predicate's σ stages is the
+			// first whose fingerprint changes.
+			rank := min(s.selRank(sel.Pred), s.selRank(e))
 			before := s.begin()
 			old := s.state.selections[i].Pred.SQL()
 			s.state.selections[i].Pred = e
 			s.commit(before, fmt.Sprintf("modify σ#%d %s → %s", id, old, e.SQL()))
+			s.invalidateStages(rank)
 			return nil
 		}
 	}
@@ -47,9 +51,11 @@ func (s *Spreadsheet) ReplaceSelection(id int, predicate string) error {
 func (s *Spreadsheet) RemoveSelection(id int) error {
 	for i, sel := range s.state.selections {
 		if sel.ID == id {
+			rank := s.selRank(sel.Pred)
 			before := s.begin()
 			s.state.selections = append(s.state.selections[:i:i], s.state.selections[i+1:]...)
 			s.commit(before, fmt.Sprintf("remove σ#%d %s", id, sel.Pred.SQL()))
+			s.invalidateStages(rank)
 			return nil
 		}
 	}
@@ -109,9 +115,13 @@ func (s *Spreadsheet) RemoveComputed(name string) error {
 	if deps := s.dependents(name); len(deps) > 0 {
 		return fmt.Errorf("core: cannot remove %q: depended on by %s", name, strings.Join(deps, "; "))
 	}
+	// Resolve the column's stage rank while its definition is still in the
+	// state (the depth computation needs it).
+	rank := s.computedRank(s.state.computed[idx])
 	before := s.begin()
 	s.state.computed = append(s.state.computed[:idx:idx], s.state.computed[idx+1:]...)
 	s.commit(before, "remove column "+name)
+	s.invalidateStages(rank)
 	return nil
 }
 
@@ -131,6 +141,7 @@ func (s *Spreadsheet) Ungroup() error {
 	before := s.begin()
 	s.state.grouping = s.state.grouping[:len(s.state.grouping)-1]
 	s.commit(before, fmt.Sprintf("ungroup level %d", level))
+	s.invalidateStages(rankAgg(1))
 	return nil
 }
 
@@ -149,6 +160,7 @@ func (s *Spreadsheet) ClearGrouping() error {
 	before := s.begin()
 	s.state.grouping = nil
 	s.commit(before, "clear grouping")
+	s.invalidateStages(rankAgg(1))
 	return nil
 }
 
@@ -159,6 +171,7 @@ func (s *Spreadsheet) RemoveOrdering(column string) error {
 			before := s.begin()
 			s.state.finest = append(s.state.finest[:i:i], s.state.finest[i+1:]...)
 			s.commit(before, "remove ordering "+column)
+			s.invalidateStages(rankOrder)
 			return nil
 		}
 	}
@@ -173,5 +186,6 @@ func (s *Spreadsheet) RemoveDistinct() error {
 	before := s.begin()
 	s.state.distinctOn = nil
 	s.commit(before, "remove distinct")
+	s.invalidateStages(rankDistinct())
 	return nil
 }

@@ -34,7 +34,8 @@ func (s *Spreadsheet) SelectExpr(e expr.Expr) (int, error) {
 	if expr.ContainsAggregate(e) {
 		return 0, fmt.Errorf("core: aggregates are created with Aggregate, not inline in predicates")
 	}
-	if _, err := s.exprDepth(e); err != nil {
+	d, err := s.exprDepth(e)
+	if err != nil {
 		return 0, err
 	}
 	before := s.begin()
@@ -42,6 +43,7 @@ func (s *Spreadsheet) SelectExpr(e expr.Expr) (int, error) {
 	id := s.state.nextSelID
 	s.state.selections = append(s.state.selections, Selection{ID: id, Pred: e})
 	s.commit(before, "σ "+e.SQL())
+	s.invalidateStages(rankSelect(d))
 	return id, nil
 }
 
@@ -86,6 +88,9 @@ func (s *Spreadsheet) GroupBy(dir Dir, attrs ...string) error {
 	}
 	s.state.finest = kept
 	s.commit(before, fmt.Sprintf("τ {%s} %s", strings.Join(attrs, ","), dir))
+	// A new level reshapes every aggregation basis and the presentation
+	// order; the shallowest affected stage class is level-1 aggregation.
+	s.invalidateStages(rankAgg(1))
 	return nil
 }
 
@@ -125,6 +130,7 @@ func (s *Spreadsheet) OrderBy(attr string, dir Dir, level int) error {
 			s.state.finest = append(s.state.finest, SortKey{Column: attr, Dir: dir})
 		}
 		s.commit(before, fmt.Sprintf("λ %s %s level %d", attr, dir, level))
+		s.invalidateStages(rankOrder)
 		return nil
 	}
 	// Intermediate level: the children's relative basis dictates the
@@ -141,6 +147,7 @@ func (s *Spreadsheet) OrderBy(attr string, dir Dir, level int) error {
 		before := s.begin()
 		s.state.grouping[level-1].Dir = dir
 		s.commit(before, fmt.Sprintf("λ %s %s level %d", attr, dir, level))
+		s.invalidateStages(rankOrder)
 		return nil
 	}
 	// Case 1: destroy grouping below level l.
@@ -154,6 +161,8 @@ func (s *Spreadsheet) OrderBy(attr string, dir Dir, level int) error {
 	s.state.grouping = s.state.grouping[:level-1]
 	s.state.finest = []SortKey{{Column: attr, Dir: dir}}
 	s.commit(before, fmt.Sprintf("λ %s %s level %d (grouping below destroyed)", attr, dir, level))
+	// Destroying levels reshapes aggregation bases, not just the order.
+	s.invalidateStages(rankAgg(1))
 	return nil
 }
 
@@ -243,6 +252,7 @@ func (s *Spreadsheet) AggregateAs(name string, fn relation.AggFunc, col string, 
 		ResultKind: fn.ResultKind(inKind),
 	})
 	s.commit(before, fmt.Sprintf("η %s(%s) level %d → %s", fn, col, level, name))
+	s.invalidateStages(s.computedRank(s.state.computed[len(s.state.computed)-1]))
 	return name, nil
 }
 
@@ -284,6 +294,7 @@ func (s *Spreadsheet) FormulaExpr(name string, e expr.Expr) (string, error) {
 		return "", err
 	}
 	s.commit(before, "θ "+name+" = "+e.SQL())
+	s.invalidateStages(s.computedRank(s.state.computed[len(s.state.computed)-1]))
 	return name, nil
 }
 
@@ -301,6 +312,7 @@ func (s *Spreadsheet) Distinct() error {
 	before := s.begin()
 	s.state.distinctOn = cols
 	s.commit(before, "δ distinct on ("+strings.Join(cols, ",")+")")
+	s.invalidateStages(rankDistinct())
 	return nil
 }
 
@@ -373,6 +385,9 @@ func (s *Spreadsheet) Rename(old, new string) error {
 		}
 	}
 	s.commit(before, fmt.Sprintf("rename %s → %s", old, new))
+	// Renames rewrite definitions wholesale (and may replace the base
+	// relation); every stage fingerprint downstream of the base changes.
+	s.invalidateStages(rankBase())
 	return nil
 }
 

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+)
+
+// The evaluation pipeline. evaluate() no longer replays the query state in
+// one monolithic pass: buildPipeline compiles the state into an ordered
+// list of named stage nodes — base materialisation, then per depth d the
+// aggregate fills, formula fills and selections of depth d (duplicate
+// elimination after the depth-0 selections), then the presentation
+// ordering. Each node carries a content fingerprint chained from its
+// upstream node's fingerprint and its own operator definition, so a node's
+// fingerprint identifies the exact multiset its snapshot holds; the
+// snapshot cache (snapcache.go) keys on it, and a mutation that only
+// changes stage k leaves every upstream fingerprint — and therefore every
+// upstream snapshot — intact. This is the reuse Theorem 2's commutativity
+// licenses: operators at different stages commute, so the prefix of the
+// replay is a function of the prefix of the definitions alone.
+
+// stageKind classifies pipeline nodes.
+type stageKind uint8
+
+const (
+	stageBase stageKind = iota
+	stageAgg
+	stageFormula
+	stageSelect
+	stageDistinct
+	stageOrder
+)
+
+// stageNode is one executable node of the pipeline.
+type stageNode struct {
+	kind stageKind
+	name string // display name, paper glyphs: "η AvgP d1", "σ Year >= 2003"
+	fp   uint64 // chained content fingerprint
+	rank int    // invalidation rank (snapcache.go)
+	run  func(ev *evalCtx, in *stageSnap) (*stageSnap, error)
+}
+
+// StageInfo describes one pipeline stage of the most recent evaluation —
+// the explain surface shared by the REPL `explain` command and the
+// server's /plan endpoint.
+type StageInfo struct {
+	Name        string        `json:"name"`
+	Fingerprint uint64        `json:"fingerprint"`
+	Cached      bool          `json:"cached"`
+	Rows        int           `json:"rows"`
+	Duration    time.Duration `json:"duration"`
+}
+
+// EvalPlan is the stage plan of one evaluation. Error carries the failing
+// stage's message when the evaluation aborted mid-pipeline (the plan then
+// covers the stages reached).
+type EvalPlan struct {
+	Version int         `json:"version"`
+	Stages  []StageInfo `json:"stages"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// Plan evaluates the sheet (served from the memo when the version is
+// unchanged) and returns the resulting stage plan. On an evaluation error
+// the plan is still returned when the pipeline was built, with Error set.
+func (s *Spreadsheet) Plan() (*EvalPlan, error) {
+	_, err := s.Evaluate()
+	if s.lastPlan == nil {
+		if err == nil {
+			err = fmt.Errorf("core: no evaluation plan recorded")
+		}
+		return nil, err
+	}
+	out := &EvalPlan{
+		Version: s.lastPlan.Version,
+		Stages:  append([]StageInfo(nil), s.lastPlan.Stages...),
+		Error:   s.lastPlan.Error,
+	}
+	if err != nil && out.Error == "" {
+		out.Error = err.Error()
+	}
+	return out, nil
+}
+
+// Fingerprint chaining shorthands. The mixing discipline lives in
+// internal/expr so predicate fingerprints and stage fingerprints cannot
+// drift apart.
+func fpU(h, x uint64) uint64        { return expr.FingerprintCombine(h, x) }
+func fpS(h uint64, s string) uint64 { return expr.FingerprintString(h, s) }
+
+func fpDir(h uint64, desc bool) uint64 {
+	if desc {
+		return fpU(h, 2)
+	}
+	return fpU(h, 1)
+}
+
+// buildPipeline compiles the current query state into the stage list and
+// the evaluation context the stage bodies run against. It performs the
+// same stratification and validation the monolithic replay did (computed
+// columns and predicates keyed by aggregate depth; cycle and unknown-column
+// errors surface here).
+func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
+	// Working schema: every base column (hidden ones still participate in
+	// predicates) followed by the computed columns, as before.
+	work := append(relation.Schema(nil), s.base.Schema...)
+	colPos := make(map[int]int, len(s.state.computed)) // computed index → working position
+	for ci, c := range s.state.computed {
+		colPos[ci] = len(work)
+		work = append(work, relation.Column{Name: c.Name, Kind: c.ResultKind})
+	}
+	ev := &evalCtx{
+		s:     s,
+		work:  work,
+		nBase: len(s.base.Schema),
+		width: len(work),
+	}
+	ev.resolve = schemaResolver(work)
+
+	// Stratify computed columns and selections by depth.
+	maxD := 0
+	colDepths := make([]int, len(s.state.computed))
+	for ci, c := range s.state.computed {
+		d, err := s.aggDepth(c.Name, map[string]bool{})
+		if err != nil {
+			return nil, nil, err
+		}
+		colDepths[ci] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	selDepth := make([]int, len(s.state.selections))
+	for i, sel := range s.state.selections {
+		d, err := s.exprDepth(sel.Pred)
+		if err != nil {
+			return nil, nil, err
+		}
+		selDepth[i] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+
+	// The base stage's fingerprint seeds the chain: the base generation
+	// (bumped whenever the base relation is replaced) plus its row count
+	// pin the backing data, so snapshots can never be reused across bases.
+	fp := fpU(fpU(fpS(0, "base"), s.baseGen), uint64(s.base.Len()))
+	stages := []stageNode{{
+		kind: stageBase, name: "base", fp: fp, rank: rankBase(), run: runBase,
+	}}
+
+	for d := 0; d <= maxD; d++ {
+		// Aggregate columns of depth d see rows surviving selections < d.
+		for ci, c := range s.state.computed {
+			if c.Kind != KindAggregate || colDepths[ci] != d {
+				continue
+			}
+			fp = fpU(fp, uint64(stageAgg))
+			fp = fpS(fp, c.Name)
+			fp = fpS(fp, string(c.Agg))
+			fp = fpS(fp, c.Input)
+			fp = fpU(fp, uint64(c.Level))
+			fp = fpU(fp, uint64(c.ResultKind))
+			for _, b := range s.state.cumulativeBasis(c.Level) {
+				fp = fpS(fp, b)
+			}
+			stages = append(stages, stageNode{
+				kind: stageAgg,
+				name: fmt.Sprintf("η %s d%d", c.Name, d),
+				fp:   fp,
+				rank: rankAgg(d),
+				run:  runAggStage(c, colPos[ci]),
+			})
+		}
+		// Formula columns of depth d, in creation order (later formulas
+		// may reference earlier ones of the same depth).
+		for ci, c := range s.state.computed {
+			if c.Kind != KindFormula || colDepths[ci] != d {
+				continue
+			}
+			fp = fpU(fp, uint64(stageFormula))
+			fp = fpS(fp, c.Name)
+			fp = fpU(fp, expr.Fingerprint(c.Formula))
+			fp = fpU(fp, uint64(c.ResultKind))
+			stages = append(stages, stageNode{
+				kind: stageFormula,
+				name: fmt.Sprintf("θ %s d%d", c.Name, d),
+				fp:   fp,
+				rank: rankFormula(d),
+				run:  runFormulaStage(c, colPos[ci]),
+			})
+		}
+		// Selections of depth d, in state order.
+		for i, sel := range s.state.selections {
+			if selDepth[i] != d {
+				continue
+			}
+			fp = fpU(fp, uint64(stageSelect))
+			fp = fpU(fp, expr.Fingerprint(sel.Pred))
+			stages = append(stages, stageNode{
+				kind: stageSelect,
+				name: fmt.Sprintf("σ %s d%d", sel.Pred.SQL(), d),
+				fp:   fp,
+				rank: rankSelect(d),
+				run:  runSelectStage(sel),
+			})
+		}
+		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
+		if d == 0 && s.state.distinctOn != nil {
+			fp = fpU(fp, uint64(stageDistinct))
+			fp = fpU(fp, uint64(len(s.state.distinctOn)))
+			for _, col := range s.state.distinctOn {
+				fp = fpS(fp, col)
+			}
+			cols := append([]string(nil), s.state.distinctOn...)
+			stages = append(stages, stageNode{
+				kind: stageDistinct,
+				name: "δ",
+				fp:   fp,
+				rank: rankDistinct(),
+				run:  runDistinctStage(cols),
+			})
+		}
+	}
+
+	// Presentation order: each grouping level's relative basis in the
+	// level's direction, then the finest-level keys — the Sec. II-A remark
+	// that any recursive grouping can be emulated by one ordering.
+	keys := s.sortKeys()
+	if len(keys) > 0 {
+		fp = fpU(fp, uint64(stageOrder))
+		for _, k := range keys {
+			fp = fpS(fp, k.Column)
+			fp = fpDir(fp, k.Desc)
+		}
+		stages = append(stages, stageNode{
+			kind: stageOrder,
+			name: "λ",
+			fp:   fp,
+			rank: rankOrder,
+			run:  runOrderStage(keys),
+		})
+	}
+	return ev, stages, nil
+}
+
+// sortKeys derives the presentation sort keys from the grouping and
+// finest-order state.
+func (s *Spreadsheet) sortKeys() []relation.SortKey {
+	var keys []relation.SortKey
+	for _, g := range s.state.grouping {
+		if g.By != "" {
+			// OrderGroupsBy extension: groups sort by a per-group-constant
+			// column, with the relative basis as the tiebreak.
+			keys = append(keys, relation.SortKey{Column: g.By, Desc: g.Dir == Desc})
+			for _, a := range g.Rel {
+				keys = append(keys, relation.SortKey{Column: a})
+			}
+			continue
+		}
+		for _, a := range g.Rel {
+			keys = append(keys, relation.SortKey{Column: a, Desc: g.Dir == Desc})
+		}
+	}
+	for _, k := range s.state.finest {
+		keys = append(keys, relation.SortKey{Column: k.Column, Desc: k.Dir == Desc})
+	}
+	return keys
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/obs"
+	"sheetmusiq/internal/value"
+)
+
+// Stage-snapshot cache metrics. stage_hits counts pipeline stages served
+// from a cached snapshot (including every stage upstream of the deepest
+// hit); stage_recomputes counts stages actually re-executed. Their ratio is
+// the incremental-evaluation win. snapshot_bytes gauges the resident bytes
+// owned by cached snapshots (each snapshot is charged only for the storage
+// it allocated itself — index vectors and column vectors shared with an
+// upstream snapshot are counted once, at the stage that built them).
+var (
+	evalStageHits       = obs.Default.Counter("core.eval.stage_hits")
+	evalStageRecomputes = obs.Default.Counter("core.eval.stage_recomputes")
+	evalSnapshotBytes   = obs.Default.Gauge("core.eval.snapshot_bytes")
+)
+
+// stageSnap is the immutable output of one pipeline stage: the surviving
+// base-row index vector in presentation (multiset) order, plus the
+// computed-column vectors filled so far. Column vectors are indexed by
+// base-row index — rows eliminated by upstream selections leave unread
+// holes — so a downstream snapshot extends an upstream one by appending to
+// cols without copying anything. A snapshot, once built, is never mutated;
+// cols always carries a capacity clamp so appends by downstream stages
+// cannot scribble into a shared backing array.
+type stageSnap struct {
+	fp       uint64
+	idx      []int32
+	cols     []stageCol
+	ownBytes int64
+}
+
+// stageCol is one filled computed-column vector.
+type stageCol struct {
+	name string
+	vals []value.Value
+}
+
+// extend starts a downstream snapshot sharing this one's storage.
+func (sn *stageSnap) extend() *stageSnap {
+	return &stageSnap{idx: sn.idx, cols: sn.cols[:len(sn.cols):len(sn.cols)]}
+}
+
+const (
+	// snapCacheCap bounds the per-sheet snapshot cache. Eviction prefers
+	// stale entries (see invalidate), then least-recently-used. Residency
+	// is purely an optimisation: fingerprints key every lookup, so a miss
+	// costs recomputation, never correctness.
+	snapCacheCap = 64
+	// valueBytes approximates one value.Value in memory for the
+	// snapshot_bytes gauge (interface header plus a small boxed payload).
+	valueBytes = 40
+)
+
+// Stage ranks order pipeline positions for invalidation. Within depth d the
+// stages run aggregate → formula → selection, and duplicate elimination
+// follows the depth-0 selections; the final ordering stage outranks every
+// depth. rankDistinct lands between rankSelect(0) and rankAgg(1), mirroring
+// the replay order of DESIGN.md §3.2.
+const rankOrder = 1 << 20
+
+func rankBase() int         { return 0 }
+func rankAgg(d int) int     { return 4*d + 1 }
+func rankFormula(d int) int { return 4*d + 2 }
+func rankSelect(d int) int  { return 4*d + 3 }
+func rankDistinct() int     { return 4 }
+
+// snapCache is a per-sheet fingerprint-keyed store of stage snapshots.
+type snapCache struct {
+	entries map[uint64]*snapEntry
+	tick    int64
+}
+
+type snapEntry struct {
+	snap  *stageSnap
+	rank  int
+	used  int64
+	stale bool
+}
+
+func newSnapCache() *snapCache {
+	return &snapCache{entries: map[uint64]*snapEntry{}}
+}
+
+// get returns the cached snapshot for fp, or nil. A hit revives a stale
+// entry: the fingerprint match proves the mutation that staled it has been
+// reverted (or re-applied), so the snapshot is live again.
+func (c *snapCache) get(fp uint64) *stageSnap {
+	e := c.entries[fp]
+	if e == nil {
+		return nil
+	}
+	c.tick++
+	e.used = c.tick
+	e.stale = false
+	return e.snap
+}
+
+// put inserts a freshly computed snapshot, evicting past the cap.
+func (c *snapCache) put(snap *stageSnap, rank int) {
+	if e := c.entries[snap.fp]; e != nil {
+		c.tick++
+		e.used = c.tick
+		e.stale = false
+		return
+	}
+	c.tick++
+	c.entries[snap.fp] = &snapEntry{snap: snap, rank: rank, used: c.tick}
+	evalSnapshotBytes.Add(snap.ownBytes)
+	for len(c.entries) > snapCacheCap {
+		c.evictOne()
+	}
+}
+
+// evictOne drops the best eviction candidate: stale entries first, then the
+// least recently used.
+func (c *snapCache) evictOne() {
+	var victimFP uint64
+	var victim *snapEntry
+	for fp, e := range c.entries {
+		if victim == nil ||
+			(e.stale && !victim.stale) ||
+			(e.stale == victim.stale && e.used < victim.used) {
+			victimFP, victim = fp, e
+		}
+	}
+	if victim != nil {
+		evalSnapshotBytes.Add(-victim.snap.ownBytes)
+		delete(c.entries, victimFP)
+	}
+}
+
+// invalidate marks every snapshot at or downstream of rank as stale. The
+// mutation that triggered it changed those stages' definitions, so their
+// fingerprints will not be probed by the next evaluation — but Theorem 3
+// makes reverting a modification as common as applying one, so stale
+// entries stay resident (preferentially evicted) and revive on a
+// fingerprint hit instead of being recomputed.
+func (c *snapCache) invalidate(rank int) {
+	for _, e := range c.entries {
+		if e.rank >= rank {
+			e.stale = true
+		}
+	}
+}
+
+// clear drops every snapshot (the base relation was replaced).
+func (c *snapCache) clear() {
+	for fp, e := range c.entries {
+		evalSnapshotBytes.Add(-e.snap.ownBytes)
+		delete(c.entries, fp)
+	}
+}
+
+// snaps returns the sheet's snapshot cache, creating it on first use.
+func (s *Spreadsheet) snaps() *snapCache {
+	if s.snapCache == nil {
+		s.snapCache = newSnapCache()
+	}
+	return s.snapCache
+}
+
+// invalidateStages records that a mutation changed the definition of the
+// stage class at rank (and therefore, by fingerprint chaining, of every
+// stage after it). See DESIGN.md §10.3 for the operator → rank table.
+func (s *Spreadsheet) invalidateStages(rank int) {
+	if s.snapCache != nil {
+		s.snapCache.invalidate(rank)
+	}
+}
+
+// selRank is the invalidation rank of a selection predicate: the σ stage of
+// its evaluation depth. A predicate whose depth cannot be resolved (its
+// columns are gone mid-mutation) conservatively invalidates everything.
+func (s *Spreadsheet) selRank(e expr.Expr) int {
+	d, err := s.exprDepth(e)
+	if err != nil {
+		return rankBase()
+	}
+	return rankSelect(d)
+}
+
+// computedRank is the invalidation rank of a computed column's fill stage.
+// Call it while the column is still present in the state (its depth needs
+// the definition).
+func (s *Spreadsheet) computedRank(c *ComputedColumn) int {
+	d, err := s.aggDepth(c.Name, map[string]bool{})
+	if err != nil {
+		return rankBase()
+	}
+	if c.Kind == KindAggregate {
+		return rankAgg(d)
+	}
+	return rankFormula(d)
+}
+
+// checkBaseGeneration starts a new fingerprint generation when the base
+// relation pointer changed since the last evaluation — binary operators,
+// base-column renames and undo across either replace the base wholesale.
+// Every cached snapshot indexes into the old base, so the cache clears.
+func (s *Spreadsheet) checkBaseGeneration() {
+	if s.baseSeen == s.base {
+		return
+	}
+	if s.baseSeen != nil {
+		s.baseGen++
+	}
+	s.baseSeen = s.base
+	if s.snapCache != nil {
+		s.snapCache.clear()
+	}
+}

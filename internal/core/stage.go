@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"sheetmusiq/internal/expr"
+	"sheetmusiq/internal/relation"
+	"sheetmusiq/internal/value"
+)
+
+// Stage bodies. Every stage consumes and produces a stageSnap and reads
+// rows through a relation.IndexView — base tuples plus computed-column
+// vectors behind a surviving-row index vector — instead of materialised
+// working tuples. Stage bodies run data-parallel over contiguous row chunks
+// above relation.ParallelThreshold with chunk-local results concatenated
+// (or merged) in chunk order, so the output is bit-identical to the
+// sequential scan — the same determinism contract the monolithic replay
+// carried, now held per stage.
+
+// evalCtx is the per-evaluation context stage bodies run against: the
+// working schema (base columns, hidden ones included, then computed
+// columns) and its derived lookups. It is rebuilt per evaluation, never
+// cached — only snapshots are.
+type evalCtx struct {
+	s       *Spreadsheet
+	work    relation.Schema
+	nBase   int
+	width   int
+	resolve expr.Resolver
+}
+
+// pos resolves a column name to its working-schema position, or -1.
+func (ev *evalCtx) pos(name string) int { return ev.work.IndexOf(name) }
+
+// positions resolves a column-name list, erroring on the first unknown.
+func (ev *evalCtx) positions(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		p := ev.work.IndexOf(n)
+		if p < 0 {
+			return nil, fmt.Errorf("core: unknown column %q", n)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// viewOf wraps a snapshot as an IndexView over the working schema. Computed
+// columns not yet filled by any upstream stage read as NULL, exactly like
+// the zero-Value cells of the old materialised working rows.
+func (ev *evalCtx) viewOf(snap *stageSnap) *relation.IndexView {
+	over := make([][]value.Value, ev.width-ev.nBase)
+	for _, c := range snap.cols {
+		if p := ev.pos(c.name); p >= ev.nBase {
+			over[p-ev.nBase] = c.vals
+		}
+	}
+	return &relation.IndexView{
+		Rows:  ev.s.base.Rows,
+		Idx:   snap.idx,
+		Over:  over,
+		Split: ev.nBase,
+	}
+}
+
+// baseOnly reports whether the expression references base columns only —
+// the fast path where compiled programs evaluate directly against the base
+// tuple, with no per-row gather.
+func (ev *evalCtx) baseOnly(e expr.Expr) bool {
+	for _, name := range expr.Columns(e) {
+		p := ev.work.IndexOf(name)
+		if p < 0 || p >= ev.nBase {
+			return false
+		}
+	}
+	return true
+}
+
+// runBase materialises the identity snapshot: every base row survives, no
+// computed column is filled. Its only storage is the index vector.
+func runBase(ev *evalCtx, _ *stageSnap) (*stageSnap, error) {
+	n := ev.s.base.Len()
+	idx := make([]int32, n)
+	_ = relation.ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			idx[i] = int32(i)
+		}
+		return nil
+	})
+	return &stageSnap{idx: idx, ownBytes: int64(4 * n)}, nil
+}
+
+// runAggStage computes one η column over the input snapshot's rows, writing
+// the group's value into every member row's slot of a fresh column vector
+// (Def. 11 / Table III). Rows map to dense group IDs once
+// (relation.GroupView) and both the accumulate and write-back passes index
+// flat per-group arrays. Above the parallel threshold the accumulate pass
+// keeps per-chunk partial accumulators merged in chunk order
+// (Accumulator.Merge); when the merge would not be bit-identical
+// (relation.MergeExact declines float summing) the pass stays sequential
+// and records the fallback, as before.
+func runAggStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		inPos := ev.pos(c.Input)
+		if outPos < 0 || inPos < 0 {
+			return nil, fmt.Errorf("core: aggregate %s references missing column", c.Name)
+		}
+		bpos, err := ev.positions(ev.s.state.cumulativeBasis(c.Level))
+		if err != nil {
+			return nil, err
+		}
+		snap := in.extend()
+		nBase := ev.s.base.Len()
+		vals := make([]value.Value, nBase)
+		view := ev.viewOf(in)
+		n := view.Len()
+		if n > 0 {
+			gr := relation.GroupView(view, bpos)
+			gids, ng := gr.IDs, gr.NumGroups()
+			bounds := relation.Chunks(n)
+			if len(bounds) > 1 && !relation.MergeExact(c.Agg, ev.work[inPos].Kind) {
+				// Float-stream summing is not associative; stay sequential
+				// so the result is bit-identical to the one-chunk scan.
+				evalMergeFallback.Inc()
+				bounds = [][2]int{{0, n}}
+			}
+			parts := make([][]*relation.Accumulator, len(bounds))
+			err = relation.RunChunks(bounds, func(ch, lo, hi int) error {
+				accs := make([]*relation.Accumulator, ng)
+				for i := lo; i < hi; i++ {
+					acc := accs[gids[i]]
+					if acc == nil {
+						acc = relation.NewAccumulator(c.Agg)
+						accs[gids[i]] = acc
+					}
+					if err := acc.Add(view.At(i, inPos)); err != nil {
+						return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+					}
+				}
+				parts[ch] = accs
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs := parts[0]
+			for _, part := range parts[1:] {
+				for g, acc := range part {
+					if acc == nil {
+						continue
+					}
+					if prev := accs[g]; prev != nil {
+						prev.Merge(acc)
+					} else {
+						accs[g] = acc
+					}
+				}
+			}
+			// Finalise once per group, not once per row. Every group has at
+			// least one row, so every merged accumulator is non-nil.
+			results := make([]value.Value, ng)
+			for g, acc := range accs {
+				results[g] = coerce(acc.Result(), c.ResultKind)
+			}
+			_ = relation.ForChunks(n, func(_, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					vals[in.idx[i]] = results[gids[i]]
+				}
+				return nil
+			})
+		}
+		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
+		snap.ownBytes = int64(valueBytes * nBase)
+		return snap, nil
+	}
+}
+
+// runFormulaStage computes one θ column row-locally (Def. 12) into a fresh
+// column vector, through a program compiled once against the working
+// schema. Base-only formulas evaluate straight off the base tuples; ones
+// referencing computed columns gather the full working row into a per-chunk
+// scratch buffer first.
+func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		if outPos < 0 {
+			return nil, fmt.Errorf("core: formula %s column missing", c.Name)
+		}
+		prog, cerr := expr.Compile(c.Formula, ev.resolve)
+		fast := cerr == nil && ev.baseOnly(c.Formula)
+		snap := in.extend()
+		nBase := ev.s.base.Len()
+		vals := make([]value.Value, nBase)
+		view := ev.viewOf(in)
+		n := view.Len()
+		err := relation.ForChunks(n, func(_, lo, hi int) error {
+			var scratch relation.Tuple
+			if !fast {
+				scratch = make(relation.Tuple, ev.width)
+			}
+			for i := lo; i < hi; i++ {
+				ri := view.Idx[i]
+				var v value.Value
+				var err error
+				if fast {
+					v, err = prog.Eval(view.Rows[ri])
+				} else {
+					view.GatherRow(i, scratch)
+					if cerr == nil {
+						v, err = prog.Eval(scratch)
+					} else {
+						v, err = expr.Eval(c.Formula, rowEnv{schema: ev.work, row: scratch})
+					}
+				}
+				if err != nil {
+					return fmt.Errorf("core: formula %s: %w", c.Name, err)
+				}
+				vals[ri] = coerce(v, c.ResultKind)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
+		snap.ownBytes = int64(valueBytes * nBase)
+		return snap, nil
+	}
+}
+
+// runSelectStage filters the input snapshot's index vector by one σ
+// predicate. Above the parallel threshold each chunk compacts survivors
+// into its own prefix of a fresh index vector and the chunk-local kept runs
+// concatenate in chunk order, so the surviving multiset order — and, per
+// RunChunks, the first error — are identical to the sequential scan.
+func runSelectStage(sel Selection) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		view := ev.viewOf(in)
+		prog, cerr := expr.Compile(sel.Pred, ev.resolve)
+		if cerr != nil {
+			prog = nil
+		}
+		fast := prog != nil && ev.baseOnly(sel.Pred)
+		n := view.Len()
+		dst := make([]int32, n)
+		bounds := relation.Chunks(n)
+		counts := make([]int, len(bounds))
+		err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+			w := lo
+			var scratch relation.Tuple
+			if !fast {
+				scratch = make(relation.Tuple, ev.width)
+			}
+			for i := lo; i < hi; i++ {
+				var ok bool
+				var err error
+				if fast {
+					ok, err = prog.EvalBool(view.Rows[view.Idx[i]])
+				} else {
+					view.GatherRow(i, scratch)
+					if prog != nil {
+						ok, err = prog.EvalBool(scratch)
+					} else {
+						ok, err = expr.EvalBool(sel.Pred, rowEnv{schema: ev.work, row: scratch})
+					}
+				}
+				if err != nil {
+					return fmt.Errorf("core: selection %s: %w", sel.Pred.SQL(), err)
+				}
+				if ok {
+					dst[w] = view.Idx[i]
+					w++
+				}
+			}
+			counts[c] = w - lo
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		w := 0
+		if len(bounds) > 0 {
+			w = counts[0]
+			for c := 1; c < len(bounds); c++ {
+				lo := bounds[c][0]
+				copy(dst[w:], dst[lo:lo+counts[c]])
+				w += counts[c]
+			}
+		}
+		snap := in.extend()
+		snap.idx = dst[:w:w]
+		snap.ownBytes = int64(4 * w)
+		return snap, nil
+	}
+}
+
+// runDistinctStage keeps the first row of each duplicate group over the
+// recorded dedup column set (DESIGN.md §3.2). Group-first positions are
+// ascending in view order, so the kept multiset order matches the
+// sequential compaction.
+func runDistinctStage(cols []string) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		pos, err := ev.positions(cols)
+		if err != nil {
+			return nil, fmt.Errorf("core: distinct: %w", err)
+		}
+		view := ev.viewOf(in)
+		gr := relation.GroupView(view, pos)
+		idx := make([]int32, len(gr.First))
+		for g, vi := range gr.First {
+			idx[g] = in.idx[vi]
+		}
+		snap := in.extend()
+		snap.idx = idx
+		snap.ownBytes = int64(4 * len(idx))
+		return snap, nil
+	}
+}
+
+// runOrderStage stably sorts the index vector by the presentation keys.
+func runOrderStage(keys []relation.SortKey) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		pos := make([]int, len(keys))
+		desc := make([]bool, len(keys))
+		for i, k := range keys {
+			p := ev.pos(k.Column)
+			if p < 0 {
+				return nil, fmt.Errorf("sort: no column %q in %s", k.Column, ev.s.name)
+			}
+			pos[i], desc[i] = p, k.Desc
+		}
+		view := ev.viewOf(in)
+		idx := relation.SortView(view, pos, desc)
+		snap := in.extend()
+		snap.idx = idx
+		snap.ownBytes = int64(4 * len(idx))
+		return snap, nil
+	}
+}

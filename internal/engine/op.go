@@ -159,6 +159,8 @@ func (e *Engine) dispatch(kind string) (func(Op) (*Effect, error), bool) {
 		return e.opBinary, true
 	case "compile":
 		return e.opCompile, true
+	case "explain":
+		return e.opExplain, true
 	case "savestate":
 		return e.opSaveState, true
 	case "loadstate":
@@ -419,6 +421,17 @@ func (e *Engine) opBinary(op Op) (*Effect, error) {
 		return nil, err
 	}
 	return &Effect{}, nil
+}
+
+// opExplain reports the evaluation stage plan of the current sheet as log
+// lines (the REPL prints them verbatim); the structured form is served by
+// GET /v1/sessions/{id}/plan. It evaluates (memoised) but mutates nothing.
+func (e *Engine) opExplain(Op) (*Effect, error) {
+	info, err := e.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return &Effect{Entry: "explain", Log: info.Lines()}, nil
 }
 
 // opCompile turns a single-block SQL query into a live spreadsheet via the

@@ -225,3 +225,69 @@ func (e *Engine) Menu(column string) (*MenuInfo, error) {
 	}
 	return info, nil
 }
+
+// PlanStage is one pipeline stage of the most recent evaluation.
+// Fingerprint is the stage's chained content hash, rendered as hex so JSON
+// clients need not handle 64-bit integers.
+type PlanStage struct {
+	Name        string  `json:"name"`
+	Fingerprint string  `json:"fingerprint"`
+	Cached      bool    `json:"cached"`
+	Rows        int     `json:"rows"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
+// PlanInfo is the evaluation stage plan: which pipeline stages the last
+// Evaluate reused from the snapshot cache and which it recomputed, with
+// per-stage row counts and recompute timings. Error is set when the
+// evaluation aborted mid-pipeline (the stages reached are still listed).
+type PlanInfo struct {
+	Sheet   string      `json:"sheet"`
+	Version int         `json:"version"`
+	Stages  []PlanStage `json:"stages"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// Lines renders the plan as the text the REPL's `explain` command prints —
+// the same data the /plan endpoint returns structurally.
+func (p *PlanInfo) Lines() []string {
+	out := make([]string, 0, len(p.Stages)+1)
+	for i, st := range p.Stages {
+		marker := "recomputed"
+		if st.Cached {
+			marker = "cached"
+		}
+		line := fmt.Sprintf("stage %d: %-28s %-10s %d rows", i+1, st.Name, marker, st.Rows)
+		if !st.Cached && st.DurationMS > 0 {
+			line += fmt.Sprintf("  %.2fms", st.DurationMS)
+		}
+		out = append(out, line)
+	}
+	if p.Error != "" {
+		out = append(out, "error: "+p.Error)
+	}
+	return out
+}
+
+// Plan evaluates the current sheet (memoised when the version is unchanged)
+// and returns its stage plan.
+func (e *Engine) Plan() (*PlanInfo, error) {
+	if e.sheet == nil {
+		return nil, ErrNoSheet
+	}
+	plan, err := e.sheet.Plan()
+	if err != nil {
+		return nil, err
+	}
+	info := &PlanInfo{Sheet: e.SheetName(), Version: plan.Version, Error: plan.Error}
+	for _, st := range plan.Stages {
+		info.Stages = append(info.Stages, PlanStage{
+			Name:        st.Name,
+			Fingerprint: fmt.Sprintf("%016x", st.Fingerprint),
+			Cached:      st.Cached,
+			Rows:        st.Rows,
+			DurationMS:  float64(st.Duration) / 1e6,
+		})
+	}
+	return info, nil
+}

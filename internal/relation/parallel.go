@@ -1,7 +1,9 @@
 package relation
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"sheetmusiq/internal/obs"
@@ -26,6 +28,17 @@ import (
 // sequential path. It is read once per stage and must not be mutated while
 // evaluations are in flight.
 var ParallelThreshold = 2048
+
+// init honours the SHEETMUSIQ_PARALLEL_THRESHOLD environment knob. CI races
+// the core package with a tiny threshold so every chunked stage path runs
+// under the race detector on ordinary test data (see `make test`).
+func init() {
+	if v := os.Getenv("SHEETMUSIQ_PARALLEL_THRESHOLD"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			ParallelThreshold = n
+		}
+	}
+}
 
 // Chunks partitions n rows into contiguous [lo, hi) bounds: one chunk when
 // n is below ParallelThreshold or a single CPU is available, otherwise up

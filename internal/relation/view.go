@@ -1,0 +1,138 @@
+package relation
+
+import "sheetmusiq/internal/value"
+
+// Index-vector views. The incremental evaluation pipeline (internal/core)
+// represents each stage's output as a surviving-row index vector over the
+// base relation plus computed-column vectors, instead of materialised tuple
+// slices — snapshots then share backing storage, and a stage that is reused
+// from cache costs nothing. The kernels here (grouping, sorting,
+// materialisation) read rows through that row-index indirection without ever
+// building the full working tuples.
+
+// IndexView is a read-only view of surviving rows over a backing row set:
+// view row i is backing row Idx[i]. Column positions below Split read from
+// the backing tuples; position Split+j reads the computed-column vector
+// Over[j], indexed by the backing-row index. A nil vector reads as NULL —
+// the column exists in the working schema but has not been filled by any
+// upstream stage, exactly the zero-Value cell of a freshly materialised
+// working row.
+type IndexView struct {
+	Rows  []Tuple
+	Idx   []int32
+	Over  [][]value.Value
+	Split int
+}
+
+// Len returns the number of surviving rows in the view.
+func (v *IndexView) Len() int { return len(v.Idx) }
+
+// At returns the cell at view row i, working-schema position col.
+func (v *IndexView) At(i, col int) value.Value {
+	ri := v.Idx[i]
+	if col < v.Split {
+		return v.Rows[ri][col]
+	}
+	vec := v.Over[col-v.Split]
+	if vec == nil {
+		return value.Null
+	}
+	return vec[ri]
+}
+
+// Gather fills out with view row i's cells at the given working positions.
+func (v *IndexView) Gather(i int, cols []int, out []value.Value) {
+	for j, c := range cols {
+		out[j] = v.At(i, c)
+	}
+}
+
+// GatherRow fills out (length Split+len(Over)) with view row i's full
+// working row: the backing tuple followed by every computed-column cell.
+func (v *IndexView) GatherRow(i int, out []value.Value) {
+	ri := v.Idx[i]
+	copy(out[:v.Split], v.Rows[ri])
+	for j, vec := range v.Over {
+		if vec == nil {
+			out[v.Split+j] = value.Null
+		} else {
+			out[v.Split+j] = vec[ri]
+		}
+	}
+}
+
+// GroupView partitions the view's rows by the key columns (working-schema
+// positions), assigning dense group IDs in first-occurrence view order —
+// GroupRowsOn through the index indirection. An empty column set yields one
+// group holding every row (level-1 aggregation). The key cells are gathered
+// once, chunk-parallel, into a flat array; the grouping itself reuses the
+// hash-grouping kernel, so numbering and parallel-merge determinism are
+// identical to the materialised path.
+func GroupView(v *IndexView, cols []int) *Grouping {
+	n := v.Len()
+	if n == 0 {
+		return &Grouping{}
+	}
+	if len(cols) == 0 {
+		return &Grouping{IDs: make([]int32, n), First: []int32{0}}
+	}
+	k := len(cols)
+	flat := make([]value.Value, n*k)
+	keyRows := make([]Tuple, n)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out := flat[i*k : (i+1)*k : (i+1)*k]
+			v.Gather(i, cols, out)
+			keyRows[i] = out
+		}
+		return nil
+	})
+	return GroupRowsOn(keyRows, nil)
+}
+
+// SortView stably orders the view's rows by the key columns and returns the
+// reordered index vector as a new slice; the view is not modified. With no
+// keys the result is a copy of Idx.
+func SortView(v *IndexView, cols []int, desc []bool) []int32 {
+	n := v.Len()
+	out := make([]int32, n)
+	if len(cols) == 0 || n < 2 {
+		copy(out, v.Idx)
+		return out
+	}
+	k := len(cols)
+	flat := make([]value.Value, n*k)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			v.Gather(i, cols, flat[i*k:(i+1)*k])
+		}
+		return nil
+	})
+	perm := SortPermByKeys(flat, k, desc)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = v.Idx[perm[i]]
+		}
+		return nil
+	})
+	return out
+}
+
+// MaterializeView gathers the given working positions of every view row
+// into a fresh relation (flat-backed rows, chunk-parallel) with the given
+// schema. This is the pipeline's final assembly: the only full copy the
+// evaluation makes.
+func MaterializeView(v *IndexView, cols []int, name string, schema Schema) *Relation {
+	n, w := v.Len(), len(cols)
+	flat := make([]value.Value, n*w)
+	rows := make([]Tuple, n)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out := flat[i*w : (i+1)*w : (i+1)*w]
+			v.Gather(i, cols, out)
+			rows[i] = out
+		}
+		return nil
+	})
+	return &Relation{Name: name, Schema: schema, Rows: rows}
+}

@@ -233,6 +233,15 @@ func (s *Session) Exec(line string) error {
 		fmt.Fprintln(s.out, text)
 		return nil
 	case "explain":
+		plan, err := s.eng.Plan()
+		if err != nil {
+			return err
+		}
+		for _, line := range plan.Lines() {
+			fmt.Fprintln(s.out, line)
+		}
+		return nil
+	case "stages":
 		stages, err := s.eng.Stages()
 		if err != nil {
 			return err
@@ -554,7 +563,8 @@ inspection
   menu <column>                contextual operations for a column (Sec. VI)
   savestate <f> / loadstate <f>  persist / restore the query state as JSON
   export <file.csv>            write the evaluated sheet as CSV
-  sql | explain                the SQL this sheet's state compiles to
+  sql | stages                 the SQL this sheet's state compiles to
+  explain                      evaluation stage plan: cached vs recomputed
   run <sql>                    execute raw SQL against the loaded tables
   compile <sql>                turn single-block SQL into a live sheet (Thm. 1)
   rows <n> | echo on|off       display settings

@@ -117,13 +117,19 @@ func TestSQLAndExplain(t *testing.T) {
 		"group asc Model",
 		"agg avg Price 2 as AvgP",
 		"sql",
+		"stages",
 		"explain",
 	)
 	if !strings.Contains(out, "SELECT") || !strings.Contains(out, "GROUP BY") {
 		t.Fatalf("sql command should print generated SQL:\n%s", out)
 	}
 	if !strings.Contains(out, "stage 1:") {
-		t.Fatalf("explain should print stages:\n%s", out)
+		t.Fatalf("stages should print the SQL staging:\n%s", out)
+	}
+	// explain prints the evaluation pipeline with cache markers and the
+	// paper's operator glyphs.
+	if !strings.Contains(out, "recomputed") || !strings.Contains(out, "base") {
+		t.Fatalf("explain should print the stage plan with markers:\n%s", out)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 //	GET    /v1/sessions/{id}/state   the Sec. V-A query state
 //	GET    /v1/sessions/{id}/render  flat rows + recursive group tree [?limit=N]
 //	GET    /v1/sessions/{id}/sql     the SQL the state compiles to
+//	GET    /v1/sessions/{id}/plan    the evaluation stage plan (cache hits/recomputes)
 //	GET    /v1/sessions/{id}/menu/{column}  the Sec. VI contextual menu
 //	GET    /v1/sessions/{id}/tables  the session's raw tables
 //	GET    /v1/catalog               the shared stored-sheet catalog
@@ -205,6 +206,20 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	handle("GET /v1/sessions/{id}/plan", "plan", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var plan *engine.PlanInfo
+		err := doSpan(r, s, "engine.plan", func(e *engine.Engine) error {
+			var err error
+			plan, err = e.Plan()
+			return err
+		})
+		if err != nil {
+			writeError(w, r, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, plan)
 	}))
 
 	handle("GET /v1/sessions/{id}/menu/{column}", "menu", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {

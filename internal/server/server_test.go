@@ -486,3 +486,44 @@ func TestManagerSeed(t *testing.T) {
 		t.Fatal("seed failure should fail Create")
 	}
 }
+
+// TestServerPlanEndpoint checks GET /plan: it reports the incremental
+// evaluation pipeline (DESIGN.md §10), and after a single-op modification
+// the upstream stages show as cached while the modified stage recomputes.
+func TestServerPlanEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	id := c.create("")
+	c.op(id, engine.Op{Op: "demo", Table: "cars"})
+	c.op(id, engine.Op{Op: "select", Predicate: "Year >= 2003"})
+	c.op(id, engine.Op{Op: "sort", Column: "Price", Dir: "asc"})
+
+	var cold engine.PlanInfo
+	if code := c.do("GET", "/v1/sessions/"+id+"/plan", nil, &cold); code != http.StatusOK {
+		t.Fatalf("plan: status %d", code)
+	}
+	if cold.Sheet != "cars" || len(cold.Stages) != 3 {
+		t.Fatalf("cold plan: %+v", cold)
+	}
+	if cold.Stages[0].Name != "base" || cold.Stages[0].Cached {
+		t.Fatalf("cold base stage: %+v", cold.Stages[0])
+	}
+
+	// Flip the sort: base and σ must be served from cache, λ recomputed.
+	c.op(id, engine.Op{Op: "sort", Column: "Price", Dir: "desc"})
+	var warm engine.PlanInfo
+	if code := c.do("GET", "/v1/sessions/"+id+"/plan", nil, &warm); code != http.StatusOK {
+		t.Fatalf("warm plan: status %d", code)
+	}
+	if len(warm.Stages) != 3 || !warm.Stages[0].Cached || !warm.Stages[1].Cached || warm.Stages[2].Cached {
+		t.Fatalf("warm plan after sort flip: %+v", warm.Stages)
+	}
+	if warm.Stages[0].Fingerprint != cold.Stages[0].Fingerprint {
+		t.Fatal("base fingerprint must be stable across modifications")
+	}
+
+	// A session with no sheet yet gets the uniform 409.
+	id2 := c.create("")
+	if code := c.do("GET", "/v1/sessions/"+id2+"/plan", nil, nil); code != http.StatusConflict {
+		t.Fatalf("plan without sheet: status %d", code)
+	}
+}
