@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json clean
+.PHONY: build test race vet lint bench bench-json loadgen-smoke clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ build:
 # evaluation stage fires even on the small test relations.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql
+	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql ./internal/wal
 	SHEETMUSIQ_PARALLEL_THRESHOLD=4 $(GO) test -race ./internal/core
 
 race:
@@ -40,6 +40,11 @@ bench:
 # file; their ratio is the observability layer's overhead (budget <5%).
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
+
+# loadgen-smoke is the end-to-end durability check: durable server, loadgen
+# burst, kill -9, restart, verify every session renders identical state.
+loadgen-smoke:
+	bash scripts/loadgen_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,253 @@
+// Command loadgen drives a running sheetserver with a concurrent mixed
+// op workload and records latency/throughput into a JSON results file,
+// so durability configurations can be compared:
+//
+//	sheetserver -addr :8080 -data-dir /tmp/sheets &
+//	loadgen -addr http://localhost:8080 -sessions 8 -ops 500 \
+//	        -label durable-batch -out BENCH_server.json
+//
+// Each worker owns whole sessions: it creates one, applies the op
+// sequence, then takes the next session. The workload cycles through the
+// algebra — selections, formulas, aggregates, sorts, grouping, hide — and
+// undoes most steps so session state stays bounded no matter how many ops
+// run; every op is timed individually. Results merge into the -out file
+// keyed by -label (read-modify-write), so successive runs against
+// different server configurations accumulate side by side.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sheetmusiq/internal/engine"
+)
+
+// config is one load run.
+type config struct {
+	Addr     string
+	Sessions int
+	Ops      int
+	Workers  int
+}
+
+// result is what lands in the output file under the run's label.
+type result struct {
+	Sessions   int     `json:"sessions"`
+	OpsPerSess int     `json:"ops_per_session"`
+	Workers    int     `json:"workers"`
+	TotalOps   int     `json:"total_ops"`
+	Errors     int     `json:"errors"`
+	DurationS  float64 `json:"duration_seconds"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	LatencyMS  latency `json:"latency_ms"`
+	RecordedAt string  `json:"recorded_at"`
+}
+
+type latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// workload returns the deterministic op sequence for one session: a demo
+// load followed by n mixed steps. Most mutations are undone right after,
+// so the query state stays small and the sequence is valid at any length.
+func workload(n int) []engine.Op {
+	ops := make([]engine.Op, 0, n+1)
+	ops = append(ops, engine.Op{Op: "demo", Table: "cars"})
+	for i := 0; len(ops) < n+1; i++ {
+		switch i % 6 {
+		case 0:
+			ops = append(ops,
+				engine.Op{Op: "select", Predicate: fmt.Sprintf("Price > %d", 8000+1000*(i%7))},
+				engine.Op{Op: "undo"})
+		case 1:
+			ops = append(ops,
+				engine.Op{Op: "formula", Name: fmt.Sprintf("PerMile%d", i), Formula: "Price / Mileage"},
+				engine.Op{Op: "undo"})
+		case 2:
+			ops = append(ops,
+				engine.Op{Op: "agg", Fn: "avg", Column: "Price", Level: 1, Name: fmt.Sprintf("Avg%d", i)},
+				engine.Op{Op: "undo"})
+		case 3:
+			ops = append(ops,
+				engine.Op{Op: "sort", Column: "Price", Dir: "asc"},
+				engine.Op{Op: "undo"})
+		case 4:
+			ops = append(ops,
+				engine.Op{Op: "group", Columns: []string{"Model"}, Dir: "asc"},
+				engine.Op{Op: "ungroup"})
+		case 5:
+			ops = append(ops,
+				engine.Op{Op: "hide", Column: "Mileage"},
+				engine.Op{Op: "unhide", Column: "Mileage"})
+		}
+	}
+	return ops[:n+1]
+}
+
+// run executes the load and aggregates the measurements.
+func run(cfg config) (result, error) {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+		errs    int
+	)
+	ops := workload(cfg.Ops)
+
+	post := func(path string, body, out any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Post(cfg.Addr+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		if out != nil {
+			return json.Unmarshal(raw, out)
+		}
+		return nil
+	}
+
+	// Each worker drives whole sessions off a shared counter.
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.Sessions; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, cfg.Ops+1)
+			localErrs := 0
+			for i := range next {
+				var created struct {
+					ID string `json:"id"`
+				}
+				if err := post("/v1/sessions",
+					map[string]string{"name": fmt.Sprintf("loadgen-%d", i)}, &created); err != nil {
+					localErrs++
+					continue
+				}
+				for _, op := range ops {
+					t0 := time.Now()
+					err := post("/v1/sessions/"+created.ID+"/op", op, nil)
+					local = append(local, time.Since(t0))
+					if err != nil {
+						localErrs++
+					}
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			errs += localErrs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(samples) == 0 {
+		return result{}, fmt.Errorf("no ops completed (%d errors)", errs)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(samples)))
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return float64(samples[idx].Microseconds()) / 1000
+	}
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	return result{
+		Sessions:   cfg.Sessions,
+		OpsPerSess: cfg.Ops,
+		Workers:    cfg.Workers,
+		TotalOps:   len(samples),
+		Errors:     errs,
+		DurationS:  elapsed.Seconds(),
+		Throughput: float64(len(samples)) / elapsed.Seconds(),
+		LatencyMS: latency{
+			P50:  pct(0.50),
+			P90:  pct(0.90),
+			P99:  pct(0.99),
+			Max:  float64(samples[len(samples)-1].Microseconds()) / 1000,
+			Mean: float64((total / time.Duration(len(samples))).Microseconds()) / 1000,
+		},
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}, nil
+}
+
+// merge folds the result into the output file under label, preserving
+// other labels already recorded there.
+func merge(path, label string, res result) error {
+	entries := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	entries[label] = raw
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	sessions := flag.Int("sessions", 8, "number of sessions to drive")
+	opsN := flag.Int("ops", 200, "algebra ops per session")
+	workers := flag.Int("workers", 8, "concurrent workers (each owns whole sessions)")
+	label := flag.String("label", "run", "result key in the output file")
+	out := flag.String("out", "BENCH_server.json", "results file to merge into (empty = stdout only)")
+	flag.Parse()
+
+	res, err := run(config{Addr: *addr, Sessions: *sessions, Ops: *opsN, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ops in %.2fs — %.0f ops/s, p50 %.2fms p90 %.2fms p99 %.2fms, %d errors\n",
+		*label, res.TotalOps, res.DurationS, res.Throughput,
+		res.LatencyMS.P50, res.LatencyMS.P90, res.LatencyMS.P99, res.Errors)
+	if *out != "" {
+		if err := merge(*out, *label, res); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sheetmusiq/internal/server"
+	"sheetmusiq/internal/wal"
+)
+
+// TestRunAgainstServer drives the generator at an in-process durable
+// server: every generated op must succeed (the workload is designed to be
+// valid at any length) and the results file must merge across labels.
+func TestRunAgainstServer(t *testing.T) {
+	st, err := wal.NewStore(t.TempDir(), wal.Options{Sync: wal.SyncNone}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := server.NewManager(server.Config{Durability: st})
+	ts := httptest.NewServer(server.NewHandler(m))
+	defer ts.Close()
+
+	res, err := run(config{Addr: ts.URL, Sessions: 3, Ops: 25, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("workload produced %d errors", res.Errors)
+	}
+	if want := 3 * 26; res.TotalOps != want { // demo + 25 steps per session
+		t.Fatalf("measured %d ops, want %d", res.TotalOps, want)
+	}
+	if res.Throughput <= 0 || res.LatencyMS.P50 <= 0 || res.LatencyMS.P99 < res.LatencyMS.P50 {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := merge(out, "first", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := merge(out, "second", res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries map[string]result
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries["first"].TotalOps != res.TotalOps {
+		t.Fatalf("merge lost entries: %v", entries)
+	}
+	m.Shutdown()
+}
+
+// TestWorkloadLength pins the generator's contract: n steps after the demo
+// load, for any n.
+func TestWorkloadLength(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		ops := workload(n)
+		if len(ops) != n+1 {
+			t.Fatalf("workload(%d) has %d ops", n, len(ops))
+		}
+		if ops[0].Op != "demo" {
+			t.Fatalf("workload(%d) does not start with demo", n)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sheetmusiq/internal/server"
 	"sheetmusiq/internal/sql"
 	"sheetmusiq/internal/tpch"
+	"sheetmusiq/internal/wal"
 )
 
 // newLogger builds the process logger from the -log-level/-log-json flags.
@@ -70,6 +71,16 @@ func main() {
 		"log verbosity: debug (per-request lines with span timings), info, warn, error")
 	logJSON := flag.Bool("log-json", false,
 		"emit logs as JSON instead of text")
+	dataDir := flag.String("data-dir", "",
+		"persist sessions under this directory: per-session op WAL + snapshot checkpoints,\ncrash recovery by snapshot + log-suffix replay (empty disables durability)")
+	fsyncPolicy := flag.String("fsync", "batch",
+		"WAL fsync policy: batch (group fsync on -fsync-interval), always (per record), none")
+	fsyncInterval := flag.Duration("fsync-interval", 25*time.Millisecond,
+		"group-fsync period for -fsync=batch")
+	snapshotEvery := flag.Int("snapshot-every", wal.DefaultSnapshotEvery,
+		"write a snapshot checkpoint every N logged ops per session")
+	segmentBytes := flag.Int64("wal-segment-bytes", 4<<20,
+		"roll WAL segment files past this size")
 	flag.Parse()
 
 	logger, err := newLogger(strings.ToUpper(*logLevel), *logJSON)
@@ -85,6 +96,26 @@ func main() {
 		AllowFilesystem: *allowFS,
 		EnablePprof:     *enablePprof,
 		Logger:          logger,
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sheetserver:", err)
+			os.Exit(2)
+		}
+		store, err := wal.NewStore(*dataDir, wal.Options{
+			Sync:          policy,
+			BatchInterval: *fsyncInterval,
+			SegmentBytes:  *segmentBytes,
+		}, *snapshotEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sheetserver:", err)
+			os.Exit(2)
+		}
+		cfg.Durability = store
+		logger.Info("durability enabled",
+			"data_dir", *dataDir, "fsync", policy.String(),
+			"fsync_interval", *fsyncInterval, "snapshot_every", *snapshotEvery)
 	}
 	if sf := *tpchScale; sf > 0 {
 		// Generate once; every session's private registry gets the same

@@ -285,6 +285,18 @@ func (s *Spreadsheet) Redo() (string, error) {
 	return top.entry, nil
 }
 
+// UndoDepth returns how many operators can currently be undone.
+func (s *Spreadsheet) UndoDepth() int { return len(s.undo) }
+
+// RedoDepth returns how many undone operators can currently be re-applied.
+func (s *Spreadsheet) RedoDepth() int { return len(s.redo) }
+
+// SetVersion overrides the operator counter. RestoreState derives the
+// version from the persisted history log, but undo/redo advance the counter
+// past len(log); recovery paths that know the true counter (the WAL
+// checkpoint records it) use this to restore it exactly.
+func (s *Spreadsheet) SetVersion(v int) { s.version = v }
+
 // Clone deep-copies the spreadsheet (sharing the immutable base relation).
 func (s *Spreadsheet) Clone() *Spreadsheet {
 	return &Spreadsheet{

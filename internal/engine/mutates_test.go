@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestOpMutates(t *testing.T) {
+	cases := map[string]bool{
+		"demo": true, "load": true, "select": true, "filter": true,
+		"group": true, "sort": true, "agg": true, "formula": true,
+		"hide": true, "undo": true, "redo": true, "save": true,
+		"join": true, "modify": true, "loadstate": true,
+		// Reads and file exports leave the session untouched.
+		"explain": false, "savestate": false, "export": false,
+		"Explain": false, // classification is case-insensitive
+	}
+	for name, want := range cases {
+		if got := (Op{Op: name}).Mutates(); got != want {
+			t.Errorf("Op %q: Mutates() = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestEffectMutated checks the Apply-level flag the WAL keys off: ops that
+// change session state report Mutated, no-op reads do not.
+func TestEffectMutated(t *testing.T) {
+	e := New(nil)
+	steps := []struct {
+		op   Op
+		want bool
+	}{
+		{Op{Op: "demo", Table: "cars"}, true},
+		{Op{Op: "select", Predicate: "Year = 2005"}, true},
+		{Op{Op: "explain"}, false},
+		{Op{Op: "savestate", Path: filepath.Join(t.TempDir(), "s.json")}, false},
+		{Op{Op: "undo"}, true},
+	}
+	for _, s := range steps {
+		eff, err := e.Apply(s.op)
+		if err != nil {
+			t.Fatalf("%s: %v", s.op.Op, err)
+		}
+		if eff.Mutated != s.want {
+			t.Errorf("%s: Effect.Mutated = %v, want %v", s.op.Op, eff.Mutated, s.want)
+		}
+	}
+}

@@ -50,6 +50,42 @@ type Effect struct {
 	Column  string   `json:"column,omitempty"`  // created column name
 	Rows    int      `json:"rows,omitempty"`    // rows written by export
 	Log     []string `json:"log,omitempty"`     // compile / demo step log
+	Mutated bool     `json:"mutated"`           // whether the op changed session state (see Op.Mutates)
+}
+
+// Mutates reports whether the op kind changes session state — the current
+// sheet, the raw-table registry, or the stored-sheet catalog — as opposed to
+// a pure read (explain) or a side-effect-only export of state the session
+// already holds (savestate, export write files but leave the session
+// untouched). Durability layers log exactly the mutating ops: replaying the
+// mutating subsequence through a fresh engine reproduces the session, while
+// logging a read would waste WAL space and replaying an export would
+// re-write files on recovery. Like dispatch, the match is case-insensitive.
+//
+// Note the classification is per kind, not per outcome: an op that happens
+// to leave the state identical (e.g. hiding an already-hidden column fails,
+// sorting by the current key again) still counts as mutating when it
+// succeeds, because replaying it is harmless and cheap, whereas missing a
+// real mutation would corrupt recovery.
+func (o Op) Mutates() bool {
+	switch strings.ToLower(o.Op) {
+	case "explain", "savestate", "export":
+		return false
+	}
+	return true
+}
+
+// RegistersTables reports whether the op kind registers raw tables in the
+// session's private registry (demo, load). Snapshot checkpoints persist
+// these ops alongside the serialized query state: RestoreState needs the
+// base relation to exist, and only re-running the registering ops can
+// recreate it in a fresh engine.
+func (o Op) RegistersTables() bool {
+	switch strings.ToLower(o.Op) {
+	case "demo", "load":
+		return true
+	}
+	return false
 }
 
 // TouchesFilesystem reports whether the op kind reads or writes local files
@@ -91,6 +127,7 @@ func (e *Engine) Apply(op Op) (*Effect, error) {
 	}
 	obs.Default.Counter("engine.ops."+kind).Inc()
 	eff.Op = op.Op
+	eff.Mutated = op.Mutates()
 	eff.Sheet = e.SheetName()
 	eff.Version = e.Version()
 	if eff.Entry == "" && e.sheet != nil {
@@ -489,23 +526,69 @@ func (e *Engine) opLoadState(op Op) (*Effect, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.RestoreSheet(data); err != nil {
+		return nil, err
+	}
+	return &Effect{Entry: "restored query state from " + op.Path}, nil
+}
+
+// RestoreSheet rebuilds the current sheet from serialized query state (the
+// savestate/core persist format), resolving the base relation from the
+// session's raw-table registry. Shared by the loadstate op and by WAL
+// snapshot recovery.
+func (e *Engine) RestoreSheet(data []byte) error {
 	// Peek at the base name to find the backing table.
 	var head struct {
 		BaseName string `json:"base_name"`
 	}
 	if err := json.Unmarshal(data, &head); err != nil {
-		return nil, fmt.Errorf("engine: bad state file: %w", err)
+		return fmt.Errorf("engine: bad state file: %w", err)
 	}
 	base, ok := e.tables.Table(head.BaseName)
 	if !ok {
-		return nil, fmt.Errorf("engine: state needs table %q; load it first", head.BaseName)
+		return fmt.Errorf("engine: state needs table %q; load it first", head.BaseName)
 	}
 	sheet, err := core.RestoreState(base, data)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	e.sheet = sheet
-	return &Effect{Entry: "restored query state from " + op.Path}, nil
+	return nil
+}
+
+// MarshalSheetFull serialises the active sheet's complete interaction state
+// (query state plus undo/redo stacks) via core.MarshalFull. WAL snapshot
+// checkpoints use it so recovery preserves undo history; it fails with
+// core.ErrHistoryNotPortable when the history crosses a binary operator.
+func (e *Engine) MarshalSheetFull() ([]byte, error) {
+	if e.sheet == nil {
+		return nil, ErrNoSheet
+	}
+	return e.sheet.MarshalFull()
+}
+
+// RestoreSheetFull is RestoreSheet's counterpart for the MarshalSheetFull
+// document: it rebuilds the sheet with its undo/redo stacks and operator
+// counter intact.
+func (e *Engine) RestoreSheetFull(data []byte) error {
+	var head struct {
+		State struct {
+			BaseName string `json:"base_name"`
+		} `json:"state"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("engine: bad state file: %w", err)
+	}
+	base, ok := e.tables.Table(head.State.BaseName)
+	if !ok {
+		return fmt.Errorf("engine: state needs table %q; load it first", head.State.BaseName)
+	}
+	sheet, err := core.RestoreFull(base, data)
+	if err != nil {
+		return err
+	}
+	e.sheet = sheet
+	return nil
 }
 
 func (e *Engine) opExport(op Op) (*Effect, error) {

@@ -130,12 +130,12 @@ func NewHandler(m *Manager) http.Handler {
 				fmt.Errorf("op %q touches the server filesystem; start the server with filesystem ops enabled", op.Op))
 			return
 		}
-		var eff *engine.Effect
-		err := doSpan(r, s, "engine.apply", func(e *engine.Engine) error {
-			var err error
-			eff, err = e.Apply(op)
-			return err
-		})
+		// ApplyOp rather than Do: on durable sessions the successful op is
+		// appended to the session WAL (and periodically checkpointed)
+		// before the response is written.
+		sp := obs.StartSpan(r.Context(), "engine.apply")
+		eff, err := s.ApplyOp(op)
+		sp.End()
 		if err != nil {
 			writeError(w, r, opStatus(err), err)
 			return
@@ -357,8 +357,11 @@ func serve(ctx context.Context, srv *http.Server, m *Manager) error {
 			if err := srv.Shutdown(shutCtx); err != nil {
 				return err
 			}
-			// Drain the listener goroutine's ErrServerClosed.
+			// Drain the listener goroutine's ErrServerClosed, then flush
+			// sessions: durable ones checkpoint and close their WALs so a
+			// restart rehydrates them with zero replayed ops.
 			<-errc
+			m.Shutdown()
 			return nil
 		}
 	}

@@ -14,21 +14,25 @@ import (
 // matter how many sessions exist); session metrics count lifecycle events
 // by cause plus a live gauge.
 var (
-	srvInflight  = obs.Default.Gauge("server.inflight")
-	sessLive     = obs.Default.Gauge("server.sessions.live")
-	sessCreated  = obs.Default.Counter("server.sessions.created")
-	sessClosed   = obs.Default.Counter("server.sessions.closed")
-	sessEvicted  = obs.Default.Counter("server.sessions.evicted")
-	sessExpired  = obs.Default.Counter("server.sessions.expired")
+	srvInflight    = obs.Default.Gauge("server.inflight")
+	sessLive       = obs.Default.Gauge("server.sessions.live")
+	sessDormant    = obs.Default.Gauge("server.sessions.dormant")
+	sessCreated    = obs.Default.Counter("server.sessions.created")
+	sessClosed     = obs.Default.Counter("server.sessions.closed")
+	sessEvicted    = obs.Default.Counter("server.sessions.evicted")
+	sessExpired    = obs.Default.Counter("server.sessions.expired")
+	sessShutdown   = obs.Default.Counter("server.sessions.shutdown")
+	sessRehydrated = obs.Default.Counter("server.sessions.rehydrated")
 )
 
 // closeReason tags closeLocked with the lifecycle counter to bump.
 type closeReason int
 
 const (
-	reasonClosed  closeReason = iota // explicit DELETE
-	reasonEvicted                    // LRU cap
-	reasonExpired                    // idle TTL
+	reasonClosed   closeReason = iota // explicit DELETE (durable state deleted too)
+	reasonEvicted                     // LRU cap (durable state kept)
+	reasonExpired                     // idle TTL (durable state kept)
+	reasonShutdown                    // graceful process shutdown (durable state kept)
 )
 
 func (c closeReason) String() string {
@@ -37,6 +41,8 @@ func (c closeReason) String() string {
 		return "evicted"
 	case reasonExpired:
 		return "expired"
+	case reasonShutdown:
+		return "shutdown"
 	}
 	return "closed"
 }
@@ -47,6 +53,8 @@ func (c closeReason) counter() *obs.Counter {
 		return sessEvicted
 	case reasonExpired:
 		return sessExpired
+	case reasonShutdown:
+		return sessShutdown
 	}
 	return sessClosed
 }

@@ -1,0 +1,550 @@
+// Package wal is the durability subsystem: an append-only, segmented,
+// CRC32C-checksummed write-ahead log of opaque records (Log), and a
+// per-session store layering snapshot checkpoints and crash recovery on
+// top of it (Store/SessionLog). The serving layer logs every mutating
+// engine.Op after it succeeds; recovery restores the newest usable
+// checkpoint through the core persist layer and replays only the log
+// suffix, falling back to full-history replay when a checkpoint cannot
+// reproduce the session exactly (DESIGN.md §11).
+//
+// Record layout, all integers little-endian:
+//
+//	offset 0  u32  payload length
+//	offset 4  u32  CRC32C (Castagnoli) over bytes [8, 16+length)
+//	offset 8  u64  sequence number (1-based, strictly consecutive)
+//	offset 16 ...  payload
+//
+// Segment files are named wal-<firstSeq, 20 decimal digits>.seg and hold
+// consecutive records; a segment rolls over once it exceeds
+// Options.SegmentBytes. A torn or corrupt tail — a partial header, short
+// payload, CRC mismatch, or out-of-order sequence — ends the log: OpenLog
+// truncates the final segment at the first bad record so appends continue
+// from the last durable record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sheetmusiq/internal/obs"
+)
+
+// SyncPolicy selects when appended records are fsynced. Every policy
+// write(2)s each record to the file before Append returns, so records
+// acknowledged to a client survive a kill -9 of the process under all
+// policies; the policy only decides exposure to power loss / kernel crash.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs on a short background interval, so
+	// many appends share one fsync. At most Options.BatchInterval of
+	// acknowledged records are exposed to power loss.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every record before Append returns.
+	SyncAlways
+	// SyncNone never fsyncs during appends (a clean Close still syncs).
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return "batch"
+}
+
+// ParseSyncPolicy maps a flag value to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "batch", "batched", "":
+		return SyncBatch, nil
+	case "always", "record", "per-record":
+		return SyncAlways, nil
+	case "none", "off":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: bad fsync policy %q (batch, always, none)", s)
+}
+
+// Options parameterises a Log.
+type Options struct {
+	// Sync is the fsync policy; the zero value is SyncBatch.
+	Sync SyncPolicy
+	// BatchInterval is the SyncBatch fsync period (default 25ms). Shorter
+	// intervals narrow the power-loss window but make appends stall behind
+	// in-flight fsyncs of the same segment more often, and raise the
+	// store-wide fsync rate (every session's log flushes on its own timer).
+	BatchInterval time.Duration
+	// SegmentBytes rolls to a new segment file once the current one
+	// exceeds this size (default 4MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 25 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+const (
+	headerSize = 16
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	// maxRecordBytes bounds a single record so a corrupt length field
+	// cannot make the decoder allocate gigabytes.
+	maxRecordBytes = 16 << 20
+)
+
+// castagnoli is the CRC32C table (the iSCSI polynomial, hardware-
+// accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log metrics, process-wide across all sessions' logs.
+var (
+	walAppends    = obs.Default.Counter("wal.appends")
+	walFsyncs     = obs.Default.Counter("wal.fsyncs")
+	walBytes      = obs.Default.Counter("wal.bytes")
+	walTruncated  = obs.Default.Counter("wal.truncated_tails")
+	walAppendSecs = obs.Default.Histogram("wal.append_seconds")
+	walFsyncSecs  = obs.Default.Histogram("wal.fsync_seconds")
+)
+
+// Log is one append-only segmented record log rooted at a directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	segments []uint64 // first seq of every segment, ascending; last is active
+	nextSeq  uint64   // sequence the next Append gets
+	dirty    bool     // records written since the last fsync
+	closed   bool
+
+	stop chan struct{} // closes the batch flusher
+	done chan struct{} // flusher exited
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// OpenLog opens (creating if needed) the log in dir. It scans the existing
+// segments, validates the final one record by record, and truncates it at
+// the first torn or corrupt record so the next Append continues cleanly
+// after the last durable record.
+func OpenLog(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	l := &Log{dir: dir, opts: opts, segments: segs}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+		l.nextSeq = 1
+	} else {
+		if err := l.recoverTail(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Sync == SyncBatch {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// openSegment creates a fresh active segment whose first record will carry
+// firstSeq, and syncs the directory so the file name itself is durable.
+func (l *Log) openSegment(firstSeq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.size = 0
+	l.segments = append(l.segments, firstSeq)
+	return syncDir(l.dir)
+}
+
+// recoverTail opens the last segment, scans it for valid consecutive
+// records, and truncates everything after the first bad one.
+func (l *Log) recoverTail() error {
+	last := l.segments[len(l.segments)-1]
+	path := filepath.Join(l.dir, segName(last))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, next, err := scanRecords(f, last, nil)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if st.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		walTruncated.Inc()
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.size = valid
+	l.nextSeq = next
+	return nil
+}
+
+// scanRecords reads records from r expecting the first to carry firstSeq
+// and the rest to be consecutive, calling fn (when non-nil) for each valid
+// record. It stops at the first invalid record — short header, short
+// payload, oversized length, CRC mismatch, or sequence break — and returns
+// the byte offset of the end of the last valid record plus the next
+// expected sequence. An error from fn aborts the scan and is returned
+// as-is.
+func scanRecords(r io.Reader, firstSeq uint64, fn func(seq uint64, payload []byte) error) (validBytes int64, nextSeq uint64, err error) {
+	br := &countReader{r: r}
+	var hdr [headerSize]byte
+	seq := firstSeq
+	valid := int64(0)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return valid, seq, nil // clean EOF or torn header: end of log
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		gotSeq := binary.LittleEndian.Uint64(hdr[8:16])
+		if length > maxRecordBytes || gotSeq != seq {
+			return valid, seq, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return valid, seq, nil // torn payload
+		}
+		sum := crc32.Update(crc32.Checksum(hdr[8:16], castagnoli), castagnoli, payload)
+		if sum != crc {
+			return valid, seq, nil
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return valid, seq, err
+			}
+		}
+		valid = br.n
+		seq++
+	}
+}
+
+// countReader tracks how many bytes were consumed.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Append writes one record and returns its sequence number. The record is
+// written to the file (surviving process death) before Append returns;
+// whether it is also fsynced depends on the sync policy.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	start := obs.StartTimer()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	copy(buf[headerSize:], payload)
+	sum := crc32.Update(crc32.Checksum(buf[8:16], castagnoli), castagnoli, payload)
+	binary.LittleEndian.PutUint32(buf[4:8], sum)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.nextSeq++
+	l.dirty = true
+	walAppends.Inc()
+	walBytes.Add(int64(len(buf)))
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	walAppendSecs.Since(start)
+	return seq, nil
+}
+
+// rollLocked closes the active segment (synced) and opens the next one.
+// The sync is unconditional rather than dirty-gated: the batch flusher may
+// have claimed the dirty flag for an fsync that is still in flight, and the
+// segment must be fully durable before its file is closed.
+func (l *Log) rollLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.openSegment(l.nextSeq)
+}
+
+// syncLocked fsyncs the active segment if it has unsynced records.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	start := obs.StartTimer()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	walFsyncs.Inc()
+	walFsyncSecs.Since(start)
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	return l.syncLocked()
+}
+
+// flushLoop is the SyncBatch group-commit goroutine: one fsync per
+// interval covers every record appended during it. The fsync itself runs
+// outside the append mutex — holding it would stall every Append for the
+// fsync's duration, making batch no faster than SyncAlways — which is safe
+// because os.File serialises Sync against Close internally, and rollLocked
+// re-syncs unconditionally before closing a segment.
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			f := l.f
+			dirty := l.dirty && !l.closed
+			if dirty {
+				l.dirty = false
+			}
+			l.mu.Unlock()
+			if !dirty {
+				continue
+			}
+			start := obs.StartTimer()
+			if err := f.Sync(); err != nil {
+				// Lost the race with a segment roll/close (which synced for
+				// us) or hit a real fault; re-mark dirty if the segment is
+				// still active so the next tick retries.
+				l.mu.Lock()
+				if l.f == f {
+					l.dirty = true
+				}
+				l.mu.Unlock()
+				continue
+			}
+			walFsyncs.Inc()
+			walFsyncSecs.Since(start)
+		}
+	}
+}
+
+// LastSeq returns the sequence of the most recent record (0 when empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Close syncs and closes the active segment and stops the batch flusher.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	return err
+}
+
+// ReadFrom replays every record with sequence >= from, in order. Because
+// OpenLog already truncated any torn tail, an invalid record encountered
+// here means real mid-log corruption (or a missing segment file): the scan
+// stops and reports it. fn errors abort the replay and are returned as-is.
+func (l *Log) ReadFrom(from uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log closed")
+	}
+	// Reads go through fresh read-only handles, so they never disturb the
+	// append position; the segment list is copied to release the lock
+	// while scanning. Appends during the scan extend the final segment:
+	// the scan simply sees whatever records were durable when it got
+	// there, which recovery (the only caller) makes moot by recovering
+	// before serving traffic.
+	segs := append([]uint64(nil), l.segments...)
+	end := l.nextSeq
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	for i, first := range segs {
+		segEnd := end
+		if i+1 < len(segs) {
+			segEnd = segs[i+1]
+		}
+		if segEnd <= from && segEnd != first {
+			continue // segment entirely before the requested suffix
+		}
+		f, err := os.Open(filepath.Join(l.dir, segName(first)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, next, err := scanRecords(f, first, func(seq uint64, payload []byte) error {
+			if seq < from {
+				return nil
+			}
+			return fn(seq, payload)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if next < segEnd {
+			return fmt.Errorf("wal: segment %s corrupt: stops at record %d, expected %d", segName(first), next-1, segEnd-1)
+		}
+	}
+	return nil
+}
+
+// PruneThrough deletes whole segments whose every record has sequence <=
+// seq. The active segment is never deleted. Called after an exact
+// checkpoint makes the prefix redundant.
+func (l *Log) PruneThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	kept := l.segments[:0]
+	removed := 0
+	for i, first := range l.segments {
+		last := i == len(l.segments)-1
+		if last || l.segments[i+1] > seq+1 {
+			// Segment reaches past seq (its successor starts after seq+1)
+			// or is active: keep it and everything after.
+			kept = append(kept, l.segments[i:]...)
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: prune: %w", err)
+		}
+		removed++
+	}
+	l.segments = append([]uint64(nil), kept...)
+	if removed == 0 {
+		return nil // nothing deleted, nothing to make durable
+	}
+	return syncDir(l.dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
