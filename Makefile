@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json loadgen-smoke clean
+.PHONY: build test race vet lint bench bench-json bench-gate loadgen-smoke clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ lint:
 	else \
 		echo "$(GO) vet ./... (staticcheck not installed)"; $(GO) vet ./...; \
 	fi
+
+# bench-gate re-runs the tracked headline workloads and fails when any of
+# them falls below 0.9x of the ns/op recorded in BENCH_eval.json — the perf
+# counterpart of lint, cheap enough to run before every merge.
+bench-gate:
+	bash scripts/bench_gate.sh
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -98,12 +98,62 @@ func parse(lines *bufio.Scanner) (snapshot, error) {
 	return snap, nil
 }
 
+// gate compares a fresh run against the recorded baseline: every benchmark
+// present in both must keep baseline-ns/current-ns at or above threshold.
+// Below it, the run regressed past the tolerance and the gate fails.
+func gate(current snapshot, baselineFile string, threshold float64) error {
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return fmt.Errorf("benchjson: gate baseline: %w", err)
+	}
+	var h history
+	if err := json.Unmarshal(data, &h); err != nil {
+		return fmt.Errorf("benchjson: %s: %w", baselineFile, err)
+	}
+	if h.After == nil {
+		return fmt.Errorf("benchjson: %s has no recorded run to gate against", baselineFile)
+	}
+	checked, failed := 0, 0
+	for name, cm := range current {
+		bm, ok := h.After[name]
+		if !ok {
+			continue
+		}
+		base, cur := bm["ns_per_op"], cm["ns_per_op"]
+		if base <= 0 || cur <= 0 {
+			continue
+		}
+		checked++
+		ratio := base / cur
+		status := "ok"
+		if ratio < threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-44s baseline %12.0f ns/op  now %12.0f ns/op  ratio %.2fx  %s\n",
+			name, base, cur, ratio, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("benchjson: no benchmark on stdin matches the baseline in %s", baselineFile)
+	}
+	if failed > 0 {
+		return fmt.Errorf("benchjson: %d of %d tracked workloads regressed below %.2fx of baseline", failed, checked, threshold)
+	}
+	fmt.Printf("bench gate passed: %d workloads within %.2fx of baseline\n", checked, threshold)
+	return nil
+}
+
 func run() error {
 	update := flag.String("update", "", "maintain a before/after history file instead of printing the snapshot")
+	gateFile := flag.String("gate", "", "compare the run on stdin against FILE's recorded snapshot and fail on regression")
+	threshold := flag.Float64("threshold", 0.9, "minimum baseline/current ns-per-op ratio the gate accepts")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
+	}
+	if *gateFile != "" {
+		return gate(snap, *gateFile, *threshold)
 	}
 	if *update == "" {
 		enc := json.NewEncoder(os.Stdout)

@@ -66,7 +66,7 @@ func TestJoin(t *testing.T) {
 	}
 	di := res.Table.Schema.IndexOf("Dealer")
 	mi := res.Table.Schema.IndexOf("Model")
-	for _, row := range res.Table.Rows {
+	for _, row := range res.Table.TupleRows() {
 		want := "AnnArborAuto"
 		if row[mi].Str() == "Civic" {
 			want = "MotorCity"
@@ -77,7 +77,7 @@ func TestJoin(t *testing.T) {
 	}
 	// Ordering survived the join.
 	pi := res.Table.Schema.IndexOf("Price")
-	if res.Table.Rows[0][pi].Int() != 13500 {
+	if res.Table.TupleRows()[0][pi].Int() != 13500 {
 		t.Fatal("join must keep the current sheet's ordering")
 	}
 }
@@ -152,9 +152,9 @@ func TestJoinEquiDispatchesToHashKernel(t *testing.T) {
 	if res.Table.Len() != refRes.Table.Len() {
 		t.Fatalf("hash join rows = %d, theta join rows = %d", res.Table.Len(), refRes.Table.Len())
 	}
-	for i := range res.Table.Rows {
-		for j := range res.Table.Rows[i] {
-			if !value.Equal(res.Table.Rows[i][j], refRes.Table.Rows[i][j]) {
+	for i := range res.Table.TupleRows() {
+		for j := range res.Table.TupleRows()[i] {
+			if !value.Equal(res.Table.TupleRows()[i][j], refRes.Table.TupleRows()[i][j]) {
 				t.Fatalf("row %d differs between hash and theta paths", i)
 			}
 		}
@@ -256,7 +256,7 @@ func TestBinaryOpRecomputesComputedColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	ni := res.Table.Schema.IndexOf("N")
-	if got := res.Table.Rows[0][ni].Int(); got != 27 {
+	if got := res.Table.TupleRows()[0][ni].Int(); got != 27 {
 		t.Fatalf("COUNT after product = %d, want 27", got)
 	}
 }

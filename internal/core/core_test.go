@@ -24,7 +24,7 @@ func tableIDs(t *testing.T, s *Spreadsheet) []int64 {
 		t.Fatal("result lost the ID column")
 	}
 	out := make([]int64, res.Table.Len())
-	for r, row := range res.Table.Rows {
+	for r, row := range res.Table.TupleRows() {
 		out[r] = row[i].Int()
 	}
 	return out
@@ -100,7 +100,7 @@ func TestPaperTableIII(t *testing.T) {
 		13500, 15500, 15500,
 	}
 	ai := res.Table.Schema.IndexOf("Avg_Price")
-	for i, row := range res.Table.Rows {
+	for i, row := range res.Table.TupleRows() {
 		if row[ai].Float() != wantAvg[i] {
 			t.Errorf("row %d Avg_Price = %v, want %v", i, row[ai], wantAvg[i])
 		}
@@ -348,7 +348,7 @@ func TestAggregateLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	get := func(row int, col string) value.Value {
-		return res.Table.Rows[row][res.Table.Schema.IndexOf(col)]
+		return res.Table.TupleRows()[row][res.Table.Schema.IndexOf(col)]
 	}
 	wantAll := (14500.0 + 15000 + 16000 + 17000 + 17500 + 18000 + 13500 + 15000 + 16000) / 9
 	for r := 0; r < res.Table.Len(); r++ {
@@ -412,7 +412,7 @@ func TestFormulaComputation(t *testing.T) {
 	i := res.Table.Schema.IndexOf(name)
 	// First row: 14500*1000/76000.
 	want := 14500000.0 / 76000
-	if got := res.Table.Rows[0][i].Float(); got != want {
+	if got := res.Table.TupleRows()[0][i].Float(); got != want {
 		t.Fatalf("formula value = %v, want %v", got, want)
 	}
 	// Formulas can feed selections.
@@ -420,7 +420,7 @@ func TestFormulaComputation(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ = s.Evaluate()
-	for _, row := range res.Table.Rows {
+	for _, row := range res.Table.TupleRows() {
 		if row[i].Float() <= 400 {
 			t.Fatalf("selection over formula failed: %v", row)
 		}
@@ -478,7 +478,7 @@ func TestHavingStyleSelection(t *testing.T) {
 		t.Fatalf("HAVING kept %d rows, want the 6 Jettas", res.Table.Len())
 	}
 	mi := res.Table.Schema.IndexOf("Model")
-	for _, row := range res.Table.Rows {
+	for _, row := range res.Table.TupleRows() {
 		if row[mi].Str() != "Jetta" {
 			t.Fatalf("non-Jetta row survived: %v", row)
 		}
@@ -487,7 +487,7 @@ func TestHavingStyleSelection(t *testing.T) {
 	// depth-1 predicate over a depth-1 column; SQL HAVING semantics).
 	ai := res.Table.Schema.IndexOf("AvgP")
 	wantJetta := (14500.0 + 15000 + 16000 + 17000 + 17500 + 18000) / 6
-	if got := res.Table.Rows[0][ai].Float(); got != wantJetta {
+	if got := res.Table.TupleRows()[0][ai].Float(); got != wantJetta {
 		t.Fatalf("AvgP = %v, want %v (must not recompute after HAVING)", got, wantJetta)
 	}
 }
@@ -508,7 +508,7 @@ func TestWhereRecomputesAggregates(t *testing.T) {
 	}
 	ai := res.Table.Schema.IndexOf("AvgP")
 	want := (14500.0 + 15000 + 16000 + 13500) / 4 // the four 2005 cars
-	if got := res.Table.Rows[0][ai].Float(); got != want {
+	if got := res.Table.TupleRows()[0][ai].Float(); got != want {
 		t.Fatalf("AvgP = %v, want %v (aggregate must track the selection)", got, want)
 	}
 }
@@ -536,7 +536,7 @@ func TestDistinct(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ = s.Evaluate()
-	if got := res.Table.Rows[0][res.Table.Schema.IndexOf("N")].Int(); got != 2 {
+	if got := res.Table.TupleRows()[0][res.Table.Schema.IndexOf("N")].Int(); got != 2 {
 		t.Fatalf("COUNT after DE = %d, want 2", got)
 	}
 	if err := s.RemoveDistinct(); err != nil {

@@ -56,11 +56,11 @@ func TestAggregateSkipsNulls(t *testing.T) {
 	}
 	ai := res.Table.Schema.IndexOf("AvgP")
 	want := (15000.0 + 17000 + 13000) / 3
-	if got := res.Table.Rows[0][ai].Float(); got != want {
+	if got := res.Table.TupleRows()[0][ai].Float(); got != want {
 		t.Fatalf("AvgP = %v, want %v (NULLs skipped)", got, want)
 	}
 	ni := res.Table.Schema.IndexOf("N")
-	if res.Table.Rows[0][ni].Int() != 5 {
+	if res.Table.TupleRows()[0][ni].Int() != 5 {
 		t.Fatal("COUNT counts all tuples")
 	}
 }
@@ -86,7 +86,7 @@ func TestGroupingWithNullKeys(t *testing.T) {
 		t.Fatalf("first group = %v (%d rows), want NULL group of 2", groups[0].Key, groups[0].Rows())
 	}
 	ni := res.Table.Schema.IndexOf("N")
-	if res.Table.Rows[0][ni].Int() != 2 {
+	if res.Table.TupleRows()[0][ni].Int() != 2 {
 		t.Fatal("aggregate over the NULL group wrong")
 	}
 }
@@ -102,7 +102,7 @@ func TestFormulaOverNulls(t *testing.T) {
 	}
 	di := res.Table.Schema.IndexOf("Double")
 	ii := res.Table.Schema.IndexOf("ID")
-	for _, row := range res.Table.Rows {
+	for _, row := range res.Table.TupleRows() {
 		if row[ii].Int() == 2 && !row[di].IsNull() {
 			t.Fatal("NULL input must yield NULL formula output")
 		}
@@ -134,8 +134,8 @@ func TestOrderingByHiddenColumn(t *testing.T) {
 	}
 	// Civic group first (asc), most expensive Civic (322, $16000) first.
 	ii := res.Table.Schema.IndexOf("ID")
-	if res.Table.Rows[0][ii].Int() != 322 {
-		t.Fatalf("first row = %v", res.Table.Rows[0])
+	if res.Table.TupleRows()[0][ii].Int() != 322 {
+		t.Fatalf("first row = %v", res.Table.TupleRows()[0])
 	}
 	if res.Table.Schema.Has("Price") || res.Table.Schema.Has("Model") {
 		t.Fatal("hidden columns leaked into the result")
@@ -183,10 +183,10 @@ func TestQuickGroupTreeInvariants(t *testing.T) {
 				}
 				// All rows in a leaf share the cumulative basis values.
 				if g.Rows() > 0 {
-					ref := res.Table.Rows[g.Start]
+					ref := res.Table.TupleRows()[g.Start]
 					for r := g.Start; r < g.End; r++ {
 						for _, bi := range basisIdx[:min(depth, len(basisIdx))] {
-							if !value.Equal(res.Table.Rows[r][bi], ref[bi]) {
+							if !value.Equal(res.Table.TupleRows()[r][bi], ref[bi]) {
 								return false
 							}
 						}
@@ -245,10 +245,10 @@ func TestQuickSelectionSubset(t *testing.T) {
 		}
 		// Every surviving row key existed before.
 		seen := map[string]int{}
-		for _, row := range before.Table.Rows {
+		for _, row := range before.Table.TupleRows() {
 			seen[row.Key()]++
 		}
-		for _, row := range after.Table.Rows {
+		for _, row := range after.Table.TupleRows() {
 			if seen[row.Key()] == 0 {
 				return false
 			}

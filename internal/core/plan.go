@@ -115,10 +115,17 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 	ev := &evalCtx{
 		s:     s,
 		work:  work,
+		ix:    work.Index(),
+		cols:  s.base.Columns(),
 		nBase: len(s.base.Schema),
 		width: len(work),
 	}
-	ev.resolve = schemaResolver(work)
+	ev.resolve = func(name string) (int, bool) {
+		if i := ev.ix.IndexOf(name); i >= 0 {
+			return i, true
+		}
+		return 0, false
+	}
 
 	// Stratify computed columns and selections by depth.
 	maxD := 0

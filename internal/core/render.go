@@ -18,10 +18,11 @@ func (r *Result) RenderTree() string {
 	var b strings.Builder
 	// Column widths over the leaf-rendered columns.
 	leafCols := r.leafColumns()
+	rows := r.Table.TupleRows()
 	widths := make([]int, len(leafCols))
 	for i, ci := range leafCols {
 		widths[i] = len(r.Table.Schema[ci].Name)
-		for _, row := range r.Table.Rows {
+		for _, row := range rows {
 			if n := len(row[ci].String()); n > widths[i] {
 				widths[i] = n
 			}
@@ -60,7 +61,7 @@ func (r *Result) RenderTree() string {
 					if i > 0 {
 						b.WriteString(" | ")
 					}
-					fmt.Fprintf(&b, "%-*s", widths[i], r.Table.Rows[ri][ci].String())
+					fmt.Fprintf(&b, "%-*s", widths[i], rows[ri][ci].String())
 				}
 				b.WriteByte('\n')
 			}

@@ -24,25 +24,44 @@ import (
 type evalCtx struct {
 	s       *Spreadsheet
 	work    relation.Schema
+	ix      *relation.NameIndex
+	cols    []*relation.Col
 	nBase   int
 	width   int
 	resolve expr.Resolver
 }
 
-// pos resolves a column name to its working-schema position, or -1.
-func (ev *evalCtx) pos(name string) int { return ev.work.IndexOf(name) }
+// pos resolves a column name to its working-schema position, or -1, through
+// the schema's cached name index.
+func (ev *evalCtx) pos(name string) int { return ev.ix.IndexOf(name) }
 
 // positions resolves a column-name list, erroring on the first unknown.
 func (ev *evalCtx) positions(names []string) ([]int, error) {
 	out := make([]int, len(names))
 	for i, n := range names {
-		p := ev.work.IndexOf(n)
+		p := ev.pos(n)
 		if p < 0 {
 			return nil, fmt.Errorf("core: unknown column %q", n)
 		}
 		out[i] = p
 	}
 	return out, nil
+}
+
+// batchResolver exposes the view's typed columns (base vectors plus
+// computed-column vectors) to the vectorized expression compiler, keyed by
+// working-schema name.
+func (ev *evalCtx) batchResolver(view *relation.IndexView) expr.BatchResolver {
+	return func(name string) (*relation.Col, bool) {
+		p := ev.pos(name)
+		if p < 0 {
+			return nil, false
+		}
+		if c := view.ColAt(p); c != nil {
+			return c, true
+		}
+		return nil, false
+	}
 }
 
 // viewOf wraps a snapshot as an IndexView over the working schema. Computed
@@ -56,7 +75,8 @@ func (ev *evalCtx) viewOf(snap *stageSnap) *relation.IndexView {
 		}
 	}
 	return &relation.IndexView{
-		Rows:  ev.s.base.Rows,
+		Rows:  ev.s.base.TupleRows(),
+		Cols:  ev.cols,
 		Idx:   snap.idx,
 		Over:  over,
 		Split: ev.nBase,
@@ -68,7 +88,7 @@ func (ev *evalCtx) viewOf(snap *stageSnap) *relation.IndexView {
 // tuple, with no per-row gather.
 func (ev *evalCtx) baseOnly(e expr.Expr) bool {
 	for _, name := range expr.Columns(e) {
-		p := ev.work.IndexOf(name)
+		p := ev.pos(name)
 		if p < 0 || p >= ev.nBase {
 			return false
 		}
@@ -192,7 +212,19 @@ func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (
 		vals := make([]value.Value, nBase)
 		view := ev.viewOf(in)
 		n := view.Len()
+		// Vectorized path: a batch program fills each chunk's slots straight
+		// from the typed column vectors. A chunk whose window would error
+		// falls through to the row loop below, which reproduces the exact
+		// error; expressions outside vectorizer coverage decline at compile
+		// and every chunk runs the row path.
+		var bp *expr.BatchProgram
+		if cerr == nil {
+			bp, _ = expr.CompileBatch(c.Formula, ev.batchResolver(view))
+		}
 		err := relation.ForChunks(n, func(_, lo, hi int) error {
+			if bp != nil && bp.EvalInto(view.Idx, lo, hi, c.ResultKind, vals) {
+				return nil
+			}
 			var scratch relation.Tuple
 			if !fast {
 				scratch = make(relation.Tuple, ev.width)
@@ -244,7 +276,21 @@ func runSelectStage(sel Selection) func(*evalCtx, *stageSnap) (*stageSnap, error
 		dst := make([]int32, n)
 		bounds := relation.Chunks(n)
 		counts := make([]int, len(bounds))
+		// Vectorized path: the batch program compacts each chunk's survivors
+		// into the chunk's prefix of dst directly. A chunk whose window would
+		// error falls through to the row loop, which reproduces the exact
+		// error in row order.
+		var bp *expr.BatchProgram
+		if prog != nil {
+			bp, _ = expr.CompileBatch(sel.Pred, ev.batchResolver(view))
+		}
 		err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+			if bp != nil {
+				if cnt, ok := bp.SelectInto(view.Idx, lo, hi, dst[lo:]); ok {
+					counts[c] = cnt
+					return nil
+				}
+			}
 			w := lo
 			var scratch relation.Tuple
 			if !fast {

@@ -135,7 +135,7 @@ func (e *Engine) Grid(limit int) (*Grid, error) {
 		Rows:    make([][]string, 0, n),
 		Total:   res.Table.Len(),
 	}
-	for _, row := range res.Table.Rows[:n] {
+	for _, row := range res.Table.TupleRows()[:n] {
 		cells := make([]string, len(row))
 		for i, v := range row {
 			cells[i] = v.String()

@@ -283,7 +283,8 @@ func (r *Relation) GroupBy(cols []string) (keys [][]value.Value, groups [][]int,
 	if err != nil {
 		return nil, nil, err
 	}
-	gr := GroupRowsOn(r.Rows, idx)
+	rows := r.TupleRows()
+	gr := GroupRowsOn(rows, idx)
 	n := gr.NumGroups()
 	if n == 0 {
 		return nil, nil, nil
@@ -295,7 +296,7 @@ func (r *Relation) GroupBy(cols []string) (keys [][]value.Value, groups [][]int,
 	keys = make([][]value.Value, n)
 	groups = make([][]int, n)
 	for g, ri := range gr.First {
-		t := r.Rows[ri]
+		t := rows[ri]
 		kv := make([]value.Value, len(idx))
 		for i, j := range idx {
 			kv[i] = t[j]
@@ -315,12 +316,24 @@ func (r *Relation) GroupBy(cols []string) (keys [][]value.Value, groups [][]int,
 func (r *Relation) Aggregate(groupCols []string, fn AggFunc, col string) (*Relation, error) {
 	var ci = -1
 	if col != "" {
-		ci = r.Schema.IndexOf(col)
+		ci = r.ColumnIndex(col)
 		if ci < 0 {
 			return nil, fmt.Errorf("aggregate: no column %q in %s", col, r.Name)
 		}
 	} else if fn != AggCount {
 		return nil, fmt.Errorf("aggregate: %s requires a column", fn)
+	}
+	// Columnar fast path: when column vectors already exist (or the relation
+	// is large enough that building them pays for itself) the whole pass —
+	// grouping, accumulation, key extraction — runs over typed payloads.
+	if r.Len() > 0 {
+		cols := r.CachedColumns()
+		if cols == nil && r.Len() >= autoColumnarThreshold {
+			cols = r.Columns()
+		}
+		if cols != nil {
+			return r.aggregateCols(cols, groupCols, fn, col, ci)
+		}
 	}
 	keys, groups, err := r.GroupBy(groupCols)
 	if err != nil {
@@ -346,12 +359,13 @@ func (r *Relation) Aggregate(groupCols []string, fn AggFunc, col string) (*Relat
 	}
 	schema = append(schema, Column{Name: outName, Kind: fn.ResultKind(inKind)})
 	out := New(r.Name, schema)
+	srcRows := r.TupleRows()
 	for g, rows := range groups {
 		acc := NewAccumulator(fn)
 		for _, ri := range rows {
 			var v value.Value
 			if ci >= 0 {
-				v = r.Rows[ri][ci]
+				v = srcRows[ri][ci]
 			} else {
 				v = value.NewInt(1)
 			}
@@ -365,4 +379,252 @@ func (r *Relation) Aggregate(groupCols []string, fn AggFunc, col string) (*Relat
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// aggregateCols is Aggregate over the columnar representation: typed
+// grouping (GroupCols), typed accumulation loops for the numeric and
+// ordered-kind functions, and a per-group boxed Accumulator fed in ascending
+// row order for the rest — the same accumulation order as the row path, so
+// float sums and first-seen tie-breaks are bit-identical.
+func (r *Relation) aggregateCols(cols []*Col, groupCols []string, fn AggFunc, col string, ci int) (*Relation, error) {
+	gidx, err := r.ColumnIndexes(groupCols)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Len()
+	keyCols := make([]*Col, len(gidx))
+	for i, j := range gidx {
+		keyCols[i] = cols[j]
+	}
+	gr := GroupCols(keyCols, nil, n)
+	ng := gr.NumGroups()
+
+	inKind := value.KindFloat
+	if ci >= 0 {
+		inKind = r.Schema[ci].Kind
+	}
+	schema := make(Schema, 0, len(gidx)+1)
+	for _, j := range gidx {
+		schema = append(schema, r.Schema[j])
+	}
+	outName := string(fn) + "_" + col
+	if col == "" {
+		outName = string(fn)
+	}
+	schema = append(schema, Column{Name: outName, Kind: fn.ResultKind(inKind)})
+
+	var in *Col
+	if ci >= 0 {
+		in = cols[ci]
+	}
+	results, err := aggregateColumn(fn, in, gr, ng, n)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.Name, schema)
+	for g := 0; g < ng; g++ {
+		row := make(Tuple, 0, len(schema))
+		ri := int(gr.First[g])
+		for _, j := range gidx {
+			row = append(row, cols[j].Value(ri))
+		}
+		row = append(row, results[g])
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// aggregateColumn computes fn over the input column for every group,
+// dispatching to a typed kernel when the column's representation allows and
+// the boxed per-group accumulator otherwise. in is nil only for COUNT with
+// no column.
+func aggregateColumn(fn AggFunc, in *Col, gr *Grouping, ng, n int) ([]value.Value, error) {
+	res := make([]value.Value, ng)
+	if fn == AggCount {
+		// COUNT counts tuples per group, NULLs included, column or not.
+		counts := make([]int64, ng)
+		for _, gid := range gr.IDs {
+			counts[gid]++
+		}
+		for g := range res {
+			res[g] = value.NewInt(counts[g])
+		}
+		return res, nil
+	}
+	typed := in.Boxed == nil && in.Kind != value.KindNull
+	switch fn {
+	case AggSum, AggAvg, AggStdDev:
+		if typed && (in.Kind == value.KindInt || in.Kind == value.KindFloat) {
+			return sumAggCols(fn, in, gr, ng), nil
+		}
+	case AggMin, AggMax:
+		if typed {
+			return minMaxCols(fn, in, gr, ng), nil
+		}
+	}
+	// Generic: one accumulator per group, fed in ascending row order.
+	accs := make([]*Accumulator, ng)
+	for g := range accs {
+		accs[g] = NewAccumulator(fn)
+	}
+	for i := 0; i < n; i++ {
+		if err := accs[gr.IDs[i]].Add(in.Value(i)); err != nil {
+			return nil, err
+		}
+	}
+	for g := range res {
+		res[g] = accs[g].Result()
+	}
+	return res, nil
+}
+
+// sumAggCols runs SUM/AVG/STDDEV over an Int or Float column with flat
+// accumulator arrays. Per-group accumulation visits rows in ascending order,
+// so float sums match the sequential boxed scan bit for bit; integer SUM
+// stays exact in int64 exactly as Accumulator.intSum does.
+func sumAggCols(fn AggFunc, in *Col, gr *Grouping, ng int) []value.Value {
+	sum := make([]float64, ng)
+	nonNull := make([]int64, ng)
+	var sumSq []float64
+	if fn == AggStdDev {
+		sumSq = make([]float64, ng)
+	}
+	isInt := in.Kind == value.KindInt
+	var intSum []int64
+	if isInt {
+		intSum = make([]int64, ng)
+	}
+	if isInt {
+		for i, x := range in.Ints {
+			if BitGet(in.Nulls, i) {
+				continue
+			}
+			g := gr.IDs[i]
+			nonNull[g]++
+			intSum[g] += x
+			f := float64(x)
+			sum[g] += f
+			if sumSq != nil {
+				sumSq[g] += f * f
+			}
+		}
+	} else {
+		for i, f := range in.Floats {
+			if BitGet(in.Nulls, i) {
+				continue
+			}
+			g := gr.IDs[i]
+			nonNull[g]++
+			sum[g] += f
+			if sumSq != nil {
+				sumSq[g] += f * f
+			}
+		}
+	}
+	res := make([]value.Value, ng)
+	for g := range res {
+		if nonNull[g] == 0 {
+			res[g] = value.Null
+			continue
+		}
+		switch fn {
+		case AggSum:
+			if isInt {
+				res[g] = value.NewInt(intSum[g])
+			} else {
+				res[g] = value.NewFloat(sum[g])
+			}
+		case AggAvg:
+			res[g] = value.NewFloat(sum[g] / float64(nonNull[g]))
+		case AggStdDev:
+			nf := float64(nonNull[g])
+			mean := sum[g] / nf
+			varc := sumSq[g]/nf - mean*mean
+			if varc < 0 {
+				varc = 0
+			}
+			res[g] = value.NewFloat(sqrt(varc))
+		}
+	}
+	return res
+}
+
+// minMaxCols runs MIN/MAX over any typed column. Strict-compare replacement
+// keeps the group's first occurrence among compare-equal values, exactly as
+// Accumulator does via MustCompare (for floats, v < cur coincides with
+// MustCompare(v, cur) < 0, including the NaN-unordered arm).
+func minMaxCols(fn AggFunc, in *Col, gr *Grouping, ng int) []value.Value {
+	wantMin := fn == AggMin
+	has := make([]bool, ng)
+	res := make([]value.Value, ng)
+	switch in.Kind {
+	case value.KindFloat:
+		best := make([]float64, ng)
+		for i := range gr.IDs {
+			if BitGet(in.Nulls, i) {
+				continue
+			}
+			g, v := gr.IDs[i], in.Floats[i]
+			if !has[g] {
+				has[g], best[g] = true, v
+			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
+				best[g] = v
+			}
+		}
+		for g := range res {
+			if has[g] {
+				res[g] = value.NewFloat(best[g])
+			} else {
+				res[g] = value.Null
+			}
+		}
+	case value.KindString:
+		best := make([]string, ng)
+		for i := range gr.IDs {
+			if BitGet(in.Nulls, i) {
+				continue
+			}
+			g, v := gr.IDs[i], in.Strs[i]
+			if !has[g] {
+				has[g], best[g] = true, v
+			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
+				best[g] = v
+			}
+		}
+		for g := range res {
+			if has[g] {
+				res[g] = value.NewString(best[g])
+			} else {
+				res[g] = value.Null
+			}
+		}
+	default: // Int, Bool, Date share the Ints payload
+		best := make([]int64, ng)
+		for i := range gr.IDs {
+			if BitGet(in.Nulls, i) {
+				continue
+			}
+			g, v := gr.IDs[i], in.Ints[i]
+			if !has[g] {
+				has[g], best[g] = true, v
+			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
+				best[g] = v
+			}
+		}
+		for g := range res {
+			if !has[g] {
+				res[g] = value.Null
+				continue
+			}
+			switch in.Kind {
+			case value.KindBool:
+				res[g] = value.NewBool(best[g] != 0)
+			case value.KindDate:
+				res[g] = value.NewDateDays(best[g])
+			default:
+				res[g] = value.NewInt(best[g])
+			}
+		}
+	}
+	return res
 }

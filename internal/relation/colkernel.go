@@ -1,0 +1,203 @@
+package relation
+
+// Typed columnar grouping. GroupCols is GroupRowsOn for column vectors: the
+// same open-addressing/dense-ID discipline, but hashing typed payload arrays
+// (Col.HashInto replicates value.HashCombine bit for bit) and checking
+// collisions with Col.CellEqual instead of boxing each cell. Group numbering
+// is therefore identical to the boxed path — same buckets, same
+// first-occurrence order — which the aggregate and distinct kernels rely on
+// when they switch representation mid-pipeline.
+
+// hashSeed is the row-hash seed shared by hashRow and the columnar hash pass.
+const hashSeed = uint64(0x51_7c_c1_b7_27_22_0a_95)
+
+// colGrouper is the typed counterpart of Grouper: group representatives are
+// cell indexes into the key columns rather than tuples.
+type colGrouper struct {
+	cols  []*Col
+	slots []int32 // gid+1; 0 marks an empty slot
+	mask  uint64
+	hash  []uint64 // per group: its key hash
+	reps  []int32  // per group: cell index of the first-occurrence row
+}
+
+func newColGrouper(cols []*Col, sizeHint int) *colGrouper {
+	// Cap the initial table: group counts are usually tiny next to the row
+	// count, growing reinserts only the group representatives (cheap), and a
+	// small table keeps probes in cache instead of zeroing hundreds of KB on
+	// every build.
+	const maxInitial = 8192
+	n := 16
+	for n < 2*sizeHint && n < maxInitial {
+		n <<= 1
+	}
+	return &colGrouper{cols: cols, slots: make([]int32, n), mask: uint64(n - 1)}
+}
+
+// cellsEqual reports whether two rows agree on every key column.
+func (g *colGrouper) cellsEqual(a, b int) bool {
+	for _, c := range g.cols {
+		if !c.CellEqual(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// add inserts the key at cell index, returning its group ID and whether the
+// group is new.
+func (g *colGrouper) add(cell int, h uint64) (int32, bool) {
+	i := h & g.mask
+	for {
+		s := g.slots[i]
+		if s == 0 {
+			break
+		}
+		gid := s - 1
+		if g.hash[gid] == h && g.cellsEqual(int(g.reps[gid]), cell) {
+			return gid, false
+		}
+		grouperCollisions.Inc()
+		i = (i + 1) & g.mask
+	}
+	gid := int32(len(g.reps))
+	g.reps = append(g.reps, int32(cell))
+	g.hash = append(g.hash, h)
+	g.slots[i] = gid + 1
+	if 4*len(g.reps) >= 3*len(g.slots) {
+		g.grow()
+	}
+	return gid, true
+}
+
+// find returns the group ID of the key at cell index, or -1 when absent.
+func (g *colGrouper) find(cell int, h uint64) int32 {
+	i := h & g.mask
+	for {
+		s := g.slots[i]
+		if s == 0 {
+			return -1
+		}
+		gid := s - 1
+		if g.hash[gid] == h && g.cellsEqual(int(g.reps[gid]), cell) {
+			return gid
+		}
+		grouperCollisions.Inc()
+		i = (i + 1) & g.mask
+	}
+}
+
+// grow doubles the table and reinserts from the stored group hashes.
+func (g *colGrouper) grow() {
+	slots := make([]int32, 2*len(g.slots))
+	mask := uint64(len(slots) - 1)
+	for gid, h := range g.hash {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(gid) + 1
+	}
+	g.slots = slots
+	g.mask = mask
+}
+
+// hashLanes fills hs[k] for k in [0,n) with the row hash of lane k's key —
+// seeded and combined exactly like hashRow, chunk-parallel.
+func hashLanes(keyCols []*Col, rows []int32, n int) []uint64 {
+	hs := make([]uint64, n)
+	_ = ForChunks(n, func(_, lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			hs[k] = hashSeed
+		}
+		for _, c := range keyCols {
+			c.HashInto(hs, rows, lo, hi)
+		}
+		return nil
+	})
+	return hs
+}
+
+// GroupCols partitions n lanes by the typed key columns, assigning dense
+// group IDs in first-occurrence order. rows maps lanes to cell indexes (nil =
+// identity), so a view's index vector groups without materializing. IDs and
+// First are in lane space. An empty key column set yields one group, exactly
+// as GroupRowsOn treats an empty (non-nil) column list. The parallel build
+// merges chunk tables in chunk order, matching the sequential numbering.
+func GroupCols(keyCols []*Col, rows []int32, n int) *Grouping {
+	gr := &Grouping{}
+	if n == 0 {
+		return gr
+	}
+	grouperBuilds.Inc()
+	if len(keyCols) == 0 {
+		gr.IDs = make([]int32, n)
+		gr.First = []int32{0}
+		return gr
+	}
+	cell := func(k int) int {
+		if rows == nil {
+			return k
+		}
+		return int(rows[k])
+	}
+	hs := hashLanes(keyCols, rows, n)
+	gr.IDs = make([]int32, n)
+	bounds := Chunks(n)
+	if len(bounds) <= 1 {
+		g := newColGrouper(keyCols, n/4+1)
+		for k := 0; k < n; k++ {
+			gid, fresh := g.add(cell(k), hs[k])
+			gr.IDs[k] = gid
+			if fresh {
+				gr.First = append(gr.First, int32(k))
+			}
+		}
+		return gr
+	}
+	// Parallel build: chunk-local tables with chunk-local IDs, merged into a
+	// global numbering in chunk order (see GroupRowsOn).
+	type part struct {
+		g     *colGrouper
+		first []int32 // lane of first occurrence per local group
+	}
+	parts := make([]part, len(bounds))
+	_ = RunChunks(bounds, func(c, lo, hi int) error {
+		g := newColGrouper(keyCols, (hi-lo)/4+1)
+		var first []int32
+		for k := lo; k < hi; k++ {
+			gid, fresh := g.add(cell(k), hs[k])
+			gr.IDs[k] = gid
+			if fresh {
+				first = append(first, int32(k))
+			}
+		}
+		parts[c] = part{g: g, first: first}
+		return nil
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p.g.reps)
+	}
+	global := newColGrouper(keyCols, total)
+	for c := range parts {
+		p := &parts[c]
+		remap := make([]int32, len(p.g.reps))
+		for lg := range p.g.reps {
+			gid, fresh := global.add(int(p.g.reps[lg]), p.g.hash[lg])
+			remap[lg] = gid
+			if fresh {
+				gr.First = append(gr.First, p.first[lg])
+			}
+		}
+		p.first = remap // reuse the slot to carry the remap to the rewrite pass
+	}
+	_ = RunChunks(bounds, func(c, lo, hi int) error {
+		remap := parts[c].first
+		for k := lo; k < hi; k++ {
+			gr.IDs[k] = remap[gr.IDs[k]]
+		}
+		return nil
+	})
+	return gr
+}

@@ -65,7 +65,7 @@ func (g *Grouper) Rep(gid int32) Tuple { return g.reps[gid] }
 
 // hashRow hashes t restricted to cols (nil = all values).
 func hashRow(t Tuple, cols []int) uint64 {
-	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	h := hashSeed
 	if cols == nil {
 		for _, v := range t {
 			h = value.HashCombine(h, v)

@@ -1,11 +1,14 @@
 package relation
 
-import "sheetmusiq/internal/obs"
+import (
+	"sheetmusiq/internal/obs"
+	"sheetmusiq/internal/value"
+)
 
 // Equi-hash-join kernel. The generic theta-join enumerates the full
 // Cartesian pair space; when the join predicate contains conjunctive
 // `a = b` column equalities across the two relations, HashJoin builds a
-// Grouper table on the smaller side's key columns and probes with the
+// key table on the smaller side's key columns and probes with the
 // other side, so only hash-matching candidate pairs reach the predicate.
 // The result is identical, in product order, to filtering the product with
 // the same predicate — provided the predicate implies the key equalities
@@ -17,10 +20,124 @@ import "sheetmusiq/internal/obs"
 // caveat, shared with the SQL executor's hash join: a predicate that would
 // *error* on a non-candidate pair (say a residual conjunct comparing
 // incompatible kinds) reports that error only on the product path.
+//
+// When both sides carry typed column vectors (already cached, or large
+// enough that columnarizing pays for itself), the build and probe hash and
+// compare raw payloads through the colGrouper; otherwise they box through
+// the tuple-keyed Grouper. Both produce identical group assignments — the
+// typed hash replicates value.Hash bit for bit and the typed equality is
+// value.Equal's — so the candidate sets coincide.
 var (
 	joinHash     = obs.Default.Counter("relation.join.hash")
 	joinFallback = obs.Default.Counter("relation.join.fallback")
 )
+
+// joinCols returns the relation's typed columns when the columnar path is
+// worthwhile: already built, or large enough to amortise the conversion.
+func joinCols(r *Relation) []*Col {
+	if cols := r.CachedColumns(); cols != nil {
+		return cols
+	}
+	if r.Len() >= autoColumnarThreshold {
+		return r.Columns()
+	}
+	return nil
+}
+
+// colPairEqual reports value.Equal of cell i of column a and cell j of
+// column b without boxing, falling back to boxed comparison for dynamic
+// columns or mismatched kinds (where cross-kind numeric equality applies).
+func colPairEqual(a *Col, i int, b *Col, j int) bool {
+	if a.Boxed != nil || b.Boxed != nil || a.Kind != b.Kind {
+		return value.Equal(a.Value(i), b.Value(j))
+	}
+	ni, nj := a.IsNull(i), b.IsNull(j)
+	if ni || nj {
+		return ni == nj
+	}
+	switch a.Kind {
+	case value.KindFloat:
+		x, y := a.Floats[i], b.Floats[j]
+		return !(x < y) && !(x > y)
+	case value.KindString:
+		return a.Strs[i] == b.Strs[j]
+	default:
+		return a.Ints[i] == b.Ints[j]
+	}
+}
+
+// findCross probes the table with a key drawn from a different column set
+// (the join probe side); cols must align positionally with the table's own.
+func (g *colGrouper) findCross(probe []*Col, cell int, h uint64) int32 {
+	i := h & g.mask
+	for {
+		s := g.slots[i]
+		if s == 0 {
+			return -1
+		}
+		gid := s - 1
+		if g.hash[gid] == h {
+			eq := true
+			for k, c := range g.cols {
+				if !colPairEqual(c, int(g.reps[gid]), probe[k], cell) {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				return gid
+			}
+		}
+		grouperCollisions.Inc()
+		i = (i + 1) & g.mask
+	}
+}
+
+// typedJoinGids computes both sides' key group IDs over typed columns,
+// returning the group count and whether the typed path applied.
+func typedJoinGids(r, s *Relation, lcols, rcols []int, agids, bgids []int32) (int, bool) {
+	acols, bcols := joinCols(r), joinCols(s)
+	if acols == nil || bcols == nil {
+		return 0, false
+	}
+	akey := make([]*Col, len(lcols))
+	for i, c := range lcols {
+		akey[i] = acols[c]
+	}
+	bkey := make([]*Col, len(rcols))
+	for i, c := range rcols {
+		bkey[i] = bcols[c]
+	}
+	na, nb := len(agids), len(bgids)
+	grouperBuilds.Inc()
+	ah := hashLanes(akey, nil, na)
+	bh := hashLanes(bkey, nil, nb)
+	var g *colGrouper
+	if na <= nb {
+		g = newColGrouper(akey, na)
+		for i := 0; i < na; i++ {
+			agids[i], _ = g.add(i, ah[i])
+		}
+		_ = ForChunks(nb, func(_, lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				bgids[j] = g.findCross(bkey, j, bh[j])
+			}
+			return nil
+		})
+	} else {
+		g = newColGrouper(bkey, nb)
+		for j := 0; j < nb; j++ {
+			bgids[j], _ = g.add(j, bh[j])
+		}
+		_ = ForChunks(na, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				agids[i] = g.findCross(akey, i, ah[i])
+			}
+			return nil
+		})
+	}
+	return len(g.reps), true
+}
 
 // HashJoin joins r and s on the column-equality pairs lcols[i] = rcols[i],
 // then filters the surviving candidate pairs with on (the full join
@@ -30,7 +147,7 @@ var (
 func (r *Relation) HashJoin(s *Relation, lcols, rcols []int, on func(Tuple) (bool, error)) (*Relation, error) {
 	joinHash.Inc()
 	out := New(r.Name+"_x_"+s.Name, productSchema(r, s))
-	na, nb := len(r.Rows), len(s.Rows)
+	na, nb := r.Len(), s.Len()
 	if na == 0 || nb == 0 {
 		return out, nil
 	}
@@ -40,45 +157,50 @@ func (r *Relation) HashJoin(s *Relation, lcols, rcols []int, on func(Tuple) (boo
 	// the table, so it fans out across chunks.
 	agids := make([]int32, na)
 	bgids := make([]int32, nb)
-	var g *Grouper
-	if na <= nb {
-		g = NewGrouper(lcols, na)
-		for i, t := range r.Rows {
-			agids[i], _ = g.Add(t)
-		}
-		_ = ForChunks(nb, func(_, lo, hi int) error {
-			for j := lo; j < hi; j++ {
-				bgids[j] = g.FindOn(s.Rows[j], rcols)
+	ngroups, typed := typedJoinGids(r, s, lcols, rcols, agids, bgids)
+	if !typed {
+		rrows, srows := r.TupleRows(), s.TupleRows()
+		var g *Grouper
+		if na <= nb {
+			g = NewGrouper(lcols, na)
+			for i, t := range rrows {
+				agids[i], _ = g.Add(t)
 			}
-			return nil
-		})
-	} else {
-		g = NewGrouper(rcols, nb)
-		for j, t := range s.Rows {
-			bgids[j], _ = g.Add(t)
-		}
-		_ = ForChunks(na, func(_, lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				agids[i] = g.FindOn(r.Rows[i], lcols)
+			_ = ForChunks(nb, func(_, lo, hi int) error {
+				for j := lo; j < hi; j++ {
+					bgids[j] = g.FindOn(srows[j], rcols)
+				}
+				return nil
+			})
+		} else {
+			g = NewGrouper(rcols, nb)
+			for j, t := range srows {
+				bgids[j], _ = g.Add(t)
 			}
-			return nil
-		})
+			_ = ForChunks(na, func(_, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					agids[i] = g.FindOn(rrows[i], lcols)
+				}
+				return nil
+			})
+		}
+		ngroups = g.Len()
 	}
 	// Posting lists: the right rows of each group, ascending, in CSR layout —
 	// one flat entry array sliced per group by offsets, not one slice per
 	// group.
-	starts := make([]int32, g.Len()+1)
+	starts := make([]int32, ngroups+1)
 	for _, gid := range bgids {
 		if gid >= 0 {
 			starts[gid+1]++
 		}
 	}
-	for gid := 0; gid < g.Len(); gid++ {
+	for gid := 0; gid < ngroups; gid++ {
 		starts[gid+1] += starts[gid]
 	}
-	entries := make([]int32, starts[g.Len()])
-	cursor := make([]int32, g.Len())
-	copy(cursor, starts[:g.Len()])
+	entries := make([]int32, starts[ngroups])
+	cursor := make([]int32, ngroups)
+	copy(cursor, starts[:ngroups])
 	for j, gid := range bgids {
 		if gid >= 0 {
 			entries[cursor[gid]] = int32(j)
@@ -89,6 +211,7 @@ func (r *Relation) HashJoin(s *Relation, lcols, rcols []int, on func(Tuple) (boo
 	// candidates with a private scratch row and aborts at its first error,
 	// so RunChunks reports the error of the first failing candidate in
 	// product order — matching the sequential scan over the same candidates.
+	rrows, srows := r.TupleRows(), s.TupleRows()
 	w, wl := len(out.Schema), len(r.Schema)
 	bounds := Chunks(na)
 	pas := make([][]int32, len(bounds))
@@ -101,10 +224,10 @@ func (r *Relation) HashJoin(s *Relation, lcols, rcols []int, on func(Tuple) (boo
 			if gid < 0 || starts[gid] == starts[gid+1] {
 				continue
 			}
-			copy(scratch, r.Rows[a])
+			copy(scratch, rrows[a])
 			for _, b := range entries[starts[gid]:starts[gid+1]] {
 				if on != nil {
-					copy(scratch[wl:], s.Rows[b])
+					copy(scratch[wl:], srows[b])
 					ok, err := on(scratch)
 					if err != nil {
 						return err

@@ -108,11 +108,17 @@ func (t Tuple) KeyOn(cols []int) string {
 	return b.String()
 }
 
-// Relation is a named multiset of tuples over a schema.
+// Relation is a named multiset of tuples over a schema. Large relations
+// additionally carry typed column vectors (column.go): row-built relations
+// grow them lazily on first kernel use, column-built relations (FromColumns)
+// materialize Rows lazily instead. Code outside this package must read rows
+// through TupleRows(), never the Rows field, so both representations flow
+// through the same API.
 type Relation struct {
 	Name   string
 	Schema Schema
 	Rows   []Tuple
+	col    *colState // lazily attached columnar cache; nil until first use
 }
 
 // New creates an empty relation with the given name and schema.
@@ -121,6 +127,8 @@ func New(name string, schema Schema) *Relation {
 }
 
 // Append adds a row after checking arity and kinds (NULL matches any kind).
+// Columnar relations materialize their rows first; the (now stale) column
+// cache is dropped and rebuilds lazily on next kernel use.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != len(r.Schema) {
 		return fmt.Errorf("relation %s: row arity %d != schema arity %d", r.Name, len(t), len(r.Schema))
@@ -139,7 +147,9 @@ func (r *Relation) Append(t Tuple) error {
 				r.Name, r.Schema[i].Name, r.Schema[i].Kind, v.Kind())
 		}
 	}
-	r.Rows = append(r.Rows, t)
+	rows := r.TupleRows()
+	r.invalidateColumns()
+	r.Rows = append(rows, t)
 	return nil
 }
 
@@ -151,10 +161,43 @@ func (r *Relation) MustAppend(vals ...value.Value) {
 }
 
 // Len returns the number of rows.
-func (r *Relation) Len() int { return len(r.Rows) }
+func (r *Relation) Len() int {
+	if r.col != nil && r.col.colBuilt {
+		return r.col.nrows
+	}
+	return len(r.Rows)
+}
 
-// Clone deep-copies the relation.
+// Clone deep-copies the relation. Column-built relations clone their column
+// vectors (rows stay lazy); row-built relations deep-copy the rows.
 func (r *Relation) Clone() *Relation {
+	if r.col != nil && r.col.colBuilt {
+		c := r.col
+		c.mu.Lock()
+		cols := make([]*Col, len(c.cols))
+		for i, src := range c.cols {
+			cc := &Col{Kind: src.Kind}
+			if src.Ints != nil {
+				cc.Ints = append([]int64(nil), src.Ints...)
+			}
+			if src.Floats != nil {
+				cc.Floats = append([]float64(nil), src.Floats...)
+			}
+			if src.Strs != nil {
+				cc.Strs = append([]string(nil), src.Strs...)
+			}
+			if src.Boxed != nil {
+				cc.Boxed = append([]value.Value(nil), src.Boxed...)
+			}
+			if src.Nulls != nil {
+				cc.Nulls = append([]uint64(nil), src.Nulls...)
+			}
+			cols[i] = cc
+		}
+		n := c.nrows
+		c.mu.Unlock()
+		return FromColumns(r.Name, r.Schema.Clone(), cols, n)
+	}
 	out := New(r.Name, r.Schema)
 	out.Rows = make([]Tuple, len(r.Rows))
 	for i, t := range r.Rows {
@@ -165,9 +208,12 @@ func (r *Relation) Clone() *Relation {
 
 // ColumnIndexes resolves names to positions, erroring on the first miss.
 func (r *Relation) ColumnIndexes(names []string) ([]int, error) {
+	// The result is non-nil even for zero names: GroupRowsOn distinguishes
+	// an empty column set (one group) from nil (whole-tuple keys).
+	ix := r.nameIndex()
 	idx := make([]int, len(names))
 	for i, n := range names {
-		j := r.Schema.IndexOf(n)
+		j := ix.IndexOf(n)
 		if j < 0 {
 			return nil, fmt.Errorf("relation %s: no column %q", r.Name, n)
 		}
@@ -180,7 +226,7 @@ func (r *Relation) ColumnIndexes(names []string) ([]int, error) {
 // abort the scan.
 func (r *Relation) Select(pred func(Tuple) (bool, error)) (*Relation, error) {
 	out := New(r.Name, r.Schema)
-	for _, t := range r.Rows {
+	for _, t := range r.TupleRows() {
 		ok, err := pred(t)
 		if err != nil {
 			return nil, err
@@ -206,10 +252,11 @@ func (r *Relation) Project(names []string) (*Relation, error) {
 	out := New(r.Name, schema)
 	// One flat backing array for the projected rows instead of one
 	// allocation per row; large projections dominate evaluation output.
+	rows := r.TupleRows()
 	w := len(idx)
-	flat := make([]value.Value, len(r.Rows)*w)
-	out.Rows = make([]Tuple, len(r.Rows))
-	for ri, t := range r.Rows {
+	flat := make([]value.Value, len(rows)*w)
+	out.Rows = make([]Tuple, len(rows))
+	for ri, t := range rows {
 		row := flat[ri*w : (ri+1)*w : (ri+1)*w]
 		for i, j := range idx {
 			row[i] = t[j]
@@ -246,7 +293,8 @@ func productSchema(r, s *Relation) Schema {
 // Product returns the Cartesian product r × s with productSchema naming.
 func (r *Relation) Product(s *Relation) *Relation {
 	out := New(r.Name+"_x_"+s.Name, productSchema(r, s))
-	n := len(r.Rows) * len(s.Rows)
+	rrows, srows := r.TupleRows(), s.TupleRows()
+	n := len(rrows) * len(srows)
 	if n == 0 {
 		return out
 	}
@@ -256,8 +304,8 @@ func (r *Relation) Product(s *Relation) *Relation {
 	flat := make([]value.Value, n*w)
 	out.Rows = make([]Tuple, n)
 	k := 0
-	for _, a := range r.Rows {
-		for _, b := range s.Rows {
+	for _, a := range rrows {
+		for _, b := range srows {
 			row := flat[k*w : (k+1)*w : (k+1)*w]
 			copy(row, a)
 			copy(row[wl:], b)
@@ -273,8 +321,14 @@ func (r *Relation) Union(s *Relation) (*Relation, error) {
 	if !r.Schema.Equal(s.Schema) {
 		return nil, fmt.Errorf("union: incompatible schemas [%s] vs [%s]", r.Schema, s.Schema)
 	}
-	out := r.Clone()
-	for _, t := range s.Rows {
+	srows := s.TupleRows()
+	out := New(r.Name, r.Schema)
+	rrows := r.TupleRows()
+	out.Rows = make([]Tuple, 0, len(rrows)+len(srows))
+	for _, t := range rrows {
+		out.Rows = append(out.Rows, t.Clone())
+	}
+	for _, t := range srows {
 		out.Rows = append(out.Rows, t.Clone())
 	}
 	return out, nil
@@ -286,9 +340,10 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 	if !r.Schema.Equal(s.Schema) {
 		return nil, fmt.Errorf("difference: incompatible schemas [%s] vs [%s]", r.Schema, s.Schema)
 	}
-	g := NewGrouper(nil, len(s.Rows))
-	counts := make([]int, 0, len(s.Rows))
-	for _, t := range s.Rows {
+	srows := s.TupleRows()
+	g := NewGrouper(nil, len(srows))
+	counts := make([]int, 0, len(srows))
+	for _, t := range srows {
 		gid, fresh := g.Add(t)
 		if fresh {
 			counts = append(counts, 0)
@@ -296,7 +351,7 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 		counts[gid]++
 	}
 	out := New(r.Name, r.Schema)
-	for _, t := range r.Rows {
+	for _, t := range r.TupleRows() {
 		if gid := g.Find(t); gid >= 0 && counts[gid] > 0 {
 			counts[gid]--
 			continue
@@ -308,13 +363,13 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 
 // Distinct removes duplicate tuples, keeping first occurrences in order.
 func (r *Relation) Distinct() *Relation {
-	return r.distinctKept(GroupRowsOn(r.Rows, nil))
+	return r.distinctKept(GroupRowsOn(r.TupleRows(), nil))
 }
 
 // DistinctOn removes rows that duplicate an earlier row on the given
 // columns, keeping first occurrences.
 func (r *Relation) DistinctOn(cols []int) *Relation {
-	return r.distinctKept(GroupRowsOn(r.Rows, cols))
+	return r.distinctKept(GroupRowsOn(r.TupleRows(), cols))
 }
 
 // distinctKept materialises each group's first-occurrence row, in order,
@@ -325,11 +380,12 @@ func (r *Relation) distinctKept(gr *Grouping) *Relation {
 	if n == 0 {
 		return out
 	}
+	rows := r.TupleRows()
 	flat := make([]value.Value, n*w)
 	out.Rows = make([]Tuple, n)
 	for g, ri := range gr.First {
 		row := flat[g*w : (g+1)*w : (g+1)*w]
-		copy(row, r.Rows[ri])
+		copy(row, rows[ri])
 		out.Rows[g] = row
 	}
 	return out
@@ -349,9 +405,10 @@ func (r *Relation) Join(s *Relation, on func(Tuple) (bool, error)) (*Relation, e
 	w, wl := len(out.Schema), len(r.Schema)
 	scratch := make(Tuple, w)
 	var pa, pb []int32
-	for a, ta := range r.Rows {
+	srows := s.TupleRows()
+	for a, ta := range r.TupleRows() {
 		copy(scratch, ta)
-		for b, tb := range s.Rows {
+		for b, tb := range srows {
 			copy(scratch[wl:], tb)
 			ok, err := on(scratch)
 			if err != nil {
@@ -375,13 +432,14 @@ func MaterializePairs(out *Relation, r, s *Relation, pa, pb []int32) {
 	if n == 0 {
 		return
 	}
+	rrows, srows := r.TupleRows(), s.TupleRows()
 	flat := make([]value.Value, n*w)
 	out.Rows = make([]Tuple, n)
 	_ = ForChunks(n, func(_, lo, hi int) error {
 		for k := lo; k < hi; k++ {
 			row := flat[k*w : (k+1)*w : (k+1)*w]
-			copy(row, r.Rows[pa[k]])
-			copy(row[wl:], s.Rows[pb[k]])
+			copy(row, rrows[pa[k]])
+			copy(row[wl:], srows[pb[k]])
 			out.Rows[k] = row
 		}
 		return nil
@@ -395,8 +453,9 @@ func (r *Relation) String() string {
 	for i, c := range r.Schema {
 		widths[i] = len(c.Name)
 	}
-	cells := make([][]string, len(r.Rows))
-	for ri, t := range r.Rows {
+	rows := r.TupleRows()
+	cells := make([][]string, len(rows))
+	for ri, t := range rows {
 		cells[ri] = make([]string, len(t))
 		for ci, v := range t {
 			s := v.String()

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"sheetmusiq/internal/obs"
@@ -19,14 +20,23 @@ type SortKey struct {
 // sort.SliceStable, re-indexing the key columns out of each row every time.
 // The keyed sort extracts the sort columns once into a flat array, orders an
 // int32 index permutation with a typed stable merge sort, and applies the
-// permutation in one pass. Above ParallelThreshold the permutation is
-// chunk-sorted concurrently and the sorted runs merge pairwise; every merge
-// prefers the left (lower original index) run on ties, so the result is
-// stable and bit-identical to the sequential sort.
+// permutation in one pass. SortPermCols is the columnar variant: it compares
+// typed column payloads directly, with no boxed key extraction at all. Above
+// ParallelThreshold the permutation is chunk-sorted concurrently and the
+// sorted runs merge pairwise; every merge prefers the left (lower original
+// index) run on ties, so the result is stable and bit-identical to the
+// sequential sort.
 var (
 	sortKeyed    = obs.Default.Counter("relation.sort.keyed")
 	sortParallel = obs.Default.Counter("relation.sort.parallel")
 )
+
+// permSorter stably orders an int32 permutation under an arbitrary strict
+// less. Both the boxed keyed sort and the typed columnar sort run through
+// it, so their stability and parallel-merge determinism are identical.
+type permSorter struct {
+	less func(a, b int32) bool
+}
 
 // keyedSorter orders row indexes by precomputed key columns. keys holds k
 // values per row, row-major; desc flips the direction per key position.
@@ -57,7 +67,7 @@ func (s *keyedSorter) less(a, b int32) bool {
 const sortRunCutoff = 24
 
 // insertionSort stably orders a short run in place.
-func (s *keyedSorter) insertionSort(p []int32) {
+func (s *permSorter) insertionSort(p []int32) {
 	for i := 1; i < len(p); i++ {
 		for j := i; j > 0 && s.less(p[j], p[j-1]); j-- {
 			p[j], p[j-1] = p[j-1], p[j]
@@ -66,7 +76,7 @@ func (s *keyedSorter) insertionSort(p []int32) {
 }
 
 // sortRun stably orders p using buf (same length) as merge scratch.
-func (s *keyedSorter) sortRun(p, buf []int32) {
+func (s *permSorter) sortRun(p, buf []int32) {
 	if len(p) <= sortRunCutoff {
 		s.insertionSort(p)
 		return
@@ -85,7 +95,7 @@ func (s *keyedSorter) sortRun(p, buf []int32) {
 
 // mergeInto merges sorted runs a and b into out, preferring a on ties.
 // Stability follows because a always holds lower original positions than b.
-func (s *keyedSorter) mergeInto(a, b, out []int32) {
+func (s *permSorter) mergeInto(a, b, out []int32) {
 	i, j, w := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		if s.less(b[j], a[i]) {
@@ -104,7 +114,7 @@ func (s *keyedSorter) mergeInto(a, b, out []int32) {
 // sort stably orders the full permutation, fanning out above the parallel
 // threshold: chunks sort concurrently, then sorted runs merge pairwise (also
 // concurrently) until one run remains.
-func (s *keyedSorter) sort(perm []int32) {
+func (s *permSorter) sort(perm []int32) {
 	n := len(perm)
 	buf := make([]int32, n)
 	bounds := Chunks(n)
@@ -163,13 +173,119 @@ func SortPermByKeys(keys []value.Value, k int, desc []bool) []int32 {
 	}
 	sortKeyed.Inc()
 	s := &keyedSorter{keys: keys, k: k, desc: desc}
-	s.sort(perm)
+	(&permSorter{less: s.less}).sort(perm)
+	return perm
+}
+
+// colCompare builds a three-way comparator over one key column's cells,
+// mapping sort lanes to cell indexes through rows (nil = identity).
+// Semantics are exactly value.MustCompare on the boxed cells: NULLs first,
+// exact int64 comparison, float comparison that leaves NaN unordered,
+// strings.Compare, bool/date by payload.
+func colCompare(c *Col, rows []int32) func(a, b int32) int {
+	cell := func(l int32) int {
+		if rows == nil {
+			return int(l)
+		}
+		return int(rows[l])
+	}
+	if c.Boxed != nil {
+		return func(a, b int32) int {
+			return value.MustCompare(c.Boxed[cell(a)], c.Boxed[cell(b)])
+		}
+	}
+	nullCmp := func(i, j int) (int, bool) {
+		ni, nj := c.IsNull(i), c.IsNull(j)
+		switch {
+		case ni && nj:
+			return 0, true
+		case ni:
+			return -1, true
+		case nj:
+			return 1, true
+		}
+		return 0, false
+	}
+	switch c.Kind {
+	case value.KindFloat:
+		return func(a, b int32) int {
+			i, j := cell(a), cell(b)
+			if r, done := nullCmp(i, j); done {
+				return r
+			}
+			x, y := c.Floats[i], c.Floats[j]
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case value.KindString:
+		return func(a, b int32) int {
+			i, j := cell(a), cell(b)
+			if r, done := nullCmp(i, j); done {
+				return r
+			}
+			return strings.Compare(c.Strs[i], c.Strs[j])
+		}
+	default: // Int, Bool, Date, and all-NULL columns share the int payload
+		return func(a, b int32) int {
+			i, j := cell(a), cell(b)
+			if r, done := nullCmp(i, j); done {
+				return r
+			}
+			x, y := c.Ints[i], c.Ints[j]
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+}
+
+// SortPermCols stably orders sort lanes 0..n-1 by the typed key columns,
+// reading cell indexes through rows (nil = identity), and returns the
+// permutation — SortPermByKeys without the boxed key extraction.
+func SortPermCols(keyCols []*Col, rows []int32, n int, desc []bool) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if n < 2 || len(keyCols) == 0 {
+		return perm
+	}
+	sortKeyed.Inc()
+	cmps := make([]func(a, b int32) int, len(keyCols))
+	for i, c := range keyCols {
+		cmps[i] = colCompare(c, rows)
+	}
+	less := func(a, b int32) bool {
+		for i, cmp := range cmps {
+			c := cmp(a, b)
+			if c == 0 {
+				continue
+			}
+			if desc[i] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	(&permSorter{less: less}).sort(perm)
 	return perm
 }
 
 // Sort stably orders the relation's rows by the given keys, NULLs first
 // within ascending order. The receiver is modified in place (Rows is
-// replaced with a newly ordered slice).
+// replaced with a newly ordered slice; a columnar cache is invalidated).
 func (r *Relation) Sort(keys []SortKey) error {
 	idx := make([]int, len(keys))
 	desc := make([]bool, len(keys))
@@ -181,7 +297,8 @@ func (r *Relation) Sort(keys []SortKey) error {
 		idx[i] = j
 		desc[i] = k.Desc
 	}
-	n := len(r.Rows)
+	src := r.TupleRows()
+	n := len(src)
 	if n < 2 || len(keys) == 0 {
 		return nil
 	}
@@ -189,7 +306,7 @@ func (r *Relation) Sort(keys []SortKey) error {
 	flat := make([]value.Value, n*k)
 	_ = ForChunks(n, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			row, out := r.Rows[i], flat[i*k:(i+1)*k]
+			row, out := src[i], flat[i*k:(i+1)*k]
 			for j, c := range idx {
 				out[j] = row[c]
 			}
@@ -200,10 +317,11 @@ func (r *Relation) Sort(keys []SortKey) error {
 	rows := make([]Tuple, n)
 	_ = ForChunks(n, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			rows[i] = r.Rows[perm[i]]
+			rows[i] = src[perm[i]]
 		}
 		return nil
 	})
+	r.invalidateColumns()
 	r.Rows = rows
 	return nil
 }

@@ -8,7 +8,9 @@ import "sheetmusiq/internal/value"
 // slices — snapshots then share backing storage, and a stage that is reused
 // from cache costs nothing. The kernels here (grouping, sorting,
 // materialisation) read rows through that row-index indirection without ever
-// building the full working tuples.
+// building the full working tuples; when the backing relation's typed column
+// vectors are attached (Cols), they hash, compare and gather raw payloads
+// without boxing a single cell.
 
 // IndexView is a read-only view of surviving rows over a backing row set:
 // view row i is backing row Idx[i]. Column positions below Split read from
@@ -17,8 +19,13 @@ import "sheetmusiq/internal/value"
 // the column exists in the working schema but has not been filled by any
 // upstream stage, exactly the zero-Value cell of a freshly materialised
 // working row.
+//
+// Cols, when non-nil, carries the backing relation's typed column vectors
+// (aligned with positions below Split); the group/sort/materialise kernels
+// then run their columnar fast paths. Rows remains valid either way.
 type IndexView struct {
 	Rows  []Tuple
+	Cols  []*Col
 	Idx   []int32
 	Over  [][]value.Value
 	Split int
@@ -61,13 +68,47 @@ func (v *IndexView) GatherRow(i int, out []value.Value) {
 	}
 }
 
+// ColAt returns working position col as a typed column indexed by
+// backing-row index, or nil when the view has no column vectors attached.
+// Computed columns wrap their value vectors as dynamically typed columns —
+// the backing-row indexing lines up because Over vectors are indexed the
+// same way.
+func (v *IndexView) ColAt(col int) *Col {
+	if v.Cols == nil {
+		return nil
+	}
+	if col < v.Split {
+		return v.Cols[col]
+	}
+	vec := v.Over[col-v.Split]
+	if vec == nil {
+		return AllNullCol()
+	}
+	return BoxedCol(vec)
+}
+
+// keyCols resolves every working position to a typed column, or nil if any
+// position has none.
+func (v *IndexView) keyCols(cols []int) []*Col {
+	out := make([]*Col, len(cols))
+	for i, c := range cols {
+		kc := v.ColAt(c)
+		if kc == nil {
+			return nil
+		}
+		out[i] = kc
+	}
+	return out
+}
+
 // GroupView partitions the view's rows by the key columns (working-schema
 // positions), assigning dense group IDs in first-occurrence view order —
 // GroupRowsOn through the index indirection. An empty column set yields one
-// group holding every row (level-1 aggregation). The key cells are gathered
-// once, chunk-parallel, into a flat array; the grouping itself reuses the
-// hash-grouping kernel, so numbering and parallel-merge determinism are
-// identical to the materialised path.
+// group holding every row (level-1 aggregation). With column vectors
+// attached the typed kernel hashes payload arrays directly; otherwise the
+// key cells are gathered once, chunk-parallel, into a flat array and grouped
+// boxed. Both kernels share hash and equality semantics, so numbering is
+// identical.
 func GroupView(v *IndexView, cols []int) *Grouping {
 	n := v.Len()
 	if n == 0 {
@@ -75,6 +116,9 @@ func GroupView(v *IndexView, cols []int) *Grouping {
 	}
 	if len(cols) == 0 {
 		return &Grouping{IDs: make([]int32, n), First: []int32{0}}
+	}
+	if kc := v.keyCols(cols); kc != nil {
+		return GroupCols(kc, v.Idx, n)
 	}
 	k := len(cols)
 	flat := make([]value.Value, n*k)
@@ -92,7 +136,8 @@ func GroupView(v *IndexView, cols []int) *Grouping {
 
 // SortView stably orders the view's rows by the key columns and returns the
 // reordered index vector as a new slice; the view is not modified. With no
-// keys the result is a copy of Idx.
+// keys the result is a copy of Idx. With column vectors attached the typed
+// comparator runs on raw payloads; the boxed fallback extracts keys first.
 func SortView(v *IndexView, cols []int, desc []bool) []int32 {
 	n := v.Len()
 	out := make([]int32, n)
@@ -100,15 +145,20 @@ func SortView(v *IndexView, cols []int, desc []bool) []int32 {
 		copy(out, v.Idx)
 		return out
 	}
-	k := len(cols)
-	flat := make([]value.Value, n*k)
-	_ = ForChunks(n, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			v.Gather(i, cols, flat[i*k:(i+1)*k])
-		}
-		return nil
-	})
-	perm := SortPermByKeys(flat, k, desc)
+	var perm []int32
+	if kc := v.keyCols(cols); kc != nil {
+		perm = SortPermCols(kc, v.Idx, n, desc)
+	} else {
+		k := len(cols)
+		flat := make([]value.Value, n*k)
+		_ = ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				v.Gather(i, cols, flat[i*k:(i+1)*k])
+			}
+			return nil
+		})
+		perm = SortPermByKeys(flat, k, desc)
+	}
 	_ = ForChunks(n, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			out[i] = v.Idx[perm[i]]
@@ -118,12 +168,61 @@ func SortView(v *IndexView, cols []int, desc []bool) []int32 {
 	return out
 }
 
+// identityPrefix reports whether cols is exactly [0, 1, ..., len(cols)).
+func identityPrefix(cols []int) bool {
+	for j, c := range cols {
+		if c != j {
+			return false
+		}
+	}
+	return true
+}
+
+// identityIdx reports whether idx is the identity over all n backing rows.
+func identityIdx(idx []int32, n int) bool {
+	if len(idx) != n {
+		return false
+	}
+	for i, ri := range idx {
+		if int(ri) != i {
+			return false
+		}
+	}
+	return true
+}
+
 // MaterializeView gathers the given working positions of every view row
-// into a fresh relation (flat-backed rows, chunk-parallel) with the given
-// schema. This is the pipeline's final assembly: the only full copy the
-// evaluation makes.
+// into a fresh relation with the given schema. This is the pipeline's final
+// assembly. Tuples and column vectors are immutable throughout the system,
+// so identity projections share backing storage instead of copying:
+//
+//   - Projecting exactly the base columns in their original order shares the
+//     surviving base tuples — assembly is one pointer per row.
+//   - With column vectors attached the output is column-built; an identity
+//     index vector shares the columns themselves, anything else gathers
+//     typed payloads. Tuple rows materialise only if a row consumer asks.
+//   - The boxed fallback builds flat-backed rows chunk-parallel, as before.
 func MaterializeView(v *IndexView, cols []int, name string, schema Schema) *Relation {
 	n, w := v.Len(), len(cols)
+	if v.Rows != nil && w == v.Split && identityPrefix(cols) {
+		rows := make([]Tuple, n)
+		for i, ri := range v.Idx {
+			rows[i] = v.Rows[ri]
+		}
+		return &Relation{Name: name, Schema: schema, Rows: rows}
+	}
+	if v.Cols != nil {
+		ident := identityIdx(v.Idx, len(v.Rows))
+		out := make([]*Col, w)
+		for j, c := range cols {
+			src := v.ColAt(c)
+			if !ident {
+				src = src.Gather(v.Idx)
+			}
+			out[j] = src
+		}
+		return FromColumns(name, schema, out, n)
+	}
 	flat := make([]value.Value, n*w)
 	rows := make([]Tuple, n)
 	_ = ForChunks(n, func(_, lo, hi int) error {

@@ -131,6 +131,16 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	if d := delta("relation.join.fallback"); d != 0 {
 		t.Errorf("theta fallback delta = %d, want 0 (condition is an equi-join)", d)
 	}
+
+	// Vectorizer layer: the σ replays compile their predicates to batch
+	// programs ("Year = 2005" is inside the vectorizer's coverage), and the
+	// eval pipeline columnarises each base relation once on first use.
+	if d := delta("expr.batch.ok"); d < 2 {
+		t.Errorf("expr batch ok delta = %d, want >= 2", d)
+	}
+	if d := delta("relation.column.materialize"); d < 1 {
+		t.Errorf("column materialize delta = %d, want >= 1", d)
+	}
 }
 
 // TestRequestIDRoundTrip asserts the request-ID contract on the wire: a

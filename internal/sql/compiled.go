@@ -136,6 +136,65 @@ func filterRows(rows []relation.Tuple, prog *expr.Program) ([]relation.Tuple, er
 	return out, nil
 }
 
+// filterRowsTyped is filterRows with the vectorized fast path in front:
+// when the rows align with the source's typed columns and the predicate
+// batch-compiles, each chunk's survivors come from a batch selection over
+// the column vectors — no boxed row is touched — and the surviving base-row
+// indexes are returned alongside for downstream batch programs. A chunk
+// whose window would error falls back to the row program, which reproduces
+// the exact error; so does the whole pass when the predicate declines.
+func filterRowsTyped(src *source, pred expr.Expr, rows []relation.Tuple, prog *expr.Program, aligned bool) ([]relation.Tuple, []int32, error) {
+	var bp *expr.BatchProgram
+	if aligned {
+		bp, _ = expr.CompileBatch(pred, src.batchResolve)
+	}
+	if bp == nil {
+		kept, err := filterRows(rows, prog)
+		return kept, nil, err
+	}
+	n := len(rows)
+	dst := make([]int32, n)
+	bounds := relation.Chunks(n)
+	counts := make([]int, len(bounds))
+	err := relation.RunChunks(bounds, func(c, lo, hi int) error {
+		if cnt, ok := bp.SelectInto(nil, lo, hi, dst[lo:]); ok {
+			counts[c] = cnt
+			return nil
+		}
+		w := lo
+		for i := lo; i < hi; i++ {
+			ok, err := prog.EvalBool(rows[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				dst[w] = int32(i)
+				w++
+			}
+		}
+		counts[c] = w - lo
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w := 0
+	if len(bounds) > 0 {
+		w = counts[0]
+		for c := 1; c < len(bounds); c++ {
+			lo := bounds[c][0]
+			copy(dst[w:], dst[lo:lo+counts[c]])
+			w += counts[c]
+		}
+	}
+	idx := dst[:w:w]
+	kept := make([]relation.Tuple, w)
+	for i, ri := range idx {
+		kept[i] = rows[ri]
+	}
+	return kept, idx, nil
+}
+
 // orderRef is one compiled ORDER BY key: either a projection of the output
 // tuple (an output-alias reference) or a program over the evaluation row.
 type orderRef struct {
@@ -186,8 +245,13 @@ func evalOrderRefs(refs []orderRef, tuple relation.Tuple, row []value.Value) ([]
 
 // compiledPlain is the compiled, parallel variant of execPlain: every item
 // and ORDER BY key compiled once, output slots pre-sized so chunks write
-// disjoint indexes. The bool reports whether the fast path ran.
-func compiledPlain(src *source, stmt *SelectStmt, items []SelectItem, schema relation.Schema, rows []relation.Tuple, outer expr.Env) (*relation.Relation, [][]value.Value, bool, error) {
+// disjoint indexes. When the rows still align with the source's typed
+// columns (idx holds their base-row indexes; nil means identity) and every
+// item batch-compiles, the items fill positional value vectors straight
+// from the column payloads; a chunk whose window would error re-runs
+// through the row programs, which reproduce the exact error. The bool
+// reports whether the fast path ran.
+func compiledPlain(src *source, stmt *SelectStmt, items []SelectItem, schema relation.Schema, rows []relation.Tuple, outer expr.Env, idx []int32, aligned bool) (*relation.Relation, [][]value.Value, bool, error) {
 	itemProgs := make([]*expr.Program, len(items))
 	for i, it := range items {
 		if itemProgs[i] = compileOn(src, it.Expr, outer); itemProgs[i] == nil {
@@ -201,9 +265,51 @@ func compiledPlain(src *source, stmt *SelectStmt, items []SelectItem, schema rel
 	if !ok {
 		return nil, nil, false, nil
 	}
+	var bps []*expr.BatchProgram
+	var itemVals [][]value.Value
+	if aligned && outer == nil {
+		bps = make([]*expr.BatchProgram, len(items))
+		for i, it := range items {
+			if bps[i], _ = expr.CompileBatch(it.Expr, src.batchResolve); bps[i] == nil {
+				bps = nil
+				break
+			}
+		}
+		if bps != nil {
+			itemVals = make([][]value.Value, len(items))
+			for i := range itemVals {
+				itemVals[i] = make([]value.Value, len(rows))
+			}
+		}
+	}
 	out.Rows = make([]relation.Tuple, len(rows))
 	sortVals := make([][]value.Value, len(rows))
 	err := relation.ForChunks(len(rows), func(_, lo, hi int) error {
+		if bps != nil {
+			ok := true
+			for i := range bps {
+				if !bps[i].EvalPos(idx, lo, hi, schema[i].Kind, itemVals[i]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				flat := make([]value.Value, (hi-lo)*len(items))
+				for ri := lo; ri < hi; ri++ {
+					tuple := flat[(ri-lo)*len(items) : (ri-lo+1)*len(items) : (ri-lo+1)*len(items)]
+					for i := range items {
+						tuple[i] = itemVals[i][ri]
+					}
+					out.Rows[ri] = tuple
+					keys, err := evalOrderRefs(refs, tuple, rows[ri])
+					if err != nil {
+						return err
+					}
+					sortVals[ri] = keys
+				}
+				return nil
+			}
+		}
 		for ri := lo; ri < hi; ri++ {
 			tuple := make(relation.Tuple, len(items))
 			for i, p := range itemProgs {

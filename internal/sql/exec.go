@@ -78,8 +78,25 @@ func (db *DB) execOuter(stmt *SelectStmt, outer expr.Env) (*relation.Relation, e
 
 // source is the FROM result: a relation whose columns carry fully qualified
 // names ("alias.col"); lookups resolve bare names by unique suffix match.
+// cols, when non-nil, are the backing table's typed column vectors, aligned
+// with rel's rows — the WHERE and select-item fast paths evaluate batch
+// programs against them. Any in-place row filtering drops them.
 type source struct {
-	rel *relation.Relation
+	rel  *relation.Relation
+	cols []*relation.Col
+}
+
+// batchResolve exposes the source's typed columns to the vectorized
+// expression compiler under the source's name-resolution rules.
+func (s *source) batchResolve(name string) (*relation.Col, bool) {
+	if s.cols == nil {
+		return nil, false
+	}
+	i, err := s.resolve(name)
+	if err != nil {
+		return nil, false
+	}
+	return s.cols[i], true
 }
 
 // resolve maps a (possibly qualified) name to a column index, insisting on
@@ -304,8 +321,22 @@ func qualify(rel *relation.Relation, alias string) *source {
 		schema[i] = relation.Column{Name: alias + "." + name, Kind: c.Kind}
 	}
 	out := relation.New(alias, schema)
-	out.Rows = rel.Rows // rows are read-only downstream
-	return &source{rel: out}
+	out.Rows = rel.TupleRows() // rows are read-only downstream
+	return &source{rel: out, cols: typedCols(rel)}
+}
+
+// typedCols returns the relation's typed columns when the columnar path is
+// worthwhile: already built, or large enough to amortise the conversion.
+// Renaming does not disturb the vectors, so qualified sources share the
+// backing table's cache.
+func typedCols(rel *relation.Relation) []*relation.Col {
+	if cols := rel.CachedColumns(); cols != nil {
+		return cols
+	}
+	if rel.Len() >= relation.ColumnarThreshold {
+		return rel.Columns()
+	}
+	return nil
 }
 
 // joinSources computes left ⋈ right: the equi-hash-join kernel when the ON
@@ -338,15 +369,16 @@ func joinSources(left, right *source, on expr.Expr) (*source, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = j.Rows
+		out.Rows = j.TupleRows()
 		return probe, nil
 	}
 	wl := len(left.rel.Schema)
 	scratch := make(relation.Tuple, len(schema))
 	var pa, pb []int32
-	for a, lt := range left.rel.Rows {
+	rrows := right.rel.TupleRows()
+	for a, lt := range left.rel.TupleRows() {
 		copy(scratch, lt)
-		for b, rt := range right.rel.Rows {
+		for b, rt := range rrows {
 			copy(scratch[wl:], rt)
 			ok, err := onFn(scratch)
 			if err != nil {
@@ -419,18 +451,24 @@ func hashKeys(left, right *source, on expr.Expr) (lk, rk []int) {
 func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Relation, error) {
 	// The subquery cache lives for this statement execution.
 	subs := map[*expr.Subquery]*subState{}
-	// WHERE.
-	rows := src.rel.Rows
+	// WHERE. rows starts as the full source row set, aligned with the
+	// source's typed columns; idx tracks the surviving base-row indexes so
+	// downstream batch programs keep reading the typed vectors through the
+	// indirection. aligned turns false once rows stop mapping to src.cols.
+	rows := src.rel.TupleRows()
+	var idx []int32
+	aligned := src.cols != nil
 	if stmt.Where != nil {
 		if expr.ContainsAggregate(stmt.Where) {
 			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
 		}
 		if prog := compileOn(src, stmt.Where, outer); prog != nil {
-			kept, err := filterRows(rows, prog)
+			kept, keptIdx, err := filterRowsTyped(src, stmt.Where, rows, prog, aligned)
 			if err != nil {
 				return nil, err
 			}
-			rows = kept
+			rows, idx = kept, keptIdx
+			aligned = aligned && idx != nil
 		} else {
 			kept := make([]relation.Tuple, 0, len(rows))
 			for _, row := range rows {
@@ -443,6 +481,7 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 				}
 			}
 			rows = kept
+			aligned = false
 		}
 	}
 
@@ -453,7 +492,7 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 	if grouped {
 		out, sortVals, err = execGrouped(db, src, stmt, rows, outer, subs)
 	} else {
-		out, sortVals, err = execPlain(db, src, stmt, rows, outer, subs)
+		out, sortVals, err = execPlain(db, src, stmt, rows, outer, subs, idx, aligned)
 	}
 	if err != nil {
 		return nil, err
@@ -493,8 +532,9 @@ func hasAggregates(stmt *SelectStmt) bool {
 }
 
 // execPlain projects without grouping. It returns the output relation plus,
-// for each row, the evaluated ORDER BY key values.
-func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) (*relation.Relation, [][]value.Value, error) {
+// for each row, the evaluated ORDER BY key values. idx, when aligned, holds
+// the surviving base-row indexes of rows for the typed-column fast path.
+func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState, idx []int32, aligned bool) (*relation.Relation, [][]value.Value, error) {
 	items, err := expandStars(src, stmt.Items)
 	if err != nil {
 		return nil, nil, err
@@ -503,7 +543,7 @@ func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, out
 	if err != nil {
 		return nil, nil, err
 	}
-	if out, sortVals, handled, err := compiledPlain(src, stmt, items, schema, rows, outer); handled {
+	if out, sortVals, handled, err := compiledPlain(src, stmt, items, schema, rows, outer, idx, aligned); handled {
 		execPlainCompiled.Inc()
 		if err != nil {
 			return nil, nil, err

@@ -139,8 +139,9 @@ func applyFilter(db *DB, src *source, preds []expr.Expr, outer expr.Env) error {
 		return nil
 	}
 	pred := conjoin(preds)
-	kept := make([]relation.Tuple, 0, len(src.rel.Rows))
-	for _, row := range src.rel.Rows {
+	rows := src.rel.TupleRows()
+	kept := make([]relation.Tuple, 0, len(rows))
+	for _, row := range rows {
 		ok, err := expr.EvalBool(pred, rowEnv{src: src, row: row, db: db, outer: outer})
 		if err != nil {
 			return err
@@ -150,5 +151,6 @@ func applyFilter(db *DB, src *source, preds []expr.Expr, outer expr.Env) error {
 		}
 	}
 	src.rel = &relation.Relation{Name: src.rel.Name, Schema: src.rel.Schema, Rows: kept}
+	src.cols = nil // the vectors no longer align with the filtered rows
 	return nil
 }

@@ -107,3 +107,45 @@ func hashString(s string) uint64 {
 func HashCombine(h uint64, v Value) uint64 {
 	return mix64(h ^ Hash(v))
 }
+
+// Typed payload hashes for the columnar kernels: each is exactly the
+// corresponding Hash arm, so hashing a column payload directly produces the
+// same bits as boxing the cell first. Mix64 exposes the combine finaliser so
+// Col.HashInto can replicate HashCombine word for word.
+
+// Mix64 is the exported combine finaliser (see mix64).
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// HashNull returns Hash of the NULL value.
+func HashNull() uint64 { return hashTagNull }
+
+// HashInt returns Hash of NewInt(i).
+func HashInt(i int64) uint64 {
+	if i > -(1<<53) && i < 1<<53 {
+		return hashTagNumeric ^ mix64(floatHashBits(float64(i)))
+	}
+	if f := float64(i); f >= -maxExactFloat && f < maxExactFloat && int64(f) == i {
+		return hashTagNumeric ^ mix64(floatHashBits(f))
+	}
+	return hashTagBigInt ^ mix64(uint64(i))
+}
+
+// HashFloat returns Hash of NewFloat(f).
+func HashFloat(f float64) uint64 {
+	return hashTagNumeric ^ mix64(floatHashBits(f))
+}
+
+// HashString returns Hash of NewString(s).
+func HashString(s string) uint64 { return hashTagString ^ hashString(s) }
+
+// HashBool returns Hash of NewBool(b).
+func HashBool(b bool) uint64 {
+	var i uint64
+	if b {
+		i = 1
+	}
+	return hashTagBool ^ mix64(i)
+}
+
+// HashDate returns Hash of NewDateDays(days).
+func HashDate(days int64) uint64 { return hashTagDate ^ mix64(uint64(days)) }

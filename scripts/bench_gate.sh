@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# bench_gate.sh — perf regression gate. Re-runs the tracked benchmark
+# workloads and fails if any of them regresses below the threshold ratio
+# (baseline ns/op divided by current ns/op, default 0.9x) against the
+# recorded snapshot in BENCH_eval.json. `make bench-gate` wraps this.
+#
+# Environment overrides:
+#   BENCH_GATE_PATTERN    -bench regex selecting the tracked workloads
+#   BENCH_GATE_BASELINE   baseline history file (default BENCH_eval.json)
+#   BENCH_GATE_THRESHOLD  minimum accepted ratio (default 0.9)
+#   BENCH_GATE_COUNT      benchmark repetitions; best run is gated (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_GATE_PATTERN:-^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k)$}"
+BASELINE="${BENCH_GATE_BASELINE:-BENCH_eval.json}"
+THRESHOLD="${BENCH_GATE_THRESHOLD:-0.9}"
+COUNT="${BENCH_GATE_COUNT:-1}"
+
+go test -run='^$' -bench="$PATTERN" -benchmem -count="$COUNT" . \
+  | go run ./cmd/benchjson -gate "$BASELINE" -threshold "$THRESHOLD"
