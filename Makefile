@@ -13,8 +13,8 @@ build:
 # evaluation stage fires even on the small test relations.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql ./internal/wal
-	SHEETMUSIQ_PARALLEL_THRESHOLD=4 $(GO) test -race ./internal/core
+	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql ./internal/wal ./internal/engine ./internal/sqlgen
+	SHEETMUSIQ_PARALLEL_THRESHOLD=4 $(GO) test -race ./internal/core ./internal/relation
 
 race:
 	$(GO) test -race ./...
@@ -37,15 +37,17 @@ lint:
 bench-gate:
 	bash scripts/bench_gate.sh
 
+# The suite includes BenchmarkTPCHQ1SF1, whose SF-1 dataset takes about a
+# minute to generate; the widened -timeout keeps the full run inside it.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem -timeout=60m .
 
 # bench-json records the benchmark suite into BENCH_eval.json: the file's
 # previous "after" snapshot becomes "before", and this run becomes "after".
 # BenchmarkInstrumentedEval/{bare,instrumented}/* pairs land in the same
 # file; their ratio is the observability layer's overhead (budget <5%).
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
+	$(GO) test -run='^$$' -bench=. -benchmem -timeout=60m . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
 
 # loadgen-smoke is the end-to-end durability check: durable server, loadgen
 # burst, kill -9, restart, verify every session renders identical state.

@@ -324,6 +324,41 @@ func BenchmarkFormulaEvaluate100k(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowRank100k prices the ω ranking kernel end-to-end: a
+// per-model price rank over 100k rows, re-evaluated cold each iteration
+// (Clone drops the stage snapshots).
+func BenchmarkWindowRank100k(b *testing.B) {
+	base := scaleSheet(b, 100000)
+	if _, err := base.WindowAs("R", relation.WinRank, "",
+		[]string{"Model"}, []core.SortKey{{Column: "Price", Dir: core.Asc}}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, base.Clone())
+	}
+}
+
+// BenchmarkMovingSum100k prices an explicit ROWS frame: a 100-row moving
+// sum of Price per model in mileage order over 100k rows.
+func BenchmarkMovingSum100k(b *testing.B) {
+	base := scaleSheet(b, 100000)
+	frame := &relation.Frame{
+		Lo: relation.FrameBound{Kind: relation.BoundPreceding, Offset: 99},
+		Hi: relation.FrameBound{Kind: relation.BoundCurrentRow},
+	}
+	if _, err := base.WindowAs("MovSum", relation.WinSum, "Price",
+		[]string{"Model"}, []core.SortKey{{Column: "Mileage", Dir: core.Asc}}, frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evaluate(b, base.Clone())
+	}
+}
+
 // BenchmarkModifyEvaluate100k prices the paper's Sec. V interaction loop at
 // scale: a 100k-row sheet carrying a selection, a grouping level, an
 // aggregate and an ordering, where every iteration applies exactly one
@@ -669,6 +704,42 @@ func BenchmarkStudyTasks(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+var (
+	tpchSF1Once sync.Once
+	tpchSF1DB   *sql.DB
+)
+
+// BenchmarkTPCHQ1SF1 runs TPC-H Q1 (the pricing-summary report) at scale
+// factor 1 — ~6M lineitem rows — through the algebra program. The dataset
+// generates once outside the timer (about a minute); each iteration replays
+// the task and evaluates it cold.
+func BenchmarkTPCHQ1SF1(b *testing.B) {
+	tpchSF1Once.Do(func() {
+		tables := tpch.Generate(tpch.Config{ScaleFactor: 1, Seed: 19920101})
+		tpchSF1DB = tpch.BuildDB(tables)
+		if err := tpch.BuildViews(tpchSF1DB); err != nil {
+			b.Fatal(err)
+		}
+	})
+	var q1 tpch.Task
+	for _, task := range tpch.Tasks() {
+		if task.TpchQuery == "Q1" {
+			q1 = task
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := q1.Run(tpchSF1DB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

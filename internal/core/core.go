@@ -89,7 +89,88 @@ const (
 	KindAggregate ComputedKind = iota
 	// KindFormula marks a column created by θ (Def. 12).
 	KindFormula
+	// KindWindow marks a column created by the window operator ω — an
+	// ordered, optionally partitioned computation (rank, running aggregate)
+	// over the rows surviving the shallower stages.
+	KindWindow
 )
+
+// WindowDef is the definition of a window computed column (KindWindow).
+// All references are plain column names (base or computed), like an
+// aggregate's Input, which keeps cloning, persistence and fingerprinting
+// structural.
+type WindowDef struct {
+	Func        relation.WindowFunc
+	Input       string // argument column; "" for ranking functions and COUNT(*)
+	PartitionBy []string
+	OrderBy     []SortKey
+	Frame       *relation.Frame
+}
+
+// clone deep-copies the definition.
+func (w *WindowDef) clone() *WindowDef {
+	out := &WindowDef{Func: w.Func, Input: w.Input}
+	out.PartitionBy = append([]string(nil), w.PartitionBy...)
+	out.OrderBy = append([]SortKey(nil), w.OrderBy...)
+	if w.Frame != nil {
+		f := *w.Frame
+		out.Frame = &f
+	}
+	return out
+}
+
+// columns returns every column the definition references.
+func (w *WindowDef) columns() []string {
+	var out []string
+	if w.Input != "" {
+		out = append(out, w.Input)
+	}
+	out = append(out, w.PartitionBy...)
+	for _, k := range w.OrderBy {
+		out = append(out, k.Column)
+	}
+	return out
+}
+
+// SQL renders the definition in OVER-clause spelling for history entries
+// and the explain surface.
+func (w *WindowDef) SQL() string {
+	var b strings.Builder
+	b.WriteString(string(w.Func))
+	b.WriteByte('(')
+	if w.Input != "" {
+		b.WriteString(w.Input)
+	} else if !w.Func.Ranking() {
+		b.WriteByte('*')
+	}
+	b.WriteString(") OVER (")
+	sep := ""
+	if len(w.PartitionBy) > 0 {
+		b.WriteString("PARTITION BY ")
+		b.WriteString(strings.Join(w.PartitionBy, ", "))
+		sep = " "
+	}
+	if len(w.OrderBy) > 0 {
+		b.WriteString(sep)
+		b.WriteString("ORDER BY ")
+		for i, k := range w.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Column)
+			if k.Dir == Desc {
+				b.WriteString(" DESC")
+			}
+		}
+		sep = " "
+	}
+	if w.Frame != nil {
+		b.WriteString(sep)
+		b.WriteString(w.Frame.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
 
 // ComputedColumn is the definition of one computed column. The paper's
 // essential property — "once a user has defined such a column, the user
@@ -108,14 +189,25 @@ type ComputedColumn struct {
 	// Formula definition (KindFormula).
 	Formula expr.Expr
 
+	// Window definition (KindWindow).
+	Win *WindowDef
+
 	// ResultKind caches the inferred kind of the column.
 	ResultKind value.Kind
 }
 
 // dependsOn reports whether the definition references the named column.
 func (c *ComputedColumn) dependsOn(col string) bool {
-	if c.Kind == KindAggregate {
+	switch c.Kind {
+	case KindAggregate:
 		return strings.EqualFold(c.Input, col)
+	case KindWindow:
+		for _, ref := range c.Win.columns() {
+			if strings.EqualFold(ref, col) {
+				return true
+			}
+		}
+		return false
 	}
 	return expr.References(c.Formula, col)
 }
@@ -163,6 +255,9 @@ func (q *queryState) clone() *queryState {
 		cc := *c
 		if cc.Formula != nil {
 			cc.Formula = cloneExpr(cc.Formula)
+		}
+		if cc.Win != nil {
+			cc.Win = cc.Win.clone()
 		}
 		out.computed = append(out.computed, &cc)
 	}
@@ -422,6 +517,22 @@ func (s *Spreadsheet) aggDepth(col string, seen map[string]bool) (int, error) {
 			return 0, err
 		}
 		return d + 1, nil
+	}
+	if c.Kind == KindWindow {
+		// A window column is one deeper than its deepest reference: it is
+		// computed over the rows surviving the shallower stages, like an
+		// aggregate, and formulas over it evaluate later.
+		max := 0
+		for _, ref := range c.Win.columns() {
+			d, err := s.aggDepth(ref, seen)
+			if err != nil {
+				return 0, err
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max + 1, nil
 	}
 	max := 0
 	for _, ref := range expr.Columns(c.Formula) {

@@ -31,6 +31,9 @@ func (s *Spreadsheet) ReplaceSelection(id int, predicate string) error {
 	if expr.ContainsAggregate(e) {
 		return fmt.Errorf("core: aggregates are created with Aggregate, not inline in predicates")
 	}
+	if expr.ContainsWindow(e) {
+		return fmt.Errorf("core: window functions are created with Window, not inline in predicates")
+	}
 	for i, sel := range s.state.selections {
 		if sel.ID == id {
 			// The earlier of the old and new predicate's σ stages is the

@@ -34,6 +34,9 @@ func (s *Spreadsheet) SelectExpr(e expr.Expr) (int, error) {
 	if expr.ContainsAggregate(e) {
 		return 0, fmt.Errorf("core: aggregates are created with Aggregate, not inline in predicates")
 	}
+	if expr.ContainsWindow(e) {
+		return 0, fmt.Errorf("core: window functions are created with Window, not inline in predicates")
+	}
 	d, err := s.exprDepth(e)
 	if err != nil {
 		return 0, err
@@ -272,6 +275,9 @@ func (s *Spreadsheet) FormulaExpr(name string, e expr.Expr) (string, error) {
 	if expr.ContainsAggregate(e) {
 		return "", fmt.Errorf("core: aggregates are created with Aggregate, not inline in formulas")
 	}
+	if expr.ContainsWindow(e) {
+		return "", fmt.Errorf("core: window functions are created with Window, not inline in formulas")
+	}
 	kind, err := expr.Check(e, s.columnKind)
 	if err != nil {
 		return "", err
@@ -294,6 +300,179 @@ func (s *Spreadsheet) FormulaExpr(name string, e expr.Expr) (string, error) {
 		return "", err
 	}
 	s.commit(before, "θ "+name+" = "+e.SQL())
+	s.invalidateStages(s.computedRank(s.state.computed[len(s.state.computed)-1]))
+	return name, nil
+}
+
+// Window applies ω: it creates a computed column holding fn evaluated over
+// each row's window — the rows sharing the row's partitionBy key, ordered by
+// orderBy, restricted by the optional ROWS frame. Ranking functions (RANK,
+// DENSE_RANK, ROW_NUMBER) take no input column and require an ordering;
+// SUM/AVG/MIN/MAX aggregate the input column over the frame; COUNT with an
+// empty input counts the frame's rows. Like an aggregate, a window column is
+// computed over the rows surviving the selections shallower than it, so a
+// later predicate on the column selects by rank ("top 3 per group") without
+// disturbing the window itself. The returned name is auto-generated when
+// empty.
+func (s *Spreadsheet) Window(fn relation.WindowFunc, input string, partitionBy []string, orderBy []SortKey, frame *relation.Frame) (string, error) {
+	return s.WindowAs("", fn, input, partitionBy, orderBy, frame)
+}
+
+// WindowAs is Window with an explicit result-column name.
+func (s *Spreadsheet) WindowAs(name string, fn relation.WindowFunc, input string, partitionBy []string, orderBy []SortKey, frame *relation.Frame) (string, error) {
+	def := &WindowDef{
+		Func:        fn,
+		Input:       input,
+		PartitionBy: append([]string(nil), partitionBy...),
+		OrderBy:     append([]SortKey(nil), orderBy...),
+	}
+	if frame != nil {
+		f := *frame
+		def.Frame = &f
+	}
+	return s.windowAs(name, def)
+}
+
+// WindowExprAs creates a window column from a parsed OVER expression whose
+// argument, partition and order keys are plain column references — the shape
+// the operator stores (WindowDef). The SQL layer and the REPL route through
+// here.
+func (s *Spreadsheet) WindowExprAs(name string, w *expr.WindowCall) (string, error) {
+	def, err := windowDefFromCall(w)
+	if err != nil {
+		return "", err
+	}
+	return s.windowAs(name, def)
+}
+
+// windowDefFromCall lowers a parsed *expr.WindowCall to the core definition,
+// requiring every key to be a plain column reference.
+func windowDefFromCall(w *expr.WindowCall) (*WindowDef, error) {
+	def := &WindowDef{Func: w.Func}
+	if w.Arg != nil {
+		c, ok := w.Arg.(*expr.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("core: window argument must be a plain column, got %s", w.Arg.SQL())
+		}
+		def.Input = c.Name
+	}
+	for _, p := range w.PartitionBy {
+		c, ok := p.(*expr.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("core: PARTITION BY key must be a plain column, got %s", p.SQL())
+		}
+		def.PartitionBy = append(def.PartitionBy, c.Name)
+	}
+	for _, k := range w.OrderBy {
+		c, ok := k.X.(*expr.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("core: window ORDER BY key must be a plain column, got %s", k.X.SQL())
+		}
+		dir := Asc
+		if k.Desc {
+			dir = Desc
+		}
+		def.OrderBy = append(def.OrderBy, SortKey{Column: c.Name, Dir: dir})
+	}
+	if w.Frame != nil {
+		f := *w.Frame
+		def.Frame = &f
+	}
+	return def, nil
+}
+
+// checkWindowDef validates a window definition against the current schema
+// and returns the column's result kind. Shared by the operator entry point
+// and state restoration.
+func (s *Spreadsheet) checkWindowDef(def *WindowDef) (value.Kind, error) {
+	fn := def.Func
+	if _, err := relation.ParseWindowFunc(string(fn)); err != nil {
+		return value.KindNull, err
+	}
+	inKind := value.KindNull
+	if fn.NeedsArg() && def.Input == "" {
+		return value.KindNull, fmt.Errorf("core: window %s needs an argument column", fn)
+	}
+	if def.Input != "" {
+		if fn.Ranking() {
+			return value.KindNull, fmt.Errorf("core: window %s takes no argument", fn)
+		}
+		k, ok := s.columnKind(def.Input)
+		if !ok {
+			return value.KindNull, fmt.Errorf("core: unknown column %q", def.Input)
+		}
+		inKind = k
+		switch fn {
+		case relation.WinSum, relation.WinAvg:
+			if !k.Numeric() {
+				return value.KindNull, fmt.Errorf("core: %s requires a numeric column, %q is %s", fn, def.Input, k)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range def.PartitionBy {
+		if !s.hasColumn(c) {
+			return value.KindNull, fmt.Errorf("core: unknown column %q", c)
+		}
+		lk := strings.ToLower(c)
+		if seen[lk] {
+			return value.KindNull, fmt.Errorf("core: duplicate PARTITION BY column %q", c)
+		}
+		seen[lk] = true
+	}
+	for _, k := range def.OrderBy {
+		if !s.hasColumn(k.Column) {
+			return value.KindNull, fmt.Errorf("core: unknown column %q", k.Column)
+		}
+	}
+	if fn.Ranking() {
+		if len(def.OrderBy) == 0 {
+			return value.KindNull, fmt.Errorf("core: window %s needs ORDER BY", fn)
+		}
+		if def.Frame != nil {
+			return value.KindNull, fmt.Errorf("core: window %s takes no frame", fn)
+		}
+	}
+	if def.Frame != nil {
+		if len(def.OrderBy) == 0 {
+			return value.KindNull, fmt.Errorf("core: a window frame needs ORDER BY")
+		}
+		if err := def.Frame.Validate(); err != nil {
+			return value.KindNull, err
+		}
+	}
+	return fn.ResultKind(inKind), nil
+}
+
+// windowAs validates def, names the column, and appends the ω definition to
+// the query state.
+func (s *Spreadsheet) windowAs(name string, def *WindowDef) (string, error) {
+	kind, err := s.checkWindowDef(def)
+	if err != nil {
+		return "", err
+	}
+	if name == "" {
+		base := titleCase(string(def.Func))
+		if def.Input != "" {
+			base += "_" + def.Input
+		}
+		name = base
+		for i := 2; s.hasColumn(name); i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+	} else if s.hasColumn(name) {
+		return "", fmt.Errorf("core: column %q already exists", name)
+	}
+	before := s.begin()
+	s.state.computed = append(s.state.computed, &ComputedColumn{
+		Name: name, Kind: KindWindow, Win: def, ResultKind: kind,
+	})
+	if _, err := s.aggDepth(name, map[string]bool{}); err != nil {
+		// Roll back the speculative append (cycle detection).
+		s.state.computed = s.state.computed[:len(s.state.computed)-1]
+		return "", err
+	}
+	s.commit(before, "ω "+name+" = "+def.SQL())
 	s.invalidateStages(s.computedRank(s.state.computed[len(s.state.computed)-1]))
 	return name, nil
 }
@@ -353,10 +532,28 @@ func (s *Spreadsheet) Rename(old, new string) error {
 		if strings.EqualFold(c.Name, old) {
 			c.Name = new
 		}
-		if c.Kind == KindFormula {
+		switch c.Kind {
+		case KindFormula:
 			rewrite(c.Formula)
-		} else if strings.EqualFold(c.Input, old) {
-			c.Input = new
+		case KindWindow:
+			w := c.Win
+			if strings.EqualFold(w.Input, old) {
+				w.Input = new
+			}
+			for i, p := range w.PartitionBy {
+				if strings.EqualFold(p, old) {
+					w.PartitionBy[i] = new
+				}
+			}
+			for i, k := range w.OrderBy {
+				if strings.EqualFold(k.Column, old) {
+					w.OrderBy[i].Column = new
+				}
+			}
+		default:
+			if strings.EqualFold(c.Input, old) {
+				c.Input = new
+			}
 		}
 	}
 	for gi := range s.state.grouping {

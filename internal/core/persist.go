@@ -51,11 +51,14 @@ type selJSON struct {
 
 type computedJSON struct {
 	Name    string `json:"name"`
-	Kind    string `json:"kind"` // "aggregate" or "formula"
+	Kind    string `json:"kind"` // "aggregate", "formula" or "window"
 	Agg     string `json:"agg,omitempty"`
 	Input   string `json:"input,omitempty"`
 	Level   int    `json:"level,omitempty"`
 	Formula string `json:"formula,omitempty"`
+	// Window definitions round-trip through their OVER-clause SQL rendering
+	// (WindowDef.SQL → expr.Parse), like predicates and formulas.
+	Window string `json:"window,omitempty"`
 }
 
 type groupJSON struct {
@@ -102,12 +105,16 @@ func (s *Spreadsheet) encodeState(st *queryState) stateJSON {
 	}
 	for _, c := range st.computed {
 		cj := computedJSON{Name: c.Name}
-		if c.Kind == KindAggregate {
+		switch c.Kind {
+		case KindAggregate:
 			cj.Kind = "aggregate"
 			cj.Agg = string(c.Agg)
 			cj.Input = c.Input
 			cj.Level = c.Level
-		} else {
+		case KindWindow:
+			cj.Kind = "window"
+			cj.Window = c.Win.SQL()
+		default:
 			cj.Kind = "formula"
 			cj.Formula = c.Formula.SQL()
 		}
@@ -217,6 +224,26 @@ func decodeState(s *Spreadsheet, in stateJSON) error {
 			}
 			st.computed = append(st.computed, &ComputedColumn{
 				Name: c.Name, Kind: KindFormula, Formula: e, ResultKind: kind,
+			})
+		case "window":
+			e, err := expr.Parse(c.Window)
+			if err != nil {
+				return fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			w, ok := e.(*expr.WindowCall)
+			if !ok {
+				return fmt.Errorf("core: restore column %s: %q is not a window expression", c.Name, c.Window)
+			}
+			def, err := windowDefFromCall(w)
+			if err != nil {
+				return fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			kind, err := s.checkWindowDef(def)
+			if err != nil {
+				return fmt.Errorf("core: restore column %s: %w", c.Name, err)
+			}
+			st.computed = append(st.computed, &ComputedColumn{
+				Name: c.Name, Kind: KindWindow, Win: def, ResultKind: kind,
 			})
 		default:
 			return fmt.Errorf("core: restore: unknown computed kind %q", c.Kind)

@@ -32,6 +32,7 @@ const (
 	stageSelect
 	stageDistinct
 	stageOrder
+	stageWindow
 )
 
 // stageNode is one executable node of the pipeline.
@@ -181,6 +182,40 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 				fp:   fp,
 				rank: rankAgg(d),
 				run:  runAggStage(c, colPos[ci]),
+			})
+		}
+		// Window columns of depth d: computed over the rows surviving
+		// selections < d, after the depth's aggregates (a window may rank
+		// by an aggregate of the same depth's inputs via a shallower
+		// column) and before its formulas (which may reference the window).
+		for ci, c := range s.state.computed {
+			if c.Kind != KindWindow || colDepths[ci] != d {
+				continue
+			}
+			w := c.Win
+			fp = fpU(fp, uint64(stageWindow))
+			fp = fpS(fp, c.Name)
+			fp = fpS(fp, string(w.Func))
+			fp = fpS(fp, w.Input)
+			fp = fpU(fp, uint64(len(w.PartitionBy)))
+			for _, b := range w.PartitionBy {
+				fp = fpS(fp, b)
+			}
+			fp = fpU(fp, uint64(len(w.OrderBy)))
+			for _, k := range w.OrderBy {
+				fp = fpS(fp, k.Column)
+				fp = fpDir(fp, k.Dir == Desc)
+			}
+			if w.Frame != nil {
+				fp = fpS(fp, w.Frame.String())
+			}
+			fp = fpU(fp, uint64(c.ResultKind))
+			stages = append(stages, stageNode{
+				kind: stageWindow,
+				name: fmt.Sprintf("ω %s d%d", c.Name, d),
+				fp:   fp,
+				rank: rankWindow(d),
+				run:  runWindowStage(c, colPos[ci]),
 			})
 		}
 		// Formula columns of depth d, in creation order (later formulas

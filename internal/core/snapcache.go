@@ -57,17 +57,20 @@ const (
 )
 
 // Stage ranks order pipeline positions for invalidation. Within depth d the
-// stages run aggregate → formula → selection, and duplicate elimination
-// follows the depth-0 selections; the final ordering stage outranks every
-// depth. rankDistinct lands between rankSelect(0) and rankAgg(1), mirroring
-// the replay order of DESIGN.md §3.2.
+// stages run aggregate → window → formula → selection, and duplicate
+// elimination follows the depth-0 selections; the final ordering stage
+// outranks every depth. rankDistinct lands between rankSelect(0) and
+// rankAgg(1), mirroring the replay order of DESIGN.md §3.2. Ranks live only
+// in memory (fingerprints key the cache), so renumbering between releases
+// is safe.
 const rankOrder = 1 << 20
 
 func rankBase() int         { return 0 }
-func rankAgg(d int) int     { return 4*d + 1 }
-func rankFormula(d int) int { return 4*d + 2 }
-func rankSelect(d int) int  { return 4*d + 3 }
-func rankDistinct() int     { return 4 }
+func rankAgg(d int) int     { return 6*d + 1 }
+func rankWindow(d int) int  { return 6*d + 2 }
+func rankFormula(d int) int { return 6*d + 3 }
+func rankSelect(d int) int  { return 6*d + 4 }
+func rankDistinct() int     { return 5 }
 
 // snapCache is a per-sheet fingerprint-keyed store of stage snapshots.
 type snapCache struct {
@@ -192,8 +195,11 @@ func (s *Spreadsheet) computedRank(c *ComputedColumn) int {
 	if err != nil {
 		return rankBase()
 	}
-	if c.Kind == KindAggregate {
+	switch c.Kind {
+	case KindAggregate:
 		return rankAgg(d)
+	case KindWindow:
+		return rankWindow(d)
 	}
 	return rankFormula(d)
 }

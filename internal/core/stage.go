@@ -259,6 +259,91 @@ func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (
 	}
 }
 
+// runWindowStage computes one ω column over the input snapshot's rows.
+// Partition IDs come from the same dense grouping the η stages use
+// (relation.GroupView); order keys and the argument lane are gathered
+// view-aligned and handed to the columnar kernel (relation.WindowEval),
+// whose per-partition results write back into the base-row-indexed column
+// vector. Determinism is the kernel's contract: stable (partition, key)
+// sorting and sequential per-partition accumulation make the output
+// independent of the parallel split.
+func runWindowStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*stageSnap, error) {
+	return func(ev *evalCtx, in *stageSnap) (*stageSnap, error) {
+		w := c.Win
+		if outPos < 0 || w == nil {
+			return nil, fmt.Errorf("core: window %s column missing", c.Name)
+		}
+		ppos, err := ev.positions(w.PartitionBy)
+		if err != nil {
+			return nil, fmt.Errorf("core: window %s: %w", c.Name, err)
+		}
+		opos := make([]int, len(w.OrderBy))
+		desc := make([]bool, len(w.OrderBy))
+		for i, k := range w.OrderBy {
+			p := ev.pos(k.Column)
+			if p < 0 {
+				return nil, fmt.Errorf("core: window %s: unknown column %q", c.Name, k.Column)
+			}
+			opos[i], desc[i] = p, k.Dir == Desc
+		}
+		inPos := -1
+		if w.Input != "" {
+			if inPos = ev.pos(w.Input); inPos < 0 {
+				return nil, fmt.Errorf("core: window %s: unknown column %q", c.Name, w.Input)
+			}
+		}
+		snap := in.extend()
+		nBase := ev.s.base.Len()
+		vals := make([]value.Value, nBase)
+		view := ev.viewOf(in)
+		n := view.Len()
+		if n > 0 {
+			win := relation.WindowInput{N: n, K: len(opos), Desc: desc}
+			if len(ppos) > 0 {
+				win.Parts = relation.GroupView(view, ppos)
+			}
+			if k := len(opos); k > 0 {
+				flat := make([]value.Value, n*k)
+				_ = relation.ForChunks(n, func(_, lo, hi int) error {
+					for i := lo; i < hi; i++ {
+						view.Gather(i, opos, flat[i*k:(i+1)*k])
+					}
+					return nil
+				})
+				win.Keys = flat
+			}
+			if inPos >= 0 {
+				arg := make([]value.Value, n)
+				_ = relation.ForChunks(n, func(_, lo, hi int) error {
+					for i := lo; i < hi; i++ {
+						arg[i] = view.At(i, inPos)
+					}
+					return nil
+				})
+				win.Arg = arg
+			}
+			if view.Cols != nil {
+				// Inputs were gathered off typed column vectors rather than
+				// boxed working tuples — the vectorized window path.
+				expr.NoteWindowBatch()
+			}
+			res, werr := relation.WindowEval(relation.WindowSpec{Func: w.Func, Frame: w.Frame}, win)
+			if werr != nil {
+				return nil, fmt.Errorf("core: window %s: %w", c.Name, werr)
+			}
+			_ = relation.ForChunks(n, func(_, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					vals[in.idx[i]] = coerce(res[i], c.ResultKind)
+				}
+				return nil
+			})
+		}
+		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
+		snap.ownBytes = int64(valueBytes * nBase)
+		return snap, nil
+	}
+}
+
 // runSelectStage filters the input snapshot's index vector by one σ
 // predicate. Above the parallel threshold each chunk compacts survivors
 // into its own prefix of a fresh index vector and the chunk-local kept runs

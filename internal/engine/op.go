@@ -8,6 +8,7 @@ import (
 
 	"sheetmusiq/internal/core"
 	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/expr"
 	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 	"sheetmusiq/internal/sql"
@@ -38,6 +39,7 @@ type Op struct {
 	Table     string   `json:"table,omitempty"`     // use, demo ("cars" | "tpch")
 	Path      string   `json:"path,omitempty"`      // load, savestate, loadstate, export
 	Scale     float64  `json:"scale,omitempty"`     // demo tpch scale factor
+	Window    string   `json:"window,omitempty"`    // window: the OVER expression, e.g. "RANK() OVER (PARTITION BY Model ORDER BY Price)"
 }
 
 // Effect reports what an Op did.
@@ -164,6 +166,8 @@ func (e *Engine) dispatch(kind string) (func(Op) (*Effect, error), bool) {
 		return e.opAgg, true
 	case "formula":
 		return e.opFormula, true
+	case "window":
+		return e.opWindow, true
 	case "hide":
 		return e.sheetOp(func(s *core.Spreadsheet, o Op) error { return s.Hide(o.Column) }), true
 	case "unhide", "reinstate":
@@ -353,6 +357,31 @@ func (e *Engine) opFormula(op Op) (*Effect, error) {
 		return nil, ErrNoSheet
 	}
 	got, err := e.sheet.Formula(op.Name, op.Formula)
+	if err != nil {
+		return nil, err
+	}
+	return &Effect{Column: got}, nil
+}
+
+// opWindow applies ω: the Window field carries the full OVER expression and
+// reuses the expression parser, so the wire format is one string — the same
+// spelling the SQL layer and persistence use.
+func (e *Engine) opWindow(op Op) (*Effect, error) {
+	if e.sheet == nil {
+		return nil, ErrNoSheet
+	}
+	if strings.TrimSpace(op.Window) == "" {
+		return nil, fmt.Errorf("engine: window needs an OVER expression")
+	}
+	parsed, err := expr.Parse(op.Window)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := parsed.(*expr.WindowCall)
+	if !ok {
+		return nil, fmt.Errorf("engine: %q is not a window expression (want FN(...) OVER (...))", op.Window)
+	}
+	got, err := e.sheet.WindowExprAs(op.Name, w)
 	if err != nil {
 		return nil, err
 	}

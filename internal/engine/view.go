@@ -20,11 +20,12 @@ type SelectionInfo struct {
 // ComputedInfo is one computed-column definition.
 type ComputedInfo struct {
 	Name    string `json:"name"`
-	Kind    string `json:"kind"` // "aggregate" or "formula"
+	Kind    string `json:"kind"` // "aggregate", "formula" or "window"
 	Agg     string `json:"agg,omitempty"`
 	Input   string `json:"input,omitempty"`
 	Level   int    `json:"level,omitempty"`
 	Formula string `json:"formula,omitempty"`
+	Window  string `json:"window,omitempty"` // OVER-clause SQL of a window column
 }
 
 // GroupingInfo is one grouping level below the root.
@@ -73,12 +74,16 @@ func (e *Engine) State() (*StateInfo, error) {
 	}
 	for _, c := range s.ComputedColumns() {
 		ci := ComputedInfo{Name: c.Name}
-		if c.Kind == core.KindAggregate {
+		switch c.Kind {
+		case core.KindAggregate:
 			ci.Kind = "aggregate"
 			ci.Agg = string(c.Agg)
 			ci.Input = c.Input
 			ci.Level = c.Level
-		} else {
+		case core.KindWindow:
+			ci.Kind = "window"
+			ci.Window = c.Win.SQL()
+		default:
 			ci.Kind = "formula"
 			ci.Formula = c.Formula.SQL()
 		}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestApplyWindow(t *testing.T) {
+	e := demoCars(t)
+	eff := must(t, e, Op{Op: "window", Name: "R",
+		Window: "RANK() OVER (PARTITION BY Model ORDER BY Price)"})
+	if eff.Column != "R" {
+		t.Fatalf("window created column %q, want R", eff.Column)
+	}
+	if !strings.HasPrefix(eff.Entry, "ω") {
+		t.Fatalf("window entry %q should be the ω history line", eff.Entry)
+	}
+	grid, err := e.Grid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(grid.Columns) - 1
+	if grid.Columns[last] != "R" {
+		t.Fatalf("grid columns: %v", grid.Columns)
+	}
+	want := []string{"1", "2", "3", "4", "5", "6", "1", "2", "3"}
+	for i, row := range grid.Rows {
+		if row[last] != want[i] {
+			t.Fatalf("row %d rank = %s, want %s", i, row[last], want[i])
+		}
+	}
+}
+
+func TestApplyWindowStateAndTopK(t *testing.T) {
+	e := demoCars(t)
+	must(t, e, Op{Op: "window", Name: "R",
+		Window: "RANK() OVER (PARTITION BY Model ORDER BY Price)"})
+	st, err := e.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Computed) != 1 || st.Computed[0].Kind != "window" {
+		t.Fatalf("computed state: %+v", st.Computed)
+	}
+	if !strings.Contains(st.Computed[0].Window, "RANK() OVER") {
+		t.Fatalf("window SQL: %q", st.Computed[0].Window)
+	}
+	// The paper's top-k-per-group idiom: a later σ over the ω column.
+	must(t, e, Op{Op: "select", Predicate: "R <= 2"})
+	grid, err := e.Grid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Total != 4 {
+		t.Fatalf("top-2 per model rows = %d, want 4", grid.Total)
+	}
+}
+
+func TestApplyWindowJSONRoundTrip(t *testing.T) {
+	in := Op{Op: "window", Name: "Mov",
+		Window: "SUM(Price) OVER (PARTITION BY Model ORDER BY Price ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)"}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"window":`) {
+		t.Fatalf("marshalled op lacks window field: %s", b)
+	}
+	var out Op
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Window != in.Window {
+		t.Fatalf("round-trip window = %q", out.Window)
+	}
+	e := demoCars(t)
+	eff := must(t, e, out)
+	if eff.Column != "Mov" {
+		t.Fatalf("column %q", eff.Column)
+	}
+}
+
+func TestApplyWindowErrors(t *testing.T) {
+	e := demoCars(t)
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Op: "window", Name: "R"}, "OVER expression"},
+		{Op{Op: "window", Name: "R", Window: "Price + 1"}, "not a window expression"},
+		{Op{Op: "window", Name: "R", Window: "RANK() OVER (PARTITION BY Model)"}, "ORDER BY"},
+		{Op{Op: "window", Name: "R", Window: "SUM(Nope) OVER (ORDER BY Price)"}, "unknown column"},
+	}
+	for _, tc := range cases {
+		if _, err := e.Apply(tc.op); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: err = %v, want substring %q", tc.op, err, tc.want)
+		}
+	}
+	bare := New(nil)
+	if _, err := bare.Apply(Op{Op: "window", Name: "R",
+		Window: "RANK() OVER (ORDER BY Price)"}); err == nil {
+		t.Fatal("window without a sheet should fail")
+	}
+}
+
+// TestApplyWindowPlanShowsStage: the /plan surface lists the ω stage with
+// its fingerprint, so clients can watch the window node cache or recompute.
+func TestApplyWindowPlanShowsStage(t *testing.T) {
+	e := demoCars(t)
+	must(t, e, Op{Op: "window", Name: "R",
+		Window: "RANK() OVER (PARTITION BY Model ORDER BY Price)"})
+	plan, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range plan.Stages {
+		if !strings.HasPrefix(st.Name, "ω R") {
+			continue
+		}
+		found = true
+		if len(st.Fingerprint) != 16 || st.Fingerprint == "0000000000000000" {
+			t.Fatalf("ω stage fingerprint = %q, want a 64-bit hex digest", st.Fingerprint)
+		}
+		if st.Cached {
+			t.Fatal("first plan reported the ω stage cached")
+		}
+	}
+	if !found {
+		t.Fatalf("no ω stage in plan: %+v", plan.Stages)
+	}
+}

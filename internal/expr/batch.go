@@ -341,7 +341,7 @@ func compileBatch(e Expr, resolve BatchResolver) (batchFn, error) {
 		return compileBatchBinary(n, resolve)
 	case *IsNull, *InList, *Between:
 		return predAsValue(e, resolve)
-	case *FuncCall, *Star, *Subquery, *Exists, *InSubquery:
+	case *FuncCall, *WindowCall, *Star, *Subquery, *Exists, *InSubquery:
 		return nil, ErrNotVectorizable
 	}
 	return nil, ErrNotVectorizable

@@ -89,6 +89,8 @@ func Check(e Expr, resolve KindResolver) (value.Kind, error) {
 		return value.KindBool, nil
 	case *FuncCall:
 		return checkFunc(n, resolve)
+	case *WindowCall:
+		return checkWindow(n, resolve)
 	case *Subquery:
 		// The inner statement is analysed by the SQL layer at execution;
 		// its scalar result unifies with any kind here.
@@ -205,6 +207,24 @@ func checkFunc(f *FuncCall, resolve KindResolver) (value.Kind, error) {
 	case "SUBSTR":
 		if len(kinds) == 2 || len(kinds) == 3 {
 			return value.KindString, nil
+		}
+	case "IF":
+		if len(kinds) == 3 {
+			if kinds[0] != value.KindBool && kinds[0] != value.KindNull {
+				return value.KindNull, fmt.Errorf("expr: IF condition must be boolean, got %s", kinds[0])
+			}
+			a, b := kinds[1], kinds[2]
+			switch {
+			case a == b:
+				return a, nil
+			case a == value.KindNull:
+				return b, nil
+			case b == value.KindNull:
+				return a, nil
+			case a.Numeric() && b.Numeric():
+				return value.KindFloat, nil
+			}
+			return value.KindNull, fmt.Errorf("expr: IF branches disagree on type (%s vs %s)", a, b)
 		}
 	case "COALESCE":
 		if len(kinds) >= 1 {

@@ -192,6 +192,11 @@ func compile(e Expr, resolve Resolver) (progFn, error) {
 		}, nil
 	case *FuncCall:
 		return compileFunc(n, resolve)
+	case *WindowCall:
+		fn := n.Func
+		return func([]value.Value) (value.Value, error) {
+			return value.Null, fmt.Errorf("expr: window function %s not allowed in a row context", fn)
+		}, nil
 	case *Subquery, *Exists, *InSubquery:
 		return nil, ErrNotCompilable
 	}

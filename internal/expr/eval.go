@@ -99,6 +99,8 @@ func Eval(e Expr, env Env) (value.Value, error) {
 		return t.Value(), nil
 	case *FuncCall:
 		return evalFunc(n, env)
+	case *WindowCall:
+		return value.Null, fmt.Errorf("expr: window function %s not allowed in a row context", n.Func)
 	case *Subquery:
 		return evalScalarSubquery(n, env)
 	case *Exists:

@@ -34,6 +34,7 @@ const (
 	fpTagBetween uint64 = 0x1d8e4e27c47d124f
 	fpTagFunc    uint64 = 0xeb44accab455d165
 	fpTagSubq    uint64 = 0x2545f4914f6cdd1d
+	fpTagWindow  uint64 = 0x7b9f2a4d1c8e6b35
 )
 
 // fpMix folds one 64-bit word into a running fingerprint, order-dependently.
@@ -83,6 +84,19 @@ func Fingerprint(e Expr) uint64 {
 			h = fpBool(fpMix(h, fpTagBetween), n.Negate)
 		case *FuncCall:
 			h = fpMix(fpString(fpMix(h, fpTagFunc), n.Name), uint64(len(n.Args)))
+		case *WindowCall:
+			// Arities and per-key directions fold in at the node (they are
+			// not children); the frame folds in by its SQL spelling.
+			h = fpString(fpMix(h, fpTagWindow), string(n.Func))
+			h = fpBool(h, n.Arg != nil)
+			h = fpMix(h, uint64(len(n.PartitionBy)))
+			h = fpMix(h, uint64(len(n.OrderBy)))
+			for _, o := range n.OrderBy {
+				h = fpBool(h, o.Desc)
+			}
+			if n.Frame != nil {
+				h = fpString(h, n.Frame.String())
+			}
 		default:
 			// Subquery forms: the stored SQL text is their whole identity
 			// (the algebra rejects them before evaluation anyway).

@@ -167,6 +167,16 @@ func CallScalar(name string, args []value.Value) (value.Value, error) {
 			}
 		}
 		return value.NewString(s[start:end]), nil
+	case "IF":
+		// IF(cond, then, else): the CASE-free conditional. A NULL condition
+		// takes the else branch, like CASE WHEN.
+		if err := arity(name, args, 3); err != nil {
+			return value.Null, err
+		}
+		if !args[0].IsNull() && args[0].Bool() {
+			return args[1], nil
+		}
+		return args[2], nil
 	case "COALESCE":
 		if len(args) == 0 {
 			return value.Null, fmt.Errorf("expr: COALESCE expects at least 1 argument")

@@ -30,6 +30,17 @@ func FuzzParse(f *testing.F) {
 		"\"",
 		"1e999",
 		"a.b.c.d = 1",
+		"RANK() OVER (PARTITION BY Model ORDER BY Price)",
+		"ROW_NUMBER() OVER (ORDER BY Price DESC, Model)",
+		"SUM(Price) OVER (PARTITION BY Model ORDER BY Price ROWS BETWEEN 2 PRECEDING AND CURRENT ROW)",
+		"AVG(Price) OVER (ORDER BY Price ROWS BETWEEN UNBOUNDED PRECEDING AND 1 FOLLOWING)",
+		"MAX(Price) OVER ()",
+		"COUNT(*) OVER (PARTITION BY Model)",
+		"RANK() OVER",
+		"SUM(Price) OVER (ROWS BETWEEN",
+		"RANK() OVER (ORDER BY)",
+		"DENSE_RANK() OVER (PARTITION BY)",
+		"SUM(x) OVER (ORDER BY y ROWS BETWEEN CURRENT ROW AND UNBOUNDED PRECEDING)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -398,7 +398,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			name := strings.ToUpper(t.Text)
 			var args []Expr
 			if p.AcceptOp(")") {
-				return &FuncCall{Name: name}, nil
+				fc := &FuncCall{Name: name}
+				if p.acceptWord("OVER") {
+					return p.parseOverClause(fc)
+				}
+				return fc, nil
 			}
 			// DISTINCT inside aggregate calls: COUNT(DISTINCT x).
 			distinct := p.AcceptKeyword("DISTINCT")
@@ -424,7 +428,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			if distinct {
 				name += "_DISTINCT"
 			}
-			return &FuncCall{Name: name, Args: args}, nil
+			fc := &FuncCall{Name: name, Args: args}
+			if p.acceptWord("OVER") {
+				return p.parseOverClause(fc)
+			}
+			return fc, nil
 		}
 		return &ColumnRef{Name: t.Text}, nil
 	case TokOp:

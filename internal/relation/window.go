@@ -1,0 +1,446 @@
+package relation
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"sheetmusiq/internal/obs"
+	"sheetmusiq/internal/value"
+)
+
+// Window-function kernel. WindowEval computes one window function —
+// RANK/DENSE_RANK/ROW_NUMBER or a moving/running SUM/AVG/MIN/MAX/COUNT —
+// over n lanes partitioned by a Grouping and ordered by precomputed key
+// vectors. The kernel is deliberately deterministic:
+//
+//   - lanes sort stably by (partition ID, order keys), so rows that tie on
+//     every order key keep their incoming lane order — ROW_NUMBER over ties
+//     is reproducible, and every aggregate accumulates its frame's rows in
+//     ascending sorted position, matching a sequential scan bit for bit;
+//   - partitions evaluate independently with disjoint result writes, so the
+//     cross-partition parallel fan-out cannot reorder any accumulation;
+//   - the running-frame fast path (UNBOUNDED PRECEDING .. CURRENT ROW) feeds
+//     one accumulator the same rows in the same ascending order a naive
+//     per-row recompute would, so both strategies agree exactly, floats
+//     included.
+//
+// Comparison semantics are value.MustCompare throughout (NULLs first, NaN
+// unordered), identical to the sort and grouping kernels, so SQL-layer and
+// algebra-layer windows that share inputs share outputs.
+
+// WindowFunc names a window function.
+type WindowFunc string
+
+// The supported window functions. The ranking trio requires an ORDER BY and
+// takes no argument; the aggregate five accept an optional frame and reuse
+// Accumulator semantics (COUNT counts frame rows including NULLs when no
+// argument column is given, mirroring COUNT(*)).
+const (
+	WinRank      WindowFunc = "RANK"
+	WinDenseRank WindowFunc = "DENSE_RANK"
+	WinRowNumber WindowFunc = "ROW_NUMBER"
+	WinSum       WindowFunc = "SUM"
+	WinAvg       WindowFunc = "AVG"
+	WinMin       WindowFunc = "MIN"
+	WinMax       WindowFunc = "MAX"
+	WinCount     WindowFunc = "COUNT"
+)
+
+// ParseWindowFunc resolves a case-insensitive window-function name.
+func ParseWindowFunc(name string) (WindowFunc, error) {
+	switch strings.ToUpper(name) {
+	case "RANK":
+		return WinRank, nil
+	case "DENSE_RANK":
+		return WinDenseRank, nil
+	case "ROW_NUMBER":
+		return WinRowNumber, nil
+	case "SUM":
+		return WinSum, nil
+	case "AVG", "MEAN":
+		return WinAvg, nil
+	case "MIN":
+		return WinMin, nil
+	case "MAX":
+		return WinMax, nil
+	case "COUNT":
+		return WinCount, nil
+	}
+	return "", fmt.Errorf("relation: unknown window function %q", name)
+}
+
+// Ranking reports whether f is one of the ranking functions (argument-free,
+// ORDER BY mandatory, frame meaningless).
+func (f WindowFunc) Ranking() bool {
+	switch f {
+	case WinRank, WinDenseRank, WinRowNumber:
+		return true
+	}
+	return false
+}
+
+// NeedsArg reports whether f requires an argument column. COUNT works with
+// or without one (COUNT(*) counts frame rows).
+func (f WindowFunc) NeedsArg() bool {
+	switch f {
+	case WinSum, WinAvg, WinMin, WinMax:
+		return true
+	}
+	return false
+}
+
+// AggFunc returns the plain-aggregate counterpart of an aggregate window
+// function ("" for the ranking functions).
+func (f WindowFunc) AggFunc() AggFunc {
+	switch f {
+	case WinSum:
+		return AggSum
+	case WinAvg:
+		return AggAvg
+	case WinMin:
+		return AggMin
+	case WinMax:
+		return AggMax
+	case WinCount:
+		return AggCount
+	}
+	return ""
+}
+
+// ResultKind returns the kind f produces over an input of the given kind.
+func (f WindowFunc) ResultKind(input value.Kind) value.Kind {
+	if f.Ranking() {
+		return value.KindInt
+	}
+	return f.AggFunc().ResultKind(input)
+}
+
+// FrameBoundKind enumerates the five SQL frame-bound forms.
+type FrameBoundKind uint8
+
+const (
+	BoundUnboundedPreceding FrameBoundKind = iota
+	BoundPreceding
+	BoundCurrentRow
+	BoundFollowing
+	BoundUnboundedFollowing
+)
+
+// String renders the bound in SQL spelling.
+func (b FrameBound) String() string {
+	switch b.Kind {
+	case BoundUnboundedPreceding:
+		return "UNBOUNDED PRECEDING"
+	case BoundPreceding:
+		return fmt.Sprintf("%d PRECEDING", b.Offset)
+	case BoundCurrentRow:
+		return "CURRENT ROW"
+	case BoundFollowing:
+		return fmt.Sprintf("%d FOLLOWING", b.Offset)
+	}
+	return "UNBOUNDED FOLLOWING"
+}
+
+// FrameBound is one end of a ROWS frame; Offset is used only by the
+// PRECEDING/FOLLOWING kinds.
+type FrameBound struct {
+	Kind   FrameBoundKind
+	Offset int64
+}
+
+// Frame is an explicit ROWS frame (physical offsets from the current row).
+// A nil *Frame means the SQL default: the whole partition without ORDER BY,
+// or the running frame — start of partition through the current row's last
+// peer — with one.
+type Frame struct {
+	Lo, Hi FrameBound
+}
+
+// String renders the frame in SQL spelling.
+func (f *Frame) String() string {
+	return fmt.Sprintf("ROWS BETWEEN %s AND %s", f.Lo, f.Hi)
+}
+
+// Validate rejects frames no row set can satisfy the ordering of.
+func (f *Frame) Validate() error {
+	if f.Lo.Kind == BoundUnboundedFollowing || f.Hi.Kind == BoundUnboundedPreceding {
+		return fmt.Errorf("relation: frame bound order is inverted (%s)", f)
+	}
+	if (f.Lo.Kind == BoundPreceding || f.Lo.Kind == BoundFollowing) && f.Lo.Offset < 0 {
+		return fmt.Errorf("relation: negative frame offset %d", f.Lo.Offset)
+	}
+	if (f.Hi.Kind == BoundPreceding || f.Hi.Kind == BoundFollowing) && f.Hi.Offset < 0 {
+		return fmt.Errorf("relation: negative frame offset %d", f.Hi.Offset)
+	}
+	return nil
+}
+
+// WindowSpec selects the function and (for aggregates) an optional explicit
+// ROWS frame.
+type WindowSpec struct {
+	Func  WindowFunc
+	Frame *Frame
+}
+
+// WindowInput carries the lane-aligned input vectors of one evaluation.
+// Lanes are the caller's row order (the order ROW_NUMBER falls back to on
+// full ties). Keys holds K order-key values per lane, row-major; Desc flips
+// per key position. Parts assigns each lane its partition (nil = a single
+// partition). Arg is the aggregate argument per lane; nil means COUNT(*).
+type WindowInput struct {
+	N     int
+	Arg   []value.Value
+	Parts *Grouping
+	Keys  []value.Value
+	K     int
+	Desc  []bool
+}
+
+// Window-kernel metrics, recorded per evaluation (never per row).
+var (
+	windowEvals      = obs.Default.Counter("relation.window.evals")
+	windowRows       = obs.Default.Counter("relation.window.rows")
+	windowPartitions = obs.Default.Counter("relation.window.partitions")
+)
+
+// WindowEval computes the window function over every lane and returns the
+// lane-aligned result vector.
+func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
+	n := in.N
+	if spec.Func.Ranking() {
+		if in.K == 0 {
+			return nil, fmt.Errorf("relation: %s requires an ORDER BY", spec.Func)
+		}
+		if spec.Frame != nil {
+			return nil, fmt.Errorf("relation: %s does not take a frame", spec.Func)
+		}
+	}
+	if spec.Frame != nil {
+		if in.K == 0 {
+			return nil, fmt.Errorf("relation: a frame requires an ORDER BY")
+		}
+		if err := spec.Frame.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if in.Arg == nil && spec.Func.NeedsArg() {
+		return nil, fmt.Errorf("relation: %s window requires an argument column", spec.Func)
+	}
+	windowEvals.Inc()
+	windowRows.Add(int64(n))
+	res := make([]value.Value, n)
+	if n == 0 {
+		return res, nil
+	}
+
+	// Stable sort of lanes by (partition, order keys): partitions become
+	// contiguous runs and in-partition order is the frame order. With no
+	// partitioning and no keys the identity permutation stands.
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	pid := func(l int32) int32 {
+		if in.Parts == nil {
+			return 0
+		}
+		return in.Parts.IDs[l]
+	}
+	if in.Parts != nil || in.K > 0 {
+		k := in.K
+		less := func(a, b int32) bool {
+			if pa, pb := pid(a), pid(b); pa != pb {
+				return pa < pb
+			}
+			for j := 0; j < k; j++ {
+				c := value.MustCompare(in.Keys[int(a)*k+j], in.Keys[int(b)*k+j])
+				if c == 0 {
+					continue
+				}
+				if in.Desc[j] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		}
+		(&permSorter{less: less}).sort(perm)
+	}
+
+	// Partition bounds over the sorted permutation.
+	var parts [][2]int
+	lo := 0
+	for i := 1; i <= n; i++ {
+		if i == n || pid(perm[i]) != pid(perm[lo]) {
+			parts = append(parts, [2]int{lo, i})
+			lo = i
+		}
+	}
+	windowPartitions.Add(int64(len(parts)))
+
+	// peers reports whether two lanes tie on every order key — the peer
+	// (RANGE) grouping ranking and default running frames share.
+	peers := func(a, b int32) bool {
+		for j := 0; j < in.K; j++ {
+			if value.MustCompare(in.Keys[int(a)*in.K+j], in.Keys[int(b)*in.K+j]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	argAt := func(l int32) value.Value {
+		if in.Arg == nil {
+			return value.NewInt(1)
+		}
+		return in.Arg[l]
+	}
+
+	evalPart := func(lo, hi int) error {
+		switch spec.Func {
+		case WinRowNumber:
+			for i := lo; i < hi; i++ {
+				res[perm[i]] = value.NewInt(int64(i - lo + 1))
+			}
+			return nil
+		case WinRank, WinDenseRank:
+			dense := spec.Func == WinDenseRank
+			rank := int64(0)
+			for s := lo; s < hi; {
+				e := s + 1
+				for e < hi && peers(perm[s], perm[e]) {
+					e++
+				}
+				if dense {
+					rank++
+				} else {
+					rank = int64(s - lo + 1)
+				}
+				for i := s; i < e; i++ {
+					res[perm[i]] = value.NewInt(rank)
+				}
+				s = e
+			}
+			return nil
+		}
+		if spec.Frame == nil && in.K == 0 {
+			// Whole-partition aggregate: one pass, broadcast.
+			acc := NewAccumulator(spec.Func.AggFunc())
+			for i := lo; i < hi; i++ {
+				if err := acc.Add(argAt(perm[i])); err != nil {
+					return err
+				}
+			}
+			r := acc.Result()
+			for i := lo; i < hi; i++ {
+				res[perm[i]] = r
+			}
+			return nil
+		}
+		if spec.Frame == nil {
+			// Default running frame with peers (RANGE UNBOUNDED PRECEDING ..
+			// CURRENT ROW): one accumulator fed in ascending order, snapshot
+			// at each peer-group boundary. Accumulation order is identical
+			// to recomputing each frame from scratch, so the incremental
+			// strategy is bit-identical to the naive one.
+			acc := NewAccumulator(spec.Func.AggFunc())
+			for s := lo; s < hi; {
+				e := s + 1
+				for e < hi && peers(perm[s], perm[e]) {
+					e++
+				}
+				for i := s; i < e; i++ {
+					if err := acc.Add(argAt(perm[i])); err != nil {
+						return err
+					}
+				}
+				r := acc.Result()
+				for i := s; i < e; i++ {
+					res[perm[i]] = r
+				}
+				s = e
+			}
+			return nil
+		}
+		// Explicit ROWS frame: physical offsets from the current row,
+		// clamped to the partition; each frame accumulates fresh in
+		// ascending order (empty frames yield the empty-accumulator result).
+		bound := func(b FrameBound, i int) int {
+			switch b.Kind {
+			case BoundUnboundedPreceding:
+				return lo
+			case BoundPreceding:
+				return i - int(b.Offset)
+			case BoundCurrentRow:
+				return i
+			case BoundFollowing:
+				return i + int(b.Offset)
+			}
+			return hi - 1
+		}
+		for i := lo; i < hi; i++ {
+			s, e := bound(spec.Frame.Lo, i), bound(spec.Frame.Hi, i)
+			if s < lo {
+				s = lo
+			}
+			if e > hi-1 {
+				e = hi - 1
+			}
+			acc := NewAccumulator(spec.Func.AggFunc())
+			for j := s; j <= e; j++ {
+				if err := acc.Add(argAt(perm[j])); err != nil {
+					return err
+				}
+			}
+			res[perm[i]] = acc.Result()
+		}
+		return nil
+	}
+
+	// Partitions are independent and write disjoint lanes; fan out over the
+	// partition list when the row count clears the parallel threshold. The
+	// bounds are built over the partition list directly (Chunks sizes by row
+	// count, which would keep small partition counts sequential forever).
+	if len(parts) > 1 && n >= ParallelThreshold {
+		bounds := partChunks(len(parts))
+		err := RunChunks(bounds, func(_, plo, phi int) error {
+			for p := plo; p < phi; p++ {
+				if err := evalPart(parts[p][0], parts[p][1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	for _, p := range parts {
+		if err := evalPart(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// partChunks splits m partitions into up to GOMAXPROCS contiguous bounds.
+func partChunks(m int) [][2]int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > m {
+		procs = m
+	}
+	size := (m + procs - 1) / procs
+	bounds := make([][2]int, 0, procs)
+	for lo := 0; lo < m; lo += size {
+		hi := lo + size
+		if hi > m {
+			hi = m
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	return bounds
+}

@@ -156,6 +156,18 @@ func (s *Session) Exec(line string) error {
 		}
 		fmt.Fprintf(s.out, "created column %s\n", eff.Column)
 		return s.maybeShow()
+	case "window":
+		name, def, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("usage: window <name> = <fn>(...) OVER (...)")
+		}
+		eff, err := s.eng.Apply(engine.Op{Op: "window",
+			Name: strings.TrimSpace(name), Window: strings.TrimSpace(def)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "created column %s\n", eff.Column)
+		return s.maybeShow()
 	case "hide":
 		return s.do(engine.Op{Op: "hide", Column: rest})
 	case "unhide", "reinstate":
@@ -481,9 +493,12 @@ func (s *Session) state() error {
 		fmt.Fprintf(s.out, "selection #%d: %s\n", sel.ID, sel.SQL)
 	}
 	for _, c := range st.Computed {
-		if c.Kind == "aggregate" {
+		switch c.Kind {
+		case "aggregate":
 			fmt.Fprintf(s.out, "aggregate %s = %s(%s) at level %d\n", c.Name, c.Agg, c.Input, c.Level)
-		} else {
+		case "window":
+			fmt.Fprintf(s.out, "window %s = %s\n", c.Name, c.Window)
+		default:
 			fmt.Fprintf(s.out, "formula %s = %s\n", c.Name, c.Formula)
 		}
 	}
@@ -546,6 +561,7 @@ manipulation (one spreadsheet-algebra operator each)
   order <col> <dir> <level>    λ  order at a specific group level
   agg <fn> <col> <level> [as <name>]   η  avg/sum/min/max/count/stddev
   formula <name> = <expr>      θ  computed column
+  window <name> = <over-expr>  ω  e.g. window R = RANK() OVER (PARTITION BY Model ORDER BY Price)
   hide <col> / unhide <col>    π / inverse π
   distinct / nodistinct        δ
   rename <old> <new>

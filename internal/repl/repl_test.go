@@ -365,3 +365,38 @@ func TestCompileCommand(t *testing.T) {
 		t.Fatal("non-core SQL must fail to compile")
 	}
 }
+
+func TestWindowCommand(t *testing.T) {
+	out := session(t,
+		"echo off",
+		"demo cars",
+		"window R = RANK() OVER (PARTITION BY Model ORDER BY Price)",
+		"select R <= 2",
+		"state",
+		"show",
+	)
+	if !strings.Contains(out, "created column R") {
+		t.Fatalf("window command should report its column:\n%s", out)
+	}
+	if !strings.Contains(out, "window R = RANK() OVER (PARTITION BY Model ORDER BY Price)") {
+		t.Fatalf("state should list the ω column:\n%s", out)
+	}
+	// Top-2 per model: both cheap Civics, both cheap Jettas survive.
+	for _, id := range []string{"304", "872", "132", "879"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("top-2-per-group grid missing car %s:\n%s", id, out)
+		}
+	}
+	if strings.Contains(strings.SplitN(out, "select R <= 2", 2)[len(strings.SplitN(out, "select R <= 2", 2))-1], " 901 ") {
+		t.Fatalf("car 901 should be filtered out:\n%s", out)
+	}
+}
+
+func TestWindowCommandErrors(t *testing.T) {
+	if err := sessionErr(t, "demo cars", "window R RANK() OVER (ORDER BY Price)"); err == nil {
+		t.Fatal("missing '=' should fail")
+	}
+	if err := sessionErr(t, "demo cars", "window R = Price + 1"); err == nil {
+		t.Fatal("non-window expression should fail")
+	}
+}

@@ -51,6 +51,10 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	c.op(ids[0], engine.Op{Op: "group", Columns: []string{"Model"}, Dir: "asc"})
 	c.op(ids[0], engine.Op{Op: "agg", Fn: "avg", Column: "Price", Level: 2})
 	c.op(ids[0], engine.Op{Op: "sort", Column: "Price", Dir: "desc"})
+	// ω workload: a ranking window drives the window kernel (and its batch
+	// gather off the base column vectors) at render time.
+	c.op(ids[0], engine.Op{Op: "window", Name: "Rnk",
+		Window: "RANK() OVER (PARTITION BY Model ORDER BY Price)"})
 	c.op(ids[0], engine.Op{Op: "save", Name: "other"})
 	c.op(ids[0], engine.Op{Op: "join", Sheet: "other", On: "Year = other_Year"})
 	var out json.RawMessage
@@ -73,8 +77,8 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	if d := delta("server.requests.session_create"); d != 2 {
 		t.Errorf("session_create requests delta = %d, want 2", d)
 	}
-	if d := delta("server.requests.op"); d != 10 {
-		t.Errorf("op requests delta = %d, want 10 (9 ok + 1 bad)", d)
+	if d := delta("server.requests.op"); d != 11 {
+		t.Errorf("op requests delta = %d, want 11 (10 ok + 1 bad)", d)
 	}
 	if d := delta("server.requests.render"); d != 3 {
 		t.Errorf("render requests delta = %d, want 3", d)
@@ -84,8 +88,8 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	}
 	hb := before.Histograms["server.request_seconds.op"]
 	ha := after.Histograms["server.request_seconds.op"]
-	if ha.Count-hb.Count != 10 {
-		t.Errorf("op latency histogram count delta = %d, want 10", ha.Count-hb.Count)
+	if ha.Count-hb.Count != 11 {
+		t.Errorf("op latency histogram count delta = %d, want 11", ha.Count-hb.Count)
 	}
 
 	// Session lifecycle.
@@ -130,6 +134,22 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	}
 	if d := delta("relation.join.fallback"); d != 0 {
 		t.Errorf("theta fallback delta = %d, want 0 (condition is an equi-join)", d)
+	}
+
+	// Window kernel: the ω replay ran at least one eval over the sheet's
+	// rows with one partition per model, and its inputs were gathered off
+	// the base column vectors (the batch path).
+	if d := delta("relation.window.evals"); d < 1 {
+		t.Errorf("window evals delta = %d, want >= 1", d)
+	}
+	if d := delta("relation.window.rows"); d < 9 {
+		t.Errorf("window rows delta = %d, want >= 9", d)
+	}
+	if d := delta("relation.window.partitions"); d < 2 {
+		t.Errorf("window partitions delta = %d, want >= 2", d)
+	}
+	if d := delta("expr.batch.window"); d < 1 {
+		t.Errorf("expr.batch.window delta = %d, want >= 1", d)
 	}
 
 	// Vectorizer layer: the σ replays compile their predicates to batch

@@ -462,6 +462,9 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 		if expr.ContainsAggregate(stmt.Where) {
 			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
 		}
+		if expr.ContainsWindow(stmt.Where) {
+			return nil, fmt.Errorf("sql: window functions are not allowed in WHERE")
+		}
 		if prog := compileOn(src, stmt.Where, outer); prog != nil {
 			kept, keptIdx, err := filterRowsTyped(src, stmt.Where, rows, prog, aligned)
 			if err != nil {
@@ -486,6 +489,17 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 	}
 
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil || hasAggregates(stmt)
+	if hasWindows(stmt) {
+		if grouped {
+			return nil, fmt.Errorf("sql: window functions cannot be combined with GROUP BY, HAVING or aggregates")
+		}
+		var werr error
+		src, rows, stmt, werr = applyWindows(db, src, stmt, rows, outer, subs, idx, aligned)
+		if werr != nil {
+			return nil, werr
+		}
+		idx, aligned = nil, false
+	}
 	var out *relation.Relation
 	var sortVals [][]value.Value
 	var err error
@@ -863,6 +877,29 @@ func rebuild(e expr.Expr, fn func(expr.Expr) (expr.Expr, error)) (expr.Expr, err
 			}
 		}
 		return &expr.FuncCall{Name: n.Name, Args: args}, nil
+	case *expr.WindowCall:
+		out := &expr.WindowCall{Func: n.Func, Frame: n.Frame}
+		var err error
+		if n.Arg != nil {
+			if out.Arg, err = fn(n.Arg); err != nil {
+				return nil, err
+			}
+		}
+		out.PartitionBy = make([]expr.Expr, len(n.PartitionBy))
+		for i, p := range n.PartitionBy {
+			if out.PartitionBy[i], err = fn(p); err != nil {
+				return nil, err
+			}
+		}
+		out.OrderBy = make([]expr.WindowOrder, len(n.OrderBy))
+		for i, o := range n.OrderBy {
+			x, err := fn(o.X)
+			if err != nil {
+				return nil, err
+			}
+			out.OrderBy[i] = expr.WindowOrder{X: x, Desc: o.Desc}
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("sql: cannot rebuild %T", e)
 }

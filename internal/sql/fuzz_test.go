@@ -22,6 +22,14 @@ func FuzzQuery(f *testing.F) {
 		"SELECT * FROM cars cars cars",
 		"SELECT ((SELECT 1 FROM cars)) FROM cars",
 		"SELECT * FROM cars LIMIT -1",
+		"SELECT Model, RANK() OVER (PARTITION BY Model ORDER BY Price) AS r FROM cars",
+		"SELECT SUM(Price) OVER (ORDER BY Price ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) FROM cars",
+		"SELECT Model, MAX(Price) OVER () AS top FROM cars WHERE Price < 20000",
+		"SELECT * FROM (SELECT ID, ROW_NUMBER() OVER (PARTITION BY Model ORDER BY Price) AS rn FROM cars) AS t WHERE rn <= 2",
+		"SELECT ID FROM cars WHERE RANK() OVER (ORDER BY Price) = 1",
+		"SELECT Model, COUNT(*) OVER (PARTITION BY Model) FROM cars GROUP BY Model",
+		"SELECT RANK() OVER (ORDER BY Price ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) FROM cars",
+		"SELECT SUM(Price) OVER ( FROM cars",
 	}
 	for _, s := range seeds {
 		f.Add(s)

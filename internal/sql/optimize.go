@@ -72,7 +72,7 @@ func (db *DB) sourceColumns(f FromItem, out map[string]map[string]bool) {
 // homeAlias finds the single source that covers every column the conjunct
 // references, or "" when none (cross-source, unresolved, or ambiguous).
 func homeAlias(e expr.Expr, sources map[string]map[string]bool) string {
-	if expr.ContainsSubquery(e) || expr.ContainsAggregate(e) {
+	if expr.ContainsSubquery(e) || expr.ContainsAggregate(e) || expr.ContainsWindow(e) {
 		return ""
 	}
 	home := ""

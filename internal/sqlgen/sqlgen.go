@@ -136,13 +136,27 @@ func (g *generator) computeDepths(computed []core.ComputedColumn, sels []core.Se
 		seen[key] = true
 		defer delete(seen, key)
 		var dep int
-		if c.Kind == core.KindAggregate {
+		switch c.Kind {
+		case core.KindAggregate:
 			in, err := colDepth(c.Input, seen)
 			if err != nil {
 				return 0, err
 			}
 			dep = in + 1
-		} else {
+		case core.KindWindow:
+			// Like aggregates, ω sits one stratum above its deepest input
+			// (core.aggDepth): it ranks the rows the shallower stages left.
+			for _, ref := range windowColumns(c.Win) {
+				rd, err := colDepth(ref, seen)
+				if err != nil {
+					return 0, err
+				}
+				if rd > dep {
+					dep = rd
+				}
+			}
+			dep++
+		default:
 			for _, ref := range expr.Columns(c.Formula) {
 				rd, err := colDepth(ref, seen)
 				if err != nil {
@@ -217,6 +231,16 @@ func (g *generator) run() (*Plan, error) {
 			if err := g.emitAggregates(computed, dep, d); err != nil {
 				return nil, err
 			}
+		}
+		// Window columns of depth d (d ≥ 1), one wrap each, after the
+		// depth-d aggregates (a window may rank by them) and before the
+		// formulas (which may reference the window).
+		for _, c := range computed {
+			if c.Kind != core.KindWindow || dep.col[strings.ToLower(c.Name)] != d {
+				continue
+			}
+			g.push("SELECT *, " + c.Win.SQL() + " AS " + quote(c.Name) + " FROM " + g.from())
+			g.cols = append(g.cols, c.Name)
 		}
 		// Formula columns of depth d, one wrap each so same-depth formulas
 		// can reference earlier ones.
@@ -362,6 +386,20 @@ func bare(name string) string {
 	return name
 }
 
+// windowColumns enumerates the base/computed columns a window definition
+// reads: its input, partition attributes and order keys.
+func windowColumns(w *core.WindowDef) []string {
+	var out []string
+	if w.Input != "" {
+		out = append(out, w.Input)
+	}
+	out = append(out, w.PartitionBy...)
+	for _, k := range w.OrderBy {
+		out = append(out, k.Column)
+	}
+	return out
+}
+
 // cumulativeBasis reproduces the paper's g_level from the grouping spec.
 func (g *generator) cumulativeBasis(level int) []string {
 	var out []string
@@ -404,14 +442,19 @@ func (g *generator) checkDistinctRestriction(distinct []string, computed []core.
 		}
 	}
 	for _, c := range computed {
-		if c.Kind == core.KindAggregate {
+		switch c.Kind {
+		case core.KindAggregate:
 			if err := check([]string{c.Input}, "aggregate "+c.Name); err != nil {
 				return err
 			}
-			continue
-		}
-		if err := check(expr.Columns(c.Formula), "formula "+c.Name); err != nil {
-			return err
+		case core.KindWindow:
+			if err := check(windowColumns(c.Win), "window "+c.Name); err != nil {
+				return err
+			}
+		default:
+			if err := check(expr.Columns(c.Formula), "formula "+c.Name); err != nil {
+				return err
+			}
 		}
 	}
 	for _, lvl := range g.sheet.Grouping() {

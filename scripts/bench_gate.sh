@@ -3,6 +3,12 @@
 # workloads and fails if any of them regresses below the threshold ratio
 # (baseline ns/op divided by current ns/op, default 0.9x) against the
 # recorded snapshot in BENCH_eval.json. `make bench-gate` wraps this.
+# BenchmarkTPCHQ1SF1 is recorded by `make bench-json` but not gated by
+# default: the single-iteration 6M-row run swings well past the 0.9x
+# threshold with allocator/GC state, and its SF-1 generation alone adds
+# many minutes per gate run. Opt it in with
+#   BENCH_GATE_PATTERN='^BenchmarkTPCHQ1SF1$' BENCH_GATE_THRESHOLD=0.5 make bench-gate
+# when a change targets the TPC-H path specifically.
 #
 # Environment overrides:
 #   BENCH_GATE_PATTERN    -bench regex selecting the tracked workloads
@@ -12,10 +18,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_GATE_PATTERN:-^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k)$}"
+PATTERN="${BENCH_GATE_PATTERN:-^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k)$}"
 BASELINE="${BENCH_GATE_BASELINE:-BENCH_eval.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-0.9}"
 COUNT="${BENCH_GATE_COUNT:-1}"
 
-go test -run='^$' -bench="$PATTERN" -benchmem -count="$COUNT" . \
+go test -run='^$' -bench="$PATTERN" -benchmem -count="$COUNT" -timeout=60m . \
   | go run ./cmd/benchjson -gate "$BASELINE" -threshold "$THRESHOLD"
