@@ -46,8 +46,17 @@ bench:
 # previous "after" snapshot becomes "before", and this run becomes "after".
 # BenchmarkInstrumentedEval/{bare,instrumented}/* pairs land in the same
 # file; their ratio is the observability layer's overhead (budget <5%).
+# The tracked gate workloads then re-run -count=$(BENCH_JSON_COUNT) times in
+# a fresh process and benchjson's min-of-runs selection keeps each
+# benchmark's fastest line — a full-suite process accumulates a large live
+# heap by the time the heavyweights run, and a single contended iteration
+# would be recorded as the baseline the gate holds future work to.
+BENCH_JSON_COUNT ?= 3
+BENCH_GATE_PATTERN ?= ^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k|BenchmarkTPCHQ1SF1)$$
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem -timeout=60m . | $(GO) run ./cmd/benchjson -update BENCH_eval.json
+	( $(GO) test -run='^$$' -bench=. -benchmem -timeout=60m . ; \
+	  $(GO) test -run='^$$' -bench='$(BENCH_GATE_PATTERN)' -benchmem -count=$(BENCH_JSON_COUNT) -timeout=60m . ) \
+	  | $(GO) run ./cmd/benchjson -update BENCH_eval.json
 
 # loadgen-smoke is the end-to-end durability check: durable server, loadgen
 # burst, kill -9, restart, verify every session renders identical state.

@@ -3,6 +3,12 @@
 // benchmark text from stdin and emits, per benchmark, the ns/op, allocs/op,
 // B/op and any custom metrics (req/s and friends).
 //
+// A benchmark appearing more than once on stdin — `go test -count=N` emits
+// one line per run — records its fastest run (minimum ns/op): the minimum is
+// the standard noise-robust selector, so single-iteration heavyweights can
+// be gated by running them a few times instead of being carved out for
+// variance.
+//
 // With -update FILE it maintains a before/after pair: the file's current
 // "after" snapshot (the last recorded run) becomes "before", and the new
 // run becomes "after". `make bench-json` uses this to keep BENCH_eval.json
@@ -69,7 +75,9 @@ func metricKey(unit string) string {
 	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
 }
 
-// parse extracts one snapshot from `go test -bench` output.
+// parse extracts one snapshot from `go test -bench` output. Repeated lines
+// for the same benchmark (`go test -count=N`) keep the fastest run — the one
+// with minimum ns/op — so multi-run output gates on the least-noisy sample.
 func parse(lines *bufio.Scanner) (snapshot, error) {
 	snap := snapshot{}
 	for lines.Scan() {
@@ -87,6 +95,9 @@ func parse(lines *bufio.Scanner) (snapshot, error) {
 			}
 			metrics[metricKey(fields[i+1])] = v
 		}
+		if prev, ok := snap[name]; ok && prev["ns_per_op"] <= metrics["ns_per_op"] {
+			continue // an earlier run was faster: min-of-runs selection
+		}
 		snap[name] = metrics
 	}
 	if err := lines.Err(); err != nil {
@@ -99,9 +110,11 @@ func parse(lines *bufio.Scanner) (snapshot, error) {
 }
 
 // gate compares a fresh run against the recorded baseline: every benchmark
-// present in both must keep baseline-ns/current-ns at or above threshold.
-// Below it, the run regressed past the tolerance and the gate fails.
-func gate(current snapshot, baselineFile string, threshold float64) error {
+// present in both must keep baseline-ns/current-ns at or above threshold,
+// and its allocs/op must not grow past allocLimit times the baseline (boxing
+// creeping back shows up in allocation counts before it shows up in time).
+// Either violation fails the gate.
+func gate(current snapshot, baselineFile string, threshold, allocLimit float64) error {
 	data, err := os.ReadFile(baselineFile)
 	if err != nil {
 		return fmt.Errorf("benchjson: gate baseline: %w", err)
@@ -130,16 +143,24 @@ func gate(current snapshot, baselineFile string, threshold float64) error {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("%-44s baseline %12.0f ns/op  now %12.0f ns/op  ratio %.2fx  %s\n",
-			name, base, cur, ratio, status)
+		note := ""
+		if baseAllocs, curAllocs := bm["allocs_per_op"], cm["allocs_per_op"]; baseAllocs > 0 && curAllocs > baseAllocs*allocLimit {
+			note = fmt.Sprintf("  allocs %0.f -> %0.f (limit %.2fx)", baseAllocs, curAllocs, allocLimit)
+			if status == "ok" {
+				status = "ALLOCS REGRESSED"
+				failed++
+			}
+		}
+		fmt.Printf("%-44s baseline %12.0f ns/op  now %12.0f ns/op  ratio %.2fx  %s%s\n",
+			name, base, cur, ratio, status, note)
 	}
 	if checked == 0 {
 		return fmt.Errorf("benchjson: no benchmark on stdin matches the baseline in %s", baselineFile)
 	}
 	if failed > 0 {
-		return fmt.Errorf("benchjson: %d of %d tracked workloads regressed below %.2fx of baseline", failed, checked, threshold)
+		return fmt.Errorf("benchjson: %d of %d tracked workloads regressed (time below %.2fx of baseline or allocs above %.2fx)", failed, checked, threshold, allocLimit)
 	}
-	fmt.Printf("bench gate passed: %d workloads within %.2fx of baseline\n", checked, threshold)
+	fmt.Printf("bench gate passed: %d workloads within %.2fx of baseline time and %.2fx of baseline allocs\n", checked, threshold, allocLimit)
 	return nil
 }
 
@@ -147,13 +168,14 @@ func run() error {
 	update := flag.String("update", "", "maintain a before/after history file instead of printing the snapshot")
 	gateFile := flag.String("gate", "", "compare the run on stdin against FILE's recorded snapshot and fail on regression")
 	threshold := flag.Float64("threshold", 0.9, "minimum baseline/current ns-per-op ratio the gate accepts")
+	allocLimit := flag.Float64("alloc-limit", 1.25, "maximum current/baseline allocs-per-op ratio the gate accepts")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
 	}
 	if *gateFile != "" {
-		return gate(snap, *gateFile, *threshold)
+		return gate(snap, *gateFile, *threshold, *allocLimit)
 	}
 	if *update == "" {
 		enc := json.NewEncoder(os.Stdout)

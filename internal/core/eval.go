@@ -202,9 +202,20 @@ func coerce(v value.Value, kind value.Kind) value.Value {
 
 // viewEqualOn reports whether two view rows agree on the given working
 // positions — the adjacency probe group building applies to the ordered
-// view. Comparing values directly (NULL equals NULL, multiset identity —
-// exactly the sort's notion of adjacency) avoids building string keys.
-func viewEqualOn(v *relation.IndexView, a, b int, cols []int) bool {
+// view. typed, when non-nil, carries the positions' column vectors and the
+// probe compares raw payloads (Col.CellEqual — NULL equals NULL, multiset
+// identity, exactly the sort's notion of adjacency); the boxed fallback
+// compares cells through the view.
+func viewEqualOn(v *relation.IndexView, a, b int, cols []int, typed []*relation.Col) bool {
+	if typed != nil {
+		ra, rb := int(v.Idx[a]), int(v.Idx[b])
+		for _, c := range typed {
+			if !c.CellEqual(ra, rb) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, c := range cols {
 		if !value.Equal(v.At(a, c), v.At(b, c)) {
 			return false
@@ -219,12 +230,20 @@ func viewEqualOn(v *relation.IndexView, a, b int, cols []int) bool {
 // even though they are projected out of the visible table.
 func (ev *evalCtx) buildGroups(view *relation.IndexView) (*Group, error) {
 	levelIdx := make([][]int, len(ev.s.state.grouping))
+	levelCols := make([][]*relation.Col, len(ev.s.state.grouping))
 	for li, g := range ev.s.state.grouping {
 		pos, err := ev.positions(g.Rel)
 		if err != nil {
 			return nil, err
 		}
 		levelIdx[li] = pos
+		if view.Cols != nil {
+			typed := make([]*relation.Col, len(pos))
+			for k, p := range pos {
+				typed[k] = view.ColAt(p)
+			}
+			levelCols[li] = typed
+		}
 	}
 	root := &Group{Level: 1, Start: 0, End: view.Len()}
 	var build func(g *Group, li int)
@@ -233,10 +252,11 @@ func (ev *evalCtx) buildGroups(view *relation.IndexView) (*Group, error) {
 			return
 		}
 		idx := levelIdx[li]
+		typed := levelCols[li]
 		i := g.Start
 		for i < g.End {
 			j := i + 1
-			for j < g.End && viewEqualOn(view, j, i, idx) {
+			for j < g.End && viewEqualOn(view, j, i, idx, typed) {
 				j++
 			}
 			key := make([]value.Value, len(idx))

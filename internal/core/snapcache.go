@@ -3,7 +3,7 @@ package core
 import (
 	"sheetmusiq/internal/expr"
 	"sheetmusiq/internal/obs"
-	"sheetmusiq/internal/value"
+	"sheetmusiq/internal/relation"
 )
 
 // Stage-snapshot cache metrics. stage_hits counts pipeline stages served
@@ -34,10 +34,14 @@ type stageSnap struct {
 	ownBytes int64
 }
 
-// stageCol is one filled computed-column vector.
+// stageCol is one filled computed-column vector: a typed column indexed by
+// base-row index (relation.Col), so downstream stages, the vectorized
+// expression kernels and the final materialisation all read raw payloads.
+// Stages fall back to a Boxed column only when the fill produced cells of
+// mixed kinds.
 type stageCol struct {
 	name string
-	vals []value.Value
+	col  *relation.Col
 }
 
 // extend starts a downstream snapshot sharing this one's storage.
@@ -51,9 +55,6 @@ const (
 	// is purely an optimisation: fingerprints key every lookup, so a miss
 	// costs recomputation, never correctness.
 	snapCacheCap = 64
-	// valueBytes approximates one value.Value in memory for the
-	// snapshot_bytes gauge (interface header plus a small boxed payload).
-	valueBytes = 40
 )
 
 // Stage ranks order pipeline positions for invalidation. Within depth d the

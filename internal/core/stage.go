@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"sheetmusiq/internal/expr"
 	"sheetmusiq/internal/relation"
@@ -29,6 +31,12 @@ type evalCtx struct {
 	nBase   int
 	width   int
 	resolve expr.Resolver
+	// groups caches dense groupings within one evaluation, keyed on the
+	// identity of the index vector and of every key column's backing
+	// storage. Consecutive η stages at one level share a basis and an index
+	// vector (TPC-H Q1 runs seven over the same grouping), so the hash pass
+	// over millions of key cells runs once instead of once per stage.
+	groups map[string]*relation.Grouping
 }
 
 // pos resolves a column name to its working-schema position, or -1, through
@@ -64,14 +72,63 @@ func (ev *evalCtx) batchResolver(view *relation.IndexView) expr.BatchResolver {
 	}
 }
 
+// groupCached returns the dense grouping of the view's rows by the given
+// working positions, reusing the one computed by an earlier stage of this
+// evaluation when both the index vector and every key column's backing
+// storage are identical. Groupings are immutable once built, and stages run
+// sequentially within an evaluation, so the cache needs no locking.
+func (ev *evalCtx) groupCached(view *relation.IndexView, pos []int) *relation.Grouping {
+	if view.Len() == 0 {
+		return relation.GroupView(view, pos)
+	}
+	key := ev.groupKey(view, pos)
+	if gr, ok := ev.groups[key]; ok {
+		return gr
+	}
+	gr := relation.GroupView(view, pos)
+	if ev.groups == nil {
+		ev.groups = map[string]*relation.Grouping{}
+	}
+	ev.groups[key] = gr
+	return gr
+}
+
+// groupKey builds the grouping-cache key for the view's index vector and
+// key columns' backing storage.
+func (ev *evalCtx) groupKey(view *relation.IndexView, pos []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%p:%d", view.Idx, len(pos))
+	for _, p := range pos {
+		if p < view.Split {
+			fmt.Fprintf(&sb, "|b%d", p)
+		} else {
+			// A computed column's identity is its filled column; an unfilled
+			// one reads as all-NULL and is keyed by position alone.
+			fmt.Fprintf(&sb, "|o%d:%p", p, view.Over[p-view.Split])
+		}
+	}
+	return sb.String()
+}
+
+// cachedGrouping returns the grouping an earlier stage of this evaluation
+// computed for exactly these keys over exactly this index vector, or nil —
+// it never computes one. The ordering stage uses it to decide whether the
+// grouping-rank counting sort is free to engage.
+func (ev *evalCtx) cachedGrouping(view *relation.IndexView, pos []int) *relation.Grouping {
+	if view.Len() == 0 || len(ev.groups) == 0 {
+		return nil
+	}
+	return ev.groups[ev.groupKey(view, pos)]
+}
+
 // viewOf wraps a snapshot as an IndexView over the working schema. Computed
 // columns not yet filled by any upstream stage read as NULL, exactly like
 // the zero-Value cells of the old materialised working rows.
 func (ev *evalCtx) viewOf(snap *stageSnap) *relation.IndexView {
-	over := make([][]value.Value, ev.width-ev.nBase)
+	over := make([]*relation.Col, ev.width-ev.nBase)
 	for _, c := range snap.cols {
 		if p := ev.pos(c.name); p >= ev.nBase {
-			over[p-ev.nBase] = c.vals
+			over[p-ev.nBase] = c.col
 		}
 	}
 	return &relation.IndexView{
@@ -131,68 +188,210 @@ func runAggStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*sta
 		}
 		snap := in.extend()
 		nBase := ev.s.base.Len()
-		vals := make([]value.Value, nBase)
 		view := ev.viewOf(in)
 		n := view.Len()
+		out := relation.AllNullCol()
 		if n > 0 {
-			gr := relation.GroupView(view, bpos)
+			gr := ev.groupCached(view, bpos)
 			gids, ng := gr.IDs, gr.NumGroups()
-			bounds := relation.Chunks(n)
-			if len(bounds) > 1 && !relation.MergeExact(c.Agg, ev.work[inPos].Kind) {
-				// Float-stream summing is not associative; stay sequential
-				// so the result is bit-identical to the one-chunk scan.
-				evalMergeFallback.Inc()
-				bounds = [][2]int{{0, n}}
-			}
-			parts := make([][]*relation.Accumulator, len(bounds))
-			err = relation.RunChunks(bounds, func(ch, lo, hi int) error {
-				accs := make([]*relation.Accumulator, ng)
-				for i := lo; i < hi; i++ {
-					acc := accs[gids[i]]
-					if acc == nil {
-						acc = relation.NewAccumulator(c.Agg)
-						accs[gids[i]] = acc
-					}
-					if err := acc.Add(view.At(i, inPos)); err != nil {
-						return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
-					}
-				}
-				parts[ch] = accs
-				return nil
-			})
+			results, err := ev.runAggKernel(c, view, inPos, gids, ng, n)
 			if err != nil {
 				return nil, err
 			}
-			accs := parts[0]
-			for _, part := range parts[1:] {
-				for g, acc := range part {
-					if acc == nil {
-						continue
-					}
-					if prev := accs[g]; prev != nil {
-						prev.Merge(acc)
-					} else {
-						accs[g] = acc
-					}
-				}
+			for g := range results {
+				results[g] = coerce(results[g], c.ResultKind)
 			}
-			// Finalise once per group, not once per row. Every group has at
-			// least one row, so every merged accumulator is non-nil.
-			results := make([]value.Value, ng)
-			for g, acc := range accs {
-				results[g] = coerce(acc.Result(), c.ResultKind)
-			}
-			_ = relation.ForChunks(n, func(_, lo, hi int) error {
-				for i := lo; i < hi; i++ {
-					vals[in.idx[i]] = results[gids[i]]
-				}
-				return nil
-			})
+			out = scatterGroups(results, gids, in.idx, nBase, n)
 		}
-		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
-		snap.ownBytes = int64(valueBytes * nBase)
+		snap.cols = append(snap.cols, stageCol{name: c.Name, col: out})
+		snap.ownBytes = out.MemBytes()
 		return snap, nil
 	}
+}
+
+// scatterGroups broadcasts per-group aggregate results into a base-row-
+// indexed column vector: rows carry their group's value, rows eliminated
+// upstream stay NULL holes. When every group result shares one kind the
+// vector is a typed payload lane — one raw store per row; mixed-kind
+// results (possible only through the boxed fallback over dynamically typed
+// inputs) take the boxed vector.
+func scatterGroups(results []value.Value, gids, idx []int32, nBase, n int) *relation.Col {
+	kind, mixed := value.KindNull, false
+	for _, v := range results {
+		if v.IsNull() {
+			continue
+		}
+		if kind == value.KindNull {
+			kind = v.Kind()
+		} else if kind != v.Kind() {
+			mixed = true
+			break
+		}
+	}
+	if kind == value.KindNull {
+		return relation.AllNullCol()
+	}
+	if mixed {
+		vals := make([]value.Value, nBase)
+		_ = relation.ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				vals[idx[i]] = results[gids[i]]
+			}
+			return nil
+		})
+		return relation.BoxedCol(vals)
+	}
+	ng := len(results)
+	gnull := make([]bool, ng)
+	out := &relation.Col{Kind: kind}
+	filled := make([]uint8, nBase)
+	switch kind {
+	case value.KindFloat:
+		gv := make([]float64, ng)
+		for g, v := range results {
+			if v.IsNull() {
+				gnull[g] = true
+			} else {
+				gv[g] = v.Float()
+			}
+		}
+		lane := make([]float64, nBase)
+		_ = relation.ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				g := gids[i]
+				if gnull[g] {
+					continue
+				}
+				ri := idx[i]
+				lane[ri] = gv[g]
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Floats = lane
+	case value.KindString:
+		gv := make([]string, ng)
+		for g, v := range results {
+			if v.IsNull() {
+				gnull[g] = true
+			} else {
+				gv[g] = v.Str()
+			}
+		}
+		lane := make([]string, nBase)
+		_ = relation.ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				g := gids[i]
+				if gnull[g] {
+					continue
+				}
+				ri := idx[i]
+				lane[ri] = gv[g]
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Strs = lane
+	default: // Int, Bool and Date share the Ints payload
+		gv := make([]int64, ng)
+		for g, v := range results {
+			switch {
+			case v.IsNull():
+				gnull[g] = true
+			case kind == value.KindInt:
+				gv[g] = v.Int()
+			case kind == value.KindDate:
+				gv[g] = v.DateDays()
+			default:
+				if v.Bool() {
+					gv[g] = 1
+				}
+			}
+		}
+		lane := make([]int64, nBase)
+		_ = relation.ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				g := gids[i]
+				if gnull[g] {
+					continue
+				}
+				ri := idx[i]
+				lane[ri] = gv[g]
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Ints = lane
+	}
+	out.Nulls = relation.NullsFromFilled(filled)
+	return out
+}
+
+// runAggKernel computes the per-group aggregate values. The typed kernel
+// (relation.GroupAggregate) consumes the input column's payload arrays
+// directly and chunks in parallel when the merge is bit-exact; the boxed
+// per-group Accumulator loop remains as the fallback for dynamically typed
+// inputs (computed-column vectors). Both paths feed cells in ascending view
+// order and merge partials in chunk order, so they produce identical bits.
+func (ev *evalCtx) runAggKernel(c *ComputedColumn, view *relation.IndexView, inPos int, gids []int32, ng, n int) ([]value.Value, error) {
+	if in := view.ColAt(inPos); in != nil {
+		results, seqFallback, err := relation.GroupAggregate(c.Agg, in, gids, view.Idx, n, ng)
+		if err == nil {
+			if seqFallback {
+				evalMergeFallback.Inc()
+			}
+			return results, nil
+		}
+		if !errors.Is(err, relation.ErrNotVectorizable) {
+			return nil, fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+		}
+	}
+	bounds := relation.Chunks(n)
+	if len(bounds) > 1 && !relation.MergeExact(c.Agg, ev.work[inPos].Kind) {
+		// Float-stream summing is not associative; stay sequential
+		// so the result is bit-identical to the one-chunk scan.
+		evalMergeFallback.Inc()
+		bounds = [][2]int{{0, n}}
+	}
+	parts := make([][]*relation.Accumulator, len(bounds))
+	err := relation.RunChunks(bounds, func(ch, lo, hi int) error {
+		accs := make([]*relation.Accumulator, ng)
+		for i := lo; i < hi; i++ {
+			acc := accs[gids[i]]
+			if acc == nil {
+				acc = relation.NewAccumulator(c.Agg)
+				accs[gids[i]] = acc
+			}
+			if err := acc.Add(view.At(i, inPos)); err != nil {
+				return fmt.Errorf("core: aggregate %s: %w", c.Name, err)
+			}
+		}
+		parts[ch] = accs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs := parts[0]
+	for _, part := range parts[1:] {
+		for g, acc := range part {
+			if acc == nil {
+				continue
+			}
+			if prev := accs[g]; prev != nil {
+				prev.Merge(acc)
+			} else {
+				accs[g] = acc
+			}
+		}
+	}
+	// Finalise once per group, not once per row. Every group has at
+	// least one row, so every merged accumulator is non-nil.
+	results := make([]value.Value, ng)
+	for g, acc := range accs {
+		results[g] = acc.Result()
+	}
+	return results, nil
 }
 
 // runFormulaStage computes one θ column row-locally (Def. 12) into a fresh
@@ -209,7 +408,6 @@ func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (
 		fast := cerr == nil && ev.baseOnly(c.Formula)
 		snap := in.extend()
 		nBase := ev.s.base.Len()
-		vals := make([]value.Value, nBase)
 		view := ev.viewOf(in)
 		n := view.Len()
 		// Vectorized path: a batch program fills each chunk's slots straight
@@ -221,6 +419,20 @@ func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (
 		if cerr == nil {
 			bp, _ = expr.CompileBatch(c.Formula, ev.batchResolver(view))
 		}
+		// First attempt: raw typed output. Every chunk writes its lanes'
+		// payloads straight into the result column — nothing is boxed and
+		// nothing is converted afterwards. A chunk that would error or whose
+		// lanes disagree with the inferred kind aborts the attempt, and the
+		// whole fill redoes through the boxed path below (rare: a runtime
+		// error, or a dynamically typed result).
+		if bp != nil && n > 0 {
+			if out, ok := runFormulaTyped(bp, view.Idx, n, nBase, c.ResultKind); ok {
+				snap.cols = append(snap.cols, stageCol{name: c.Name, col: out})
+				snap.ownBytes = out.MemBytes()
+				return snap, nil
+			}
+		}
+		vals := make([]value.Value, nBase)
 		err := relation.ForChunks(n, func(_, lo, hi int) error {
 			if bp != nil && bp.EvalInto(view.Idx, lo, hi, c.ResultKind, vals) {
 				return nil
@@ -253,10 +465,139 @@ func runFormulaStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (
 		if err != nil {
 			return nil, err
 		}
-		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
-		snap.ownBytes = int64(valueBytes * nBase)
+		out := typedFromVals(vals, in.idx, nBase)
+		snap.cols = append(snap.cols, stageCol{name: c.Name, col: out})
+		snap.ownBytes = out.MemBytes()
 		return snap, nil
 	}
+}
+
+// errMixedKinds aborts a typed conversion pass when a filled cell disagrees
+// with the column's detected kind.
+var errMixedKinds = errors.New("core: mixed cell kinds")
+
+// errTypedFillDeclined aborts the raw-typed formula fill when a chunk
+// errors or produces lanes of an unexpected kind.
+var errTypedFillDeclined = errors.New("core: typed fill declined")
+
+// runFormulaTyped fills a formula column straight from the batch program's
+// typed lanes (EvalIntoCol) — no boxing, no conversion pass. ok is false
+// when the inferred kind has no payload lane or any chunk declines; the
+// caller then redoes the fill through the boxed path.
+func runFormulaTyped(bp *expr.BatchProgram, idx []int32, n, nBase int, kind value.Kind) (*relation.Col, bool) {
+	out := &relation.Col{Kind: kind}
+	switch kind {
+	case value.KindInt, value.KindBool, value.KindDate:
+		out.Ints = make([]int64, nBase)
+	case value.KindFloat:
+		out.Floats = make([]float64, nBase)
+	case value.KindString:
+		out.Strs = make([]string, nBase)
+	default:
+		return nil, false
+	}
+	filled := make([]uint8, nBase)
+	err := relation.ForChunks(n, func(_, lo, hi int) error {
+		if !bp.EvalIntoCol(idx, lo, hi, out, filled) {
+			return errTypedFillDeclined
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	out.Nulls = relation.NullsFromFilled(filled)
+	return out, true
+}
+
+// typedFromVals converts a freshly filled base-row-indexed boxed vector into
+// a typed column; idx lists the filled positions (other rows are NULL
+// holes). When the filled cells carry more than one kind the boxed vector
+// itself becomes the column — the dynamically typed escape hatch.
+func typedFromVals(vals []value.Value, idx []int32, nBase int) *relation.Col {
+	kind := value.KindNull
+	for _, ri := range idx {
+		if v := vals[ri]; !v.IsNull() {
+			kind = v.Kind()
+			break
+		}
+	}
+	if kind == value.KindNull {
+		return relation.AllNullCol()
+	}
+	out := &relation.Col{Kind: kind}
+	filled := make([]uint8, nBase)
+	var convErr error
+	switch kind {
+	case value.KindFloat:
+		lane := make([]float64, nBase)
+		convErr = relation.ForChunks(len(idx), func(_, lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				ri := idx[k]
+				v := vals[ri]
+				if v.IsNull() {
+					continue
+				}
+				if v.Kind() != kind {
+					return errMixedKinds
+				}
+				lane[ri] = v.Float()
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Floats = lane
+	case value.KindString:
+		lane := make([]string, nBase)
+		convErr = relation.ForChunks(len(idx), func(_, lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				ri := idx[k]
+				v := vals[ri]
+				if v.IsNull() {
+					continue
+				}
+				if v.Kind() != kind {
+					return errMixedKinds
+				}
+				lane[ri] = v.Str()
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Strs = lane
+	default: // Int, Bool and Date share the Ints payload
+		lane := make([]int64, nBase)
+		convErr = relation.ForChunks(len(idx), func(_, lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				ri := idx[k]
+				v := vals[ri]
+				if v.IsNull() {
+					continue
+				}
+				if v.Kind() != kind {
+					return errMixedKinds
+				}
+				switch kind {
+				case value.KindInt:
+					lane[ri] = v.Int()
+				case value.KindDate:
+					lane[ri] = v.DateDays()
+				default:
+					if v.Bool() {
+						lane[ri] = 1
+					}
+				}
+				filled[ri] = 1
+			}
+			return nil
+		})
+		out.Ints = lane
+	}
+	if convErr != nil {
+		return relation.BoxedCol(vals)
+	}
+	out.Nulls = relation.NullsFromFilled(filled)
+	return out
 }
 
 // runWindowStage computes one ω column over the input snapshot's rows.
@@ -298,34 +639,46 @@ func runWindowStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*
 		view := ev.viewOf(in)
 		n := view.Len()
 		if n > 0 {
-			win := relation.WindowInput{N: n, K: len(opos), Desc: desc}
+			win := relation.WindowInput{N: n, K: len(opos), Desc: desc, Rows: view.Idx}
 			if len(ppos) > 0 {
-				win.Parts = relation.GroupView(view, ppos)
-			}
-			if k := len(opos); k > 0 {
-				flat := make([]value.Value, n*k)
-				_ = relation.ForChunks(n, func(_, lo, hi int) error {
-					for i := lo; i < hi; i++ {
-						view.Gather(i, opos, flat[i*k:(i+1)*k])
-					}
-					return nil
-				})
-				win.Keys = flat
-			}
-			if inPos >= 0 {
-				arg := make([]value.Value, n)
-				_ = relation.ForChunks(n, func(_, lo, hi int) error {
-					for i := lo; i < hi; i++ {
-						arg[i] = view.At(i, inPos)
-					}
-					return nil
-				})
-				win.Arg = arg
+				win.Parts = ev.groupCached(view, ppos)
 			}
 			if view.Cols != nil {
-				// Inputs were gathered off typed column vectors rather than
-				// boxed working tuples — the vectorized window path.
+				// Typed lanes: the kernel reads order keys and the argument
+				// straight off the column vectors through the index vector —
+				// no boxed gather at all. ColAt never returns nil here
+				// (computed columns wrap their vectors).
+				if k := len(opos); k > 0 {
+					win.KeyCols = make([]*relation.Col, k)
+					for j, p := range opos {
+						win.KeyCols[j] = view.ColAt(p)
+					}
+				}
+				if inPos >= 0 {
+					win.ArgCol = view.ColAt(inPos)
+				}
 				expr.NoteWindowBatch()
+			} else {
+				if k := len(opos); k > 0 {
+					flat := make([]value.Value, n*k)
+					_ = relation.ForChunks(n, func(_, lo, hi int) error {
+						for i := lo; i < hi; i++ {
+							view.Gather(i, opos, flat[i*k:(i+1)*k])
+						}
+						return nil
+					})
+					win.Keys = flat
+				}
+				if inPos >= 0 {
+					arg := make([]value.Value, n)
+					_ = relation.ForChunks(n, func(_, lo, hi int) error {
+						for i := lo; i < hi; i++ {
+							arg[i] = view.At(i, inPos)
+						}
+						return nil
+					})
+					win.Arg = arg
+				}
 			}
 			res, werr := relation.WindowEval(relation.WindowSpec{Func: w.Func, Frame: w.Frame}, win)
 			if werr != nil {
@@ -338,8 +691,9 @@ func runWindowStage(c *ComputedColumn, outPos int) func(*evalCtx, *stageSnap) (*
 				return nil
 			})
 		}
-		snap.cols = append(snap.cols, stageCol{name: c.Name, vals: vals})
-		snap.ownBytes = int64(valueBytes * nBase)
+		out := typedFromVals(vals, in.idx, nBase)
+		snap.cols = append(snap.cols, stageCol{name: c.Name, col: out})
+		snap.ownBytes = out.MemBytes()
 		return snap, nil
 	}
 }
@@ -460,10 +814,35 @@ func runOrderStage(keys []relation.SortKey) func(*evalCtx, *stageSnap) (*stageSn
 			pos[i], desc[i] = p, k.Desc
 		}
 		view := ev.viewOf(in)
-		idx := relation.SortView(view, pos, desc)
+		idx := ev.orderedIdx(view, pos, desc)
 		snap := in.extend()
 		snap.idx = idx
 		snap.ownBytes = int64(4 * len(idx))
 		return snap, nil
 	}
+}
+
+// orderedIdx sorts the view's rows by the key positions. When an earlier
+// stage of this evaluation already grouped by exactly these keys — the
+// standard spreadsheet shape: presentation order after grouping is the
+// grouping basis itself — and every key column's compare-equal relation
+// coincides with group equality, the rows counting-sort by group rank in
+// O(n) instead of comparison-sorting; the result is bit-identical to the
+// stable merge sort. Everything else takes relation.SortView.
+func (ev *evalCtx) orderedIdx(view *relation.IndexView, pos []int, desc []bool) []int32 {
+	if gr := ev.cachedGrouping(view, pos); gr != nil && len(pos) > 0 {
+		kc := make([]*relation.Col, len(pos))
+		ok := true
+		for i, p := range pos {
+			kc[i] = view.ColAt(p)
+			if !relation.CountingSortable(kc[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return relation.SortViewByGrouping(view, kc, desc, gr)
+		}
+	}
+	return relation.SortView(view, pos, desc)
 }

@@ -294,6 +294,117 @@ func (p *BatchProgram) EvalInto(idx []int32, lo, hi int, kind value.Kind, out []
 	return true
 }
 
+// EvalIntoCol evaluates the program over window [lo,hi) of idx (nil =
+// identity), writing each lane's raw payload to out's lane array at the
+// lane's base-row index and marking the cell in filled — no value is boxed.
+// out.Kind is the expected result kind (the consumer's inferred column
+// kind) and its matching payload array must cover the base rows; integer
+// lanes widen to a float column exactly as EvalInto's coercion does. NULL
+// lanes leave filled clear. ok is false when any lane would error on the
+// row path, or when a non-NULL lane's widened kind disagrees with out.Kind
+// — callers then redo the fill through the boxed path, which reproduces
+// the exact error or the dynamically typed column.
+func (p *BatchProgram) EvalIntoCol(idx []int32, lo, hi int, out *relation.Col, filled []uint8) bool {
+	idx = windowIdx(idx, lo, hi)
+	c := &bctx{rows: idx, lo: lo, n: hi - lo}
+	v := p.fn(c)
+	if anyBit(v.errs) {
+		return false
+	}
+	ri := func(k int) int {
+		if idx != nil {
+			return int(idx[lo+k])
+		}
+		return lo + k
+	}
+	kind := out.Kind
+	if v.kind == value.KindNull {
+		return true
+	}
+	if v.kind == kindDynamic {
+		for k := 0; k < c.n; k++ {
+			val := v.vals[v.pi(k)]
+			if val.IsNull() {
+				continue
+			}
+			vk := val.Kind()
+			i := ri(k)
+			if kind == value.KindFloat && vk == value.KindInt {
+				out.Floats[i] = float64(val.Int())
+				filled[i] = 1
+				continue
+			}
+			if vk != kind {
+				return false
+			}
+			switch kind {
+			case value.KindInt:
+				out.Ints[i] = val.Int()
+			case value.KindFloat:
+				out.Floats[i] = val.Float()
+			case value.KindString:
+				out.Strs[i] = val.Str()
+			case value.KindBool:
+				if val.Bool() {
+					out.Ints[i] = 1
+				} else {
+					out.Ints[i] = 0
+				}
+			case value.KindDate:
+				out.Ints[i] = val.DateDays()
+			default:
+				return false
+			}
+			filled[i] = 1
+		}
+		return true
+	}
+	if kind == value.KindFloat && v.kind == value.KindInt {
+		for k := 0; k < c.n; k++ {
+			if v.null(k) {
+				continue
+			}
+			i := ri(k)
+			out.Floats[i] = float64(v.ints[v.pi(k)])
+			filled[i] = 1
+		}
+		return true
+	}
+	if v.kind != kind {
+		return false
+	}
+	switch kind {
+	case value.KindFloat:
+		for k := 0; k < c.n; k++ {
+			if v.null(k) {
+				continue
+			}
+			i := ri(k)
+			out.Floats[i] = v.floats[v.pi(k)]
+			filled[i] = 1
+		}
+	case value.KindString:
+		for k := 0; k < c.n; k++ {
+			if v.null(k) {
+				continue
+			}
+			i := ri(k)
+			out.Strs[i] = v.strs[v.pi(k)]
+			filled[i] = 1
+		}
+	default: // Int, Bool and Date share the ints lane, exactly like Col
+		for k := 0; k < c.n; k++ {
+			if v.null(k) {
+				continue
+			}
+			i := ri(k)
+			out.Ints[i] = v.ints[v.pi(k)]
+			filled[i] = 1
+		}
+	}
+	return true
+}
+
 // EvalPos evaluates the program over window [lo,hi) of idx (nil =
 // identity), writing lane k's value to out[lo+k] — positional output for
 // consumers whose output rows follow window order rather than base-row

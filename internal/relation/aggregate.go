@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -435,32 +436,16 @@ func (r *Relation) aggregateCols(cols []*Col, groupCols []string, fn AggFunc, co
 }
 
 // aggregateColumn computes fn over the input column for every group,
-// dispatching to a typed kernel when the column's representation allows and
-// the boxed per-group accumulator otherwise. in is nil only for COUNT with
-// no column.
+// dispatching to the typed grouped-aggregation kernel (GroupedAggState, via
+// GroupAggregate) when the column's representation allows and the boxed
+// per-group accumulator otherwise. in is nil only for COUNT with no column.
 func aggregateColumn(fn AggFunc, in *Col, gr *Grouping, ng, n int) ([]value.Value, error) {
-	res := make([]value.Value, ng)
-	if fn == AggCount {
-		// COUNT counts tuples per group, NULLs included, column or not.
-		counts := make([]int64, ng)
-		for _, gid := range gr.IDs {
-			counts[gid]++
-		}
-		for g := range res {
-			res[g] = value.NewInt(counts[g])
-		}
+	res, _, err := GroupAggregate(fn, in, gr.IDs, nil, n, ng)
+	if err == nil {
 		return res, nil
 	}
-	typed := in.Boxed == nil && in.Kind != value.KindNull
-	switch fn {
-	case AggSum, AggAvg, AggStdDev:
-		if typed && (in.Kind == value.KindInt || in.Kind == value.KindFloat) {
-			return sumAggCols(fn, in, gr, ng), nil
-		}
-	case AggMin, AggMax:
-		if typed {
-			return minMaxCols(fn, in, gr, ng), nil
-		}
+	if !errors.Is(err, ErrNotVectorizable) {
+		return nil, err
 	}
 	// Generic: one accumulator per group, fed in ascending row order.
 	accs := make([]*Accumulator, ng)
@@ -472,159 +457,9 @@ func aggregateColumn(fn AggFunc, in *Col, gr *Grouping, ng, n int) ([]value.Valu
 			return nil, err
 		}
 	}
+	res = make([]value.Value, ng)
 	for g := range res {
 		res[g] = accs[g].Result()
 	}
 	return res, nil
-}
-
-// sumAggCols runs SUM/AVG/STDDEV over an Int or Float column with flat
-// accumulator arrays. Per-group accumulation visits rows in ascending order,
-// so float sums match the sequential boxed scan bit for bit; integer SUM
-// stays exact in int64 exactly as Accumulator.intSum does.
-func sumAggCols(fn AggFunc, in *Col, gr *Grouping, ng int) []value.Value {
-	sum := make([]float64, ng)
-	nonNull := make([]int64, ng)
-	var sumSq []float64
-	if fn == AggStdDev {
-		sumSq = make([]float64, ng)
-	}
-	isInt := in.Kind == value.KindInt
-	var intSum []int64
-	if isInt {
-		intSum = make([]int64, ng)
-	}
-	if isInt {
-		for i, x := range in.Ints {
-			if BitGet(in.Nulls, i) {
-				continue
-			}
-			g := gr.IDs[i]
-			nonNull[g]++
-			intSum[g] += x
-			f := float64(x)
-			sum[g] += f
-			if sumSq != nil {
-				sumSq[g] += f * f
-			}
-		}
-	} else {
-		for i, f := range in.Floats {
-			if BitGet(in.Nulls, i) {
-				continue
-			}
-			g := gr.IDs[i]
-			nonNull[g]++
-			sum[g] += f
-			if sumSq != nil {
-				sumSq[g] += f * f
-			}
-		}
-	}
-	res := make([]value.Value, ng)
-	for g := range res {
-		if nonNull[g] == 0 {
-			res[g] = value.Null
-			continue
-		}
-		switch fn {
-		case AggSum:
-			if isInt {
-				res[g] = value.NewInt(intSum[g])
-			} else {
-				res[g] = value.NewFloat(sum[g])
-			}
-		case AggAvg:
-			res[g] = value.NewFloat(sum[g] / float64(nonNull[g]))
-		case AggStdDev:
-			nf := float64(nonNull[g])
-			mean := sum[g] / nf
-			varc := sumSq[g]/nf - mean*mean
-			if varc < 0 {
-				varc = 0
-			}
-			res[g] = value.NewFloat(sqrt(varc))
-		}
-	}
-	return res
-}
-
-// minMaxCols runs MIN/MAX over any typed column. Strict-compare replacement
-// keeps the group's first occurrence among compare-equal values, exactly as
-// Accumulator does via MustCompare (for floats, v < cur coincides with
-// MustCompare(v, cur) < 0, including the NaN-unordered arm).
-func minMaxCols(fn AggFunc, in *Col, gr *Grouping, ng int) []value.Value {
-	wantMin := fn == AggMin
-	has := make([]bool, ng)
-	res := make([]value.Value, ng)
-	switch in.Kind {
-	case value.KindFloat:
-		best := make([]float64, ng)
-		for i := range gr.IDs {
-			if BitGet(in.Nulls, i) {
-				continue
-			}
-			g, v := gr.IDs[i], in.Floats[i]
-			if !has[g] {
-				has[g], best[g] = true, v
-			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
-				best[g] = v
-			}
-		}
-		for g := range res {
-			if has[g] {
-				res[g] = value.NewFloat(best[g])
-			} else {
-				res[g] = value.Null
-			}
-		}
-	case value.KindString:
-		best := make([]string, ng)
-		for i := range gr.IDs {
-			if BitGet(in.Nulls, i) {
-				continue
-			}
-			g, v := gr.IDs[i], in.Strs[i]
-			if !has[g] {
-				has[g], best[g] = true, v
-			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
-				best[g] = v
-			}
-		}
-		for g := range res {
-			if has[g] {
-				res[g] = value.NewString(best[g])
-			} else {
-				res[g] = value.Null
-			}
-		}
-	default: // Int, Bool, Date share the Ints payload
-		best := make([]int64, ng)
-		for i := range gr.IDs {
-			if BitGet(in.Nulls, i) {
-				continue
-			}
-			g, v := gr.IDs[i], in.Ints[i]
-			if !has[g] {
-				has[g], best[g] = true, v
-			} else if (wantMin && v < best[g]) || (!wantMin && v > best[g]) {
-				best[g] = v
-			}
-		}
-		for g := range res {
-			if !has[g] {
-				res[g] = value.Null
-				continue
-			}
-			switch in.Kind {
-			case value.KindBool:
-				res[g] = value.NewBool(best[g] != 0)
-			case value.KindDate:
-				res[g] = value.NewDateDays(best[g])
-			default:
-				res[g] = value.NewInt(best[g])
-			}
-		}
-	}
-	return res
 }

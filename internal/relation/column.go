@@ -296,6 +296,53 @@ func (c *Col) Gather(rows []int32) *Col {
 // AllNullCol returns a column whose every cell is NULL.
 func AllNullCol() *Col { return &Col{Kind: value.KindNull} }
 
+// NullsFromFilled folds a per-cell filled byte array (non-zero = cell has a
+// value) into a null bitmap, or nil when every cell is filled. The byte
+// array exists so parallel producers can mark disjoint cells without racing
+// on shared bitmap words; the fold chunks on word boundaries, so each word
+// is written by exactly one goroutine.
+func NullsFromFilled(filled []uint8) []uint64 {
+	n := len(filled)
+	nulls := NewBitmap(n)
+	_ = ForChunks(len(nulls), func(_, lo, hi int) error {
+		for w := lo; w < hi; w++ {
+			var word uint64
+			base := w << 6
+			end := base + 64
+			if end > n {
+				end = n
+			}
+			for i := base; i < end; i++ {
+				if filled[i] == 0 {
+					word |= 1 << (uint(i) & 63)
+				}
+			}
+			if word != 0 {
+				nulls[w] = word
+			}
+		}
+		return nil
+	})
+	for _, w := range nulls {
+		if w != 0 {
+			return nulls
+		}
+	}
+	return nil
+}
+
+// MemBytes approximates the column's resident payload size, for cache
+// accounting.
+func (c *Col) MemBytes() int64 {
+	var b int64
+	b += int64(8 * len(c.Ints))
+	b += int64(8 * len(c.Floats))
+	b += int64(16 * len(c.Strs))
+	b += int64(40 * len(c.Boxed))
+	b += int64(8 * len(c.Nulls))
+	return b
+}
+
 // BoxedCol wraps a full-value vector as a dynamically typed column. The
 // evaluation pipeline uses it to expose computed-column vectors to the
 // vectorized expression kernels.
@@ -311,8 +358,9 @@ type colState struct {
 	colBuilt  bool // constructed columnar; Rows is derived
 	nrows     int  // row count for colBuilt relations
 	cols      []*Col
-	colsReady bool // cols valid (always true when colBuilt)
+	colsReady bool // cols valid
 	rowsReady bool // Rows valid for a colBuilt relation
+	fill      func() []*Col // deferred column assembly (FromColumnsLazy)
 	ix        *NameIndex
 }
 
@@ -340,18 +388,42 @@ func FromColumns(name string, schema Schema, cols []*Col, n int) *Relation {
 	return r
 }
 
+// FromColumnsLazy constructs a column-built relation whose column vectors
+// assemble on first access — fill runs at most once, the first time a
+// consumer asks for Columns or TupleRows. The evaluation pipeline uses it
+// for final assembly (late materialisation): a replay whose result is never
+// read — or only paged — does not pay a full n×w gather up front.
+func FromColumnsLazy(name string, schema Schema, n int, fill func() []*Col) *Relation {
+	r := &Relation{Name: name, Schema: schema}
+	r.col = &colState{colBuilt: true, nrows: n, fill: fill}
+	return r
+}
+
+// ensureColsLocked makes c.cols valid; the caller holds c.mu. Deferred
+// assembly (fill) runs here for lazily built relations; row-built relations
+// columnarize from r.Rows.
+func (r *Relation) ensureColsLocked(c *colState) {
+	if c.colsReady {
+		return
+	}
+	if c.fill != nil {
+		c.cols = c.fill()
+		c.fill = nil
+	} else {
+		c.cols = columnarize(r.Rows, r.Schema)
+		columnMaterialize.Inc()
+	}
+	c.colsReady = true
+}
+
 // Columns returns the relation's typed column vectors, building and caching
-// them from the rows on first call. The returned columns are shared and must
-// be treated as read-only.
+// them from the rows (or running the deferred assembly) on first call. The
+// returned columns are shared and must be treated as read-only.
 func (r *Relation) Columns() []*Col {
 	c := r.colState()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.colsReady {
-		c.cols = columnarize(r.Rows, r.Schema)
-		c.colsReady = true
-		columnMaterialize.Inc()
-	}
+	r.ensureColsLocked(c)
 	return c.cols
 }
 
@@ -383,6 +455,7 @@ func (r *Relation) TupleRows() []Tuple {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.rowsReady {
+		r.ensureColsLocked(c)
 		n, w := c.nrows, len(r.Schema)
 		flat := make([]value.Value, n*w)
 		rows := make([]Tuple, n)
@@ -412,6 +485,7 @@ func (r *Relation) invalidateColumns() {
 	c.cols = nil
 	c.colsReady = false
 	c.rowsReady = false
+	c.fill = nil
 	c.ix = nil
 	c.mu.Unlock()
 }

@@ -278,6 +278,60 @@ func TestSortStability(t *testing.T) {
 	}
 }
 
+// TestSortedCloneColumnarMatchesRowSort: above the columnar threshold
+// SortedClone builds its copy column-wise through SortPermCols; the result
+// must match the row-path sort bit for bit (the "a" column is mixed-kind and
+// stays boxed, covering the boxed comparator arm), stay stable, and leave
+// the receiver untouched.
+func TestSortedCloneColumnarMatchesRowSort(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(31))
+	keys := []SortKey{{Column: "b"}, {Column: "a", Desc: true}}
+	for _, n := range []int{ColumnarThreshold, 3000} {
+		rows := genRows(rng, n)
+		want := makeRel("w", rows).Clone()
+		if err := want.Sort(keys); err != nil {
+			t.Fatal(err)
+		}
+		src := makeRel("g", rows)
+		before := src.Rows[0]
+		got, err := src.SortedClone(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.TupleRows() // materialize Rows for relEqual
+		if !relEqual(want, got) {
+			t.Fatalf("n=%d: columnar SortedClone diverges from row sort", n)
+		}
+		// Sort with cached columns takes the SortPermCols permutation path.
+		cached := makeRel("c", rows)
+		cached.Columns()
+		if err := cached.Sort(keys); err != nil {
+			t.Fatal(err)
+		}
+		if !relEqual(want, cached) {
+			t.Fatalf("n=%d: cached-columns Sort diverges from row sort", n)
+		}
+		if &src.Rows[0][0] != &before[0] {
+			t.Fatalf("n=%d: SortedClone mutated the receiver", n)
+		}
+		// Stability: within equal (b, a) keys the payload column c must keep
+		// the original relative order genRows produced.
+		srcPos := map[float64]int{}
+		for i, row := range rows {
+			srcPos[row[2].Float()] = i
+		}
+		for i := 1; i < n; i++ {
+			x, y := got.Rows[i-1], got.Rows[i]
+			if value.Equal(x[1], y[1]) && x[0].Kind() == y[0].Kind() && value.Equal(x[0], y[0]) {
+				if srcPos[x[2].Float()] > srcPos[y[2].Float()] {
+					t.Fatalf("n=%d: stability violated at sorted row %d", n, i)
+				}
+			}
+		}
+	}
+}
+
 // TestDistinctMatchesStringKeyReference: Distinct/DistinctOn keep exactly
 // the first occurrence of each key, like the retired string-key scan.
 func TestDistinctMatchesStringKeyReference(t *testing.T) {

@@ -194,6 +194,44 @@ func colCompare(c *Col, rows []int32) func(a, b int32) int {
 			return value.MustCompare(c.Boxed[cell(a)], c.Boxed[cell(b)])
 		}
 	}
+	// The no-null identity-lane combinations dominate sorting whole
+	// relations; their comparators index the payload directly, with no lane
+	// mapping or null branch on the compare path.
+	if rows == nil && c.Nulls == nil && c.Kind != value.KindNull {
+		switch c.Kind {
+		case value.KindFloat:
+			fs := c.Floats
+			return func(a, b int32) int {
+				x, y := fs[a], fs[b]
+				switch {
+				case x < y:
+					return -1
+				case x > y:
+					return 1
+				default:
+					return 0
+				}
+			}
+		case value.KindString:
+			ss := c.Strs
+			return func(a, b int32) int {
+				return strings.Compare(ss[a], ss[b])
+			}
+		default:
+			xs := c.Ints
+			return func(a, b int32) int {
+				x, y := xs[a], xs[b]
+				switch {
+				case x < y:
+					return -1
+				case x > y:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+	}
 	nullCmp := func(i, j int) (int, bool) {
 		ni, nj := c.IsNull(i), c.IsNull(j)
 		switch {
@@ -283,37 +321,59 @@ func SortPermCols(keyCols []*Col, rows []int32, n int, desc []bool) []int32 {
 	return perm
 }
 
-// Sort stably orders the relation's rows by the given keys, NULLs first
-// within ascending order. The receiver is modified in place (Rows is
-// replaced with a newly ordered slice; a columnar cache is invalidated).
-func (r *Relation) Sort(keys []SortKey) error {
-	idx := make([]int, len(keys))
-	desc := make([]bool, len(keys))
+// sortPlan resolves keys against the schema into column indexes and
+// per-key directions.
+func (r *Relation) sortPlan(keys []SortKey) (idx []int, desc []bool, err error) {
+	idx = make([]int, len(keys))
+	desc = make([]bool, len(keys))
 	for i, k := range keys {
 		j := r.Schema.IndexOf(k.Column)
 		if j < 0 {
-			return fmt.Errorf("sort: no column %q in %s", k.Column, r.Name)
+			return nil, nil, fmt.Errorf("sort: no column %q in %s", k.Column, r.Name)
 		}
 		idx[i] = j
 		desc[i] = k.Desc
+	}
+	return idx, desc, nil
+}
+
+// Sort stably orders the relation's rows by the given keys, NULLs first
+// within ascending order. The receiver is modified in place (Rows is
+// replaced with a newly ordered slice; a columnar cache is invalidated).
+// When the column vectors are already built the permutation orders through
+// the typed lane comparators (SortPermCols) with no boxed key extraction;
+// otherwise the keys extract once into a flat boxed array.
+func (r *Relation) Sort(keys []SortKey) error {
+	idx, desc, err := r.sortPlan(keys)
+	if err != nil {
+		return err
 	}
 	src := r.TupleRows()
 	n := len(src)
 	if n < 2 || len(keys) == 0 {
 		return nil
 	}
-	k := len(idx)
-	flat := make([]value.Value, n*k)
-	_ = ForChunks(n, func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			row, out := src[i], flat[i*k:(i+1)*k]
-			for j, c := range idx {
-				out[j] = row[c]
-			}
+	var perm []int32
+	if cols := r.CachedColumns(); cols != nil {
+		keyCols := make([]*Col, len(idx))
+		for i, j := range idx {
+			keyCols[i] = cols[j]
 		}
-		return nil
-	})
-	perm := SortPermByKeys(flat, k, desc)
+		perm = SortPermCols(keyCols, nil, n, desc)
+	} else {
+		k := len(idx)
+		flat := make([]value.Value, n*k)
+		_ = ForChunks(n, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				row, out := src[i], flat[i*k:(i+1)*k]
+				for j, c := range idx {
+					out[j] = row[c]
+				}
+			}
+			return nil
+		})
+		perm = SortPermByKeys(flat, k, desc)
+	}
 	rows := make([]Tuple, n)
 	_ = ForChunks(n, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
@@ -326,8 +386,34 @@ func (r *Relation) Sort(keys []SortKey) error {
 	return nil
 }
 
-// SortedClone returns a sorted copy, leaving the receiver untouched.
+// SortedClone returns a sorted copy, leaving the receiver untouched. Above
+// the columnar threshold the copy is built column-wise: the permutation
+// orders typed lanes (SortPermCols) and each column gathers through it, so
+// the whole operation allocates O(columns), not O(rows) — no boxed sort key
+// and no per-row clone. The result is column-built; its rows materialize
+// lazily through TupleRows.
 func (r *Relation) SortedClone(keys []SortKey) (*Relation, error) {
+	n := r.Len()
+	if n >= ColumnarThreshold && len(keys) > 0 {
+		idx, desc, err := r.sortPlan(keys)
+		if err != nil {
+			return nil, err
+		}
+		cols := r.Columns()
+		keyCols := make([]*Col, len(idx))
+		for i, j := range idx {
+			keyCols[i] = cols[j]
+		}
+		perm := SortPermCols(keyCols, nil, n, desc)
+		sorted := make([]*Col, len(cols))
+		_ = ForChunks(len(cols), func(_, lo, hi int) error {
+			for ci := lo; ci < hi; ci++ {
+				sorted[ci] = cols[ci].Gather(perm)
+			}
+			return nil
+		})
+		return FromColumns(r.Name, r.Schema, sorted, n), nil
+	}
 	out := r.Clone()
 	if err := out.Sort(keys); err != nil {
 		return nil, err

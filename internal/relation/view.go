@@ -1,6 +1,11 @@
 package relation
 
-import "sheetmusiq/internal/value"
+import (
+	"sort"
+	"strings"
+
+	"sheetmusiq/internal/value"
+)
 
 // Index-vector views. The incremental evaluation pipeline (internal/core)
 // represents each stage's output as a surviving-row index vector over the
@@ -15,10 +20,10 @@ import "sheetmusiq/internal/value"
 // IndexView is a read-only view of surviving rows over a backing row set:
 // view row i is backing row Idx[i]. Column positions below Split read from
 // the backing tuples; position Split+j reads the computed-column vector
-// Over[j], indexed by the backing-row index. A nil vector reads as NULL —
-// the column exists in the working schema but has not been filled by any
-// upstream stage, exactly the zero-Value cell of a freshly materialised
-// working row.
+// Over[j], a typed column indexed by the backing-row index. A nil column
+// reads as NULL — the column exists in the working schema but has not been
+// filled by any upstream stage, exactly the zero-Value cell of a freshly
+// materialised working row.
 //
 // Cols, when non-nil, carries the backing relation's typed column vectors
 // (aligned with positions below Split); the group/sort/materialise kernels
@@ -27,7 +32,7 @@ type IndexView struct {
 	Rows  []Tuple
 	Cols  []*Col
 	Idx   []int32
-	Over  [][]value.Value
+	Over  []*Col
 	Split int
 }
 
@@ -44,7 +49,7 @@ func (v *IndexView) At(i, col int) value.Value {
 	if vec == nil {
 		return value.Null
 	}
-	return vec[ri]
+	return vec.Value(int(ri))
 }
 
 // Gather fills out with view row i's cells at the given working positions.
@@ -63,16 +68,15 @@ func (v *IndexView) GatherRow(i int, out []value.Value) {
 		if vec == nil {
 			out[v.Split+j] = value.Null
 		} else {
-			out[v.Split+j] = vec[ri]
+			out[v.Split+j] = vec.Value(int(ri))
 		}
 	}
 }
 
 // ColAt returns working position col as a typed column indexed by
 // backing-row index, or nil when the view has no column vectors attached.
-// Computed columns wrap their value vectors as dynamically typed columns —
-// the backing-row indexing lines up because Over vectors are indexed the
-// same way.
+// Computed columns are typed columns already — the backing-row indexing
+// lines up because Over vectors are indexed the same way.
 func (v *IndexView) ColAt(col int) *Col {
 	if v.Cols == nil {
 		return nil
@@ -84,7 +88,7 @@ func (v *IndexView) ColAt(col int) *Col {
 	if vec == nil {
 		return AllNullCol()
 	}
-	return BoxedCol(vec)
+	return vec
 }
 
 // keyCols resolves every working position to a typed column, or nil if any
@@ -168,6 +172,111 @@ func SortView(v *IndexView, cols []int, desc []bool) []int32 {
 	return out
 }
 
+// CountingSortable reports whether a key column is eligible for the
+// grouping-rank counting sort: a typed column whose compare-equal relation
+// coincides exactly with the grouping kernels' cell equality. Float columns
+// are excluded (MustCompare leaves NaN unordered — it compares 0 against
+// values the grouping keeps distinct), as are Boxed columns (cross-kind
+// numeric coincidences: Int 3 compares 0 against Float 3.0 but groups
+// apart). For Int/Bool/Date/String/all-NULL columns, compare(a,b)==0 holds
+// iff the cells land in the same group, which is what makes sorting by
+// group rank equivalent to sorting by the keys.
+func CountingSortable(c *Col) bool {
+	return c != nil && c.Boxed == nil && c.Kind != value.KindFloat
+}
+
+// cellCompare three-way compares cells i and j of a non-Boxed typed column
+// under value.MustCompare semantics: NULLs first, payload order otherwise.
+func cellCompare(c *Col, i, j int) int {
+	ni, nj := c.IsNull(i), c.IsNull(j)
+	if ni || nj {
+		switch {
+		case ni && nj:
+			return 0
+		case ni:
+			return -1
+		}
+		return 1
+	}
+	switch c.Kind {
+	case value.KindString:
+		return strings.Compare(c.Strs[i], c.Strs[j])
+	case value.KindFloat:
+		a, b := c.Floats[i], c.Floats[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	default:
+		a, b := c.Ints[i], c.Ints[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+// SortViewByGrouping stably orders the view's rows by the key columns using
+// a dense grouping computed over exactly those columns: the ng group
+// representatives sort by their key cells (ng·log ng boxless compares), and
+// one stable counting pass places every row by its group's rank —
+// O(n + ng·log ng) against the comparison sort's O(n·log n). Every key
+// column must satisfy CountingSortable, which guarantees the result is
+// bit-identical to SortView: compare-equal keys always share a group, so
+// within a rank bucket the counting pass preserves view order exactly as
+// the stable merge does. The spreadsheet pipeline hits this constantly —
+// the presentation order after grouping is the grouping basis itself, whose
+// dense IDs the aggregate stages have already computed.
+func SortViewByGrouping(v *IndexView, keyCols []*Col, desc []bool, gr *Grouping) []int32 {
+	n := v.Len()
+	out := make([]int32, n)
+	if n == 0 {
+		return out
+	}
+	ng := gr.NumGroups()
+	order := make([]int32, ng)
+	for g := range order {
+		order[g] = int32(g)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		ra := int(v.Idx[gr.First[order[x]]])
+		rb := int(v.Idx[gr.First[order[y]]])
+		for k, c := range keyCols {
+			cmp := cellCompare(c, ra, rb)
+			if desc[k] {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	// Stable counting pass: rows fill their group's slice of out in view
+	// order, buckets laid out in key-rank order.
+	counts := make([]int32, ng)
+	for _, g := range gr.IDs {
+		counts[g]++
+	}
+	starts := make([]int32, ng)
+	var total int32
+	for _, g := range order {
+		starts[g] = total
+		total += counts[g]
+	}
+	for i, g := range gr.IDs {
+		out[starts[g]] = v.Idx[i]
+		starts[g]++
+	}
+	return out
+}
+
 // identityPrefix reports whether cols is exactly [0, 1, ..., len(cols)).
 func identityPrefix(cols []int) bool {
 	for j, c := range cols {
@@ -212,16 +321,26 @@ func MaterializeView(v *IndexView, cols []int, name string, schema Schema) *Rela
 		return &Relation{Name: name, Schema: schema, Rows: rows}
 	}
 	if v.Cols != nil {
-		ident := identityIdx(v.Idx, len(v.Rows))
-		out := make([]*Col, w)
+		src := make([]*Col, w)
 		for j, c := range cols {
-			src := v.ColAt(c)
-			if !ident {
-				src = src.Gather(v.Idx)
-			}
-			out[j] = src
+			src[j] = v.ColAt(c)
 		}
-		return FromColumns(name, schema, out, n)
+		if identityIdx(v.Idx, len(v.Rows)) {
+			return FromColumns(name, schema, src, n)
+		}
+		// Late materialisation: the gather is the one full copy assembly
+		// would make, and most replays never read the assembled table (group
+		// building and re-evaluation read the view; rendering pages). Defer
+		// it to first access — the view's index and column vectors are
+		// immutable snapshots, so the closure stays valid.
+		idx := v.Idx
+		return FromColumnsLazy(name, schema, n, func() []*Col {
+			out := make([]*Col, len(src))
+			for j, c := range src {
+				out[j] = c.Gather(idx)
+			}
+			return out
+		})
 	}
 	flat := make([]value.Value, n*w)
 	rows := make([]Tuple, n)

@@ -188,13 +188,166 @@ type WindowSpec struct {
 // full ties). Keys holds K order-key values per lane, row-major; Desc flips
 // per key position. Parts assigns each lane its partition (nil = a single
 // partition). Arg is the aggregate argument per lane; nil means COUNT(*).
+//
+// The typed alternative: KeyCols carries the K order-key columns and ArgCol
+// the argument column, both cell-indexed through Rows (lane k reads cell
+// Rows[k]; nil = identity). When set they replace Keys/Arg — comparisons run
+// on raw payloads and the aggregate paths accumulate through typed scalar
+// state instead of boxed Accumulators. Results are bit-identical: the typed
+// comparators are value.MustCompare on payloads, and winAgg reproduces
+// Accumulator's operation order exactly.
 type WindowInput struct {
-	N     int
-	Arg   []value.Value
-	Parts *Grouping
-	Keys  []value.Value
-	K     int
-	Desc  []bool
+	N       int
+	Arg     []value.Value
+	ArgCol  *Col
+	Parts   *Grouping
+	Keys    []value.Value
+	KeyCols []*Col
+	Rows    []int32
+	K       int
+	Desc    []bool
+}
+
+// winAgg is the allocation-free scalar aggregate state the typed window
+// paths use for SUM/AVG/MIN/MAX/COUNT frames (window aggregates never need
+// STDDEV or COUNT_DISTINCT). Field discipline mirrors Accumulator: count
+// includes NULLs, sums accumulate in add order, bests replace on strict
+// compare only (first-seen ties), intExact clears on any float add.
+type winAgg struct {
+	fn       AggFunc
+	count    int64
+	nonNull  int64
+	sum      float64
+	intSum   int64
+	intExact bool
+	has      bool
+	kind     value.Kind // kind of the best cell (MIN/MAX)
+	bestI    int64
+	bestF    float64
+	bestS    string
+}
+
+func newWinAgg(fn AggFunc) winAgg { return winAgg{fn: fn, intExact: true} }
+
+// add feeds one cell of c, replicating Accumulator.Add over the boxed cell.
+// c's kind must be numeric (or NULL) for SUM/AVG — callers route other kinds
+// through the boxed fallback so error behaviour is byte-identical.
+func (a *winAgg) add(c *Col, i int) {
+	a.count++
+	if c.Kind == value.KindNull || BitGet(c.Nulls, i) {
+		return
+	}
+	a.nonNull++
+	switch a.fn {
+	case AggCount:
+		return
+	case AggMin:
+		if !a.has {
+			a.has = true
+			a.setBest(c, i)
+			return
+		}
+		switch c.Kind {
+		case value.KindFloat:
+			if c.Floats[i] < a.bestF {
+				a.bestF = c.Floats[i]
+			}
+		case value.KindString:
+			if c.Strs[i] < a.bestS {
+				a.bestS = c.Strs[i]
+			}
+		default:
+			if c.Ints[i] < a.bestI {
+				a.bestI = c.Ints[i]
+			}
+		}
+		return
+	case AggMax:
+		if !a.has {
+			a.has = true
+			a.setBest(c, i)
+			return
+		}
+		switch c.Kind {
+		case value.KindFloat:
+			if c.Floats[i] > a.bestF {
+				a.bestF = c.Floats[i]
+			}
+		case value.KindString:
+			if c.Strs[i] > a.bestS {
+				a.bestS = c.Strs[i]
+			}
+		default:
+			if c.Ints[i] > a.bestI {
+				a.bestI = c.Ints[i]
+			}
+		}
+		return
+	}
+	// SUM / AVG over a numeric column.
+	if c.Kind == value.KindInt {
+		a.intSum += c.Ints[i]
+		a.sum += float64(c.Ints[i])
+	} else {
+		a.intExact = false
+		a.sum += c.Floats[i]
+	}
+}
+
+// addOne counts a lane with no argument column (COUNT(*)): the boxed path
+// feeds NewInt(1), which bumps count and nonNull and is otherwise ignored.
+func (a *winAgg) addOne() {
+	a.count++
+	a.nonNull++
+	if a.fn == AggSum || a.fn == AggAvg {
+		a.intSum++
+		a.sum++
+	}
+}
+
+func (a *winAgg) setBest(c *Col, i int) {
+	a.kind = c.Kind
+	switch c.Kind {
+	case value.KindFloat:
+		a.bestF = c.Floats[i]
+	case value.KindString:
+		a.bestS = c.Strs[i]
+	default:
+		a.bestI = c.Ints[i]
+	}
+}
+
+// result finalises, exactly as Accumulator.Result.
+func (a *winAgg) result() value.Value {
+	if a.fn == AggCount {
+		return value.NewInt(a.count)
+	}
+	if a.nonNull == 0 {
+		return value.Null
+	}
+	switch a.fn {
+	case AggSum:
+		if a.intExact {
+			return value.NewInt(a.intSum)
+		}
+		return value.NewFloat(a.sum)
+	case AggAvg:
+		return value.NewFloat(a.sum / float64(a.nonNull))
+	case AggMin, AggMax:
+		switch a.kind {
+		case value.KindFloat:
+			return value.NewFloat(a.bestF)
+		case value.KindString:
+			return value.NewString(a.bestS)
+		case value.KindBool:
+			return value.NewBool(a.bestI != 0)
+		case value.KindDate:
+			return value.NewDateDays(a.bestI)
+		default:
+			return value.NewInt(a.bestI)
+		}
+	}
+	return value.Null
 }
 
 // Window-kernel metrics, recorded per evaluation (never per row).
@@ -224,7 +377,7 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 			return nil, err
 		}
 	}
-	if in.Arg == nil && spec.Func.NeedsArg() {
+	if in.Arg == nil && in.ArgCol == nil && spec.Func.NeedsArg() {
 		return nil, fmt.Errorf("relation: %s window requires an argument column", spec.Func)
 	}
 	windowEvals.Inc()
@@ -232,6 +385,27 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 	res := make([]value.Value, n)
 	if n == 0 {
 		return res, nil
+	}
+
+	// keyCmp is the per-key three-way comparator over lanes. Typed key
+	// columns compare raw payloads (colCompare — exactly MustCompare on the
+	// boxed cells, Boxed columns included); the flat Keys vector compares
+	// boxed. Both orderings coincide, so typed and boxed callers agree.
+	var keyCmp []func(a, b int32) int
+	if in.KeyCols != nil {
+		keyCmp = make([]func(a, b int32) int, len(in.KeyCols))
+		for j, c := range in.KeyCols {
+			keyCmp[j] = colCompare(c, in.Rows)
+		}
+	} else if in.K > 0 {
+		keyCmp = make([]func(a, b int32) int, in.K)
+		k := in.K
+		for j := 0; j < k; j++ {
+			j := j
+			keyCmp[j] = func(a, b int32) int {
+				return value.MustCompare(in.Keys[int(a)*k+j], in.Keys[int(b)*k+j])
+			}
+		}
 	}
 
 	// Stable sort of lanes by (partition, order keys): partitions become
@@ -247,14 +421,13 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 		}
 		return in.Parts.IDs[l]
 	}
-	if in.Parts != nil || in.K > 0 {
-		k := in.K
+	if in.Parts != nil || len(keyCmp) > 0 {
 		less := func(a, b int32) bool {
 			if pa, pb := pid(a), pid(b); pa != pb {
 				return pa < pb
 			}
-			for j := 0; j < k; j++ {
-				c := value.MustCompare(in.Keys[int(a)*k+j], in.Keys[int(b)*k+j])
+			for j, cmp := range keyCmp {
+				c := cmp(a, b)
 				if c == 0 {
 					continue
 				}
@@ -282,18 +455,48 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 	// peers reports whether two lanes tie on every order key — the peer
 	// (RANGE) grouping ranking and default running frames share.
 	peers := func(a, b int32) bool {
-		for j := 0; j < in.K; j++ {
-			if value.MustCompare(in.Keys[int(a)*in.K+j], in.Keys[int(b)*in.K+j]) != 0 {
+		for _, cmp := range keyCmp {
+			if cmp(a, b) != 0 {
 				return false
 			}
 		}
 		return true
 	}
-	argAt := func(l int32) value.Value {
-		if in.Arg == nil {
-			return value.NewInt(1)
+	cellOf := func(l int32) int {
+		if in.Rows == nil {
+			return int(l)
 		}
-		return in.Arg[l]
+		return int(in.Rows[l])
+	}
+	argAt := func(l int32) value.Value {
+		if in.Arg != nil {
+			return in.Arg[l]
+		}
+		if in.ArgCol != nil {
+			return in.ArgCol.Value(cellOf(l))
+		}
+		return value.NewInt(1)
+	}
+
+	// Typed aggregate accumulation engages when the argument reads typed
+	// payloads (or there is no argument at all — pure frame counting). SUM
+	// and AVG additionally require a numeric (or all-NULL) column, so the
+	// non-numeric error surfaces through the boxed path with its exact
+	// message and position.
+	aggFn := spec.Func.AggFunc()
+	typedArg := in.Arg == nil && in.ArgCol != nil && in.ArgCol.Boxed == nil
+	if aggFn == AggSum || aggFn == AggAvg {
+		typedArg = typedArg && (in.ArgCol.Kind == value.KindInt ||
+			in.ArgCol.Kind == value.KindFloat || in.ArgCol.Kind == value.KindNull)
+	}
+	starTyped := in.Arg == nil && in.ArgCol == nil
+	var addLane func(a *winAgg, l int32)
+	switch {
+	case typedArg:
+		col := in.ArgCol
+		addLane = func(a *winAgg, l int32) { a.add(col, cellOf(l)) }
+	case starTyped:
+		addLane = func(a *winAgg, l int32) { a.addOne() }
 	}
 
 	evalPart := func(lo, hi int) error {
@@ -325,7 +528,18 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 		}
 		if spec.Frame == nil && in.K == 0 {
 			// Whole-partition aggregate: one pass, broadcast.
-			acc := NewAccumulator(spec.Func.AggFunc())
+			if addLane != nil {
+				acc := newWinAgg(aggFn)
+				for i := lo; i < hi; i++ {
+					addLane(&acc, perm[i])
+				}
+				r := acc.result()
+				for i := lo; i < hi; i++ {
+					res[perm[i]] = r
+				}
+				return nil
+			}
+			acc := NewAccumulator(aggFn)
 			for i := lo; i < hi; i++ {
 				if err := acc.Add(argAt(perm[i])); err != nil {
 					return err
@@ -343,7 +557,25 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 			// at each peer-group boundary. Accumulation order is identical
 			// to recomputing each frame from scratch, so the incremental
 			// strategy is bit-identical to the naive one.
-			acc := NewAccumulator(spec.Func.AggFunc())
+			if addLane != nil {
+				acc := newWinAgg(aggFn)
+				for s := lo; s < hi; {
+					e := s + 1
+					for e < hi && peers(perm[s], perm[e]) {
+						e++
+					}
+					for i := s; i < e; i++ {
+						addLane(&acc, perm[i])
+					}
+					r := acc.result()
+					for i := s; i < e; i++ {
+						res[perm[i]] = r
+					}
+					s = e
+				}
+				return nil
+			}
+			acc := NewAccumulator(aggFn)
 			for s := lo; s < hi; {
 				e := s + 1
 				for e < hi && peers(perm[s], perm[e]) {
@@ -378,6 +610,27 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 			}
 			return hi - 1
 		}
+		if addLane != nil {
+			// One reusable state for the whole range: resetting in place
+			// keeps the per-frame accumulator off the heap (taking its
+			// address inside the loop would escape it once per row).
+			var acc winAgg
+			for i := lo; i < hi; i++ {
+				s, e := bound(spec.Frame.Lo, i), bound(spec.Frame.Hi, i)
+				if s < lo {
+					s = lo
+				}
+				if e > hi-1 {
+					e = hi - 1
+				}
+				acc = newWinAgg(aggFn)
+				for j := s; j <= e; j++ {
+					addLane(&acc, perm[j])
+				}
+				res[perm[i]] = acc.result()
+			}
+			return nil
+		}
 		for i := lo; i < hi; i++ {
 			s, e := bound(spec.Frame.Lo, i), bound(spec.Frame.Hi, i)
 			if s < lo {
@@ -386,7 +639,7 @@ func WindowEval(spec WindowSpec, in WindowInput) ([]value.Value, error) {
 			if e > hi-1 {
 				e = hi - 1
 			}
-			acc := NewAccumulator(spec.Func.AggFunc())
+			acc := NewAccumulator(aggFn)
 			for j := s; j <= e; j++ {
 				if err := acc.Add(argAt(perm[j])); err != nil {
 					return err

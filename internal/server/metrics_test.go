@@ -163,6 +163,36 @@ func TestMetricsEndpointAdvances(t *testing.T) {
 	}
 }
 
+// TestMetricsAggVectorizedAdvances drives a workload big enough to clear
+// the columnar threshold (tpch lineitem at sf 0.002, ~12k rows) and asserts
+// the typed aggregation kernels actually engaged: relation.agg.vectorized
+// advances and relation.agg.declined stays flat across the whole scripted
+// workload — including the view-building SQL the tpch demo runs, whose
+// GROUP BY aggregates over plain columns must also stay on the typed path.
+func TestMetricsAggVectorizedAdvances(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	before := fetchMetrics(t, c)
+
+	id := c.create("tpch")
+	c.op(id, engine.Op{Op: "demo", Table: "tpch"})
+	c.op(id, engine.Op{Op: "use", Table: "lineitem"})
+	c.op(id, engine.Op{Op: "group", Columns: []string{"l_returnflag"}, Dir: "asc"})
+	c.op(id, engine.Op{Op: "agg", Fn: "sum", Column: "l_quantity", Level: 2})
+	var out json.RawMessage
+	if code := c.do("GET", "/v1/sessions/"+id+"/render?limit=3", nil, &out); code != http.StatusOK {
+		t.Fatalf("render: status %d", code)
+	}
+
+	after := fetchMetrics(t, c)
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	if d := delta("relation.agg.vectorized"); d < 1 {
+		t.Errorf("relation.agg.vectorized delta = %d, want >= 1", d)
+	}
+	if d := delta("relation.agg.declined"); d != 0 {
+		t.Errorf("relation.agg.declined delta = %d, want 0 (typed tpch columns must not decline)", d)
+	}
+}
+
 // TestRequestIDRoundTrip asserts the request-ID contract on the wire: a
 // caller-supplied X-Request-ID is echoed back verbatim, and a request
 // without one gets a generated ID on the response.

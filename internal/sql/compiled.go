@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 
@@ -346,8 +347,17 @@ type rowGroup struct {
 // order preserved); otherwise keys evaluate sequentially (tree-walking
 // fallback, possibly with subqueries) into an incremental hash table. An
 // aggregate query without GROUP BY yields one group even over empty input.
-func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) ([]*rowGroup, error) {
+// The returned Grouping (non-nil when the fast paths ran) maps each row of
+// rows to its group ID, groups[g] holding the rows of ID g; the typed
+// aggregate kernel in compiledGroupOutput consumes it directly.
+func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) ([]*rowGroup, *relation.Grouping, error) {
 	nG := len(stmt.GroupBy)
+	if nG == 0 {
+		// Ungrouped aggregate: one group holding every row, even over empty
+		// input.
+		gr := &relation.Grouping{IDs: make([]int32, len(rows)), First: []int32{0}}
+		return []*rowGroup{{rows: rows}}, gr, nil
+	}
 	progs := make([]*expr.Program, nG)
 	compiled := true
 	for i, g := range stmt.GroupBy {
@@ -356,7 +366,7 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 			break
 		}
 	}
-	if compiled && nG > 0 {
+	if compiled {
 		keyVals := make([]relation.Tuple, len(rows))
 		err := relation.ForChunks(len(rows), func(_, lo, hi int) error {
 			for ri := lo; ri < hi; ri++ {
@@ -373,7 +383,7 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		gr := relation.GroupRowsOn(keyVals, nil)
 		counts := make([]int, gr.NumGroups())
@@ -387,7 +397,7 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 		for ri, gid := range gr.IDs {
 			groups[gid].rows = append(groups[gid].rows, rows[ri])
 		}
-		return groups, nil
+		return groups, gr, nil
 	}
 	table := relation.NewGrouper(nil, len(rows)/4+1)
 	var groups []*rowGroup
@@ -397,7 +407,7 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 		for i, g := range stmt.GroupBy {
 			v, err := expr.Eval(g, env)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			key[i] = v
 		}
@@ -407,10 +417,7 @@ func buildRowGroups(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple
 		}
 		groups[gid].rows = append(groups[gid].rows, row)
 	}
-	if nG == 0 && len(groups) == 0 {
-		groups = append(groups, &rowGroup{})
-	}
-	return groups, nil
+	return groups, nil, nil
 }
 
 // accumulateGroup computes every lifted aggregate over one group's rows. A
@@ -482,7 +489,14 @@ func accumulateGroup(aggs []liftedAgg, aggProgs []*expr.Program, rows []relation
 // parallel chunks (chunk-local outputs concatenated in chunk order); the
 // single-group case chunks the aggregate accumulation instead. The bool
 // reports whether the fast path ran.
-func compiledGroupOutput(src *source, groups []*rowGroup, aggs []liftedAgg, items []SelectItem, having expr.Expr, orderBy []OrderItem, schema relation.Schema, outer expr.Env) (*relation.Relation, [][]value.Value, bool, error) {
+//
+// When gr is non-nil, the rows still align with the source's typed columns
+// (idx holds their base-row indexes; nil means identity) and every lifted
+// aggregate's argument is a plain column reference (or COUNT(*)), the
+// aggregates compute up front through the typed grouped-aggregation kernel —
+// all groups at once over the column payloads — and the per-group loop only
+// reads the results.
+func compiledGroupOutput(src *source, groups []*rowGroup, gr *relation.Grouping, aggs []liftedAgg, items []SelectItem, having expr.Expr, orderBy []OrderItem, schema relation.Schema, outer expr.Env, idx []int32, aligned bool, nRows int) (*relation.Relation, [][]value.Value, bool, error) {
 	nSrc := len(src.rel.Schema)
 	res := extResolver(src, len(aggs))
 	compileExt := func(e expr.Expr) *expr.Program {
@@ -522,6 +536,44 @@ func compiledGroupOutput(src *source, groups []*rowGroup, aggs []liftedAgg, item
 	if !chunkSafe {
 		execMergeFallback.Inc()
 	}
+	// Typed grouped aggregation: with the row→group map in hand and the rows
+	// still aligned to the source columns, column-reference arguments (and
+	// COUNT(*)) feed the typed kernel over the column payloads for all groups
+	// at once. The engagement is all-or-nothing so the boxed per-group loop
+	// below stays the single fallback.
+	var aggResults [][]value.Value // [agg][group]
+	if gr != nil && aligned && outer == nil && len(aggs) > 0 {
+		typedOK := true
+		cols := make([]*relation.Col, len(aggs))
+		for i, a := range aggs {
+			if a.star {
+				continue // COUNT(*): no argument column
+			}
+			ref, ok := a.arg.(*expr.ColumnRef)
+			if !ok {
+				typedOK = false
+				break
+			}
+			if cols[i], ok = src.batchResolve(ref.Name); !ok {
+				typedOK = false
+				break
+			}
+		}
+		if typedOK {
+			aggResults = make([][]value.Value, len(aggs))
+			for i, a := range aggs {
+				res, _, err := relation.GroupAggregate(a.fn, cols[i], gr.IDs, idx, nRows, len(groups))
+				if err != nil {
+					if errors.Is(err, relation.ErrNotVectorizable) {
+						aggResults = nil
+						break
+					}
+					return nil, nil, true, err
+				}
+				aggResults[i] = res
+			}
+		}
+	}
 	var havingProg *expr.Program
 	if having != nil {
 		if havingProg = compileExt(having); havingProg == nil {
@@ -551,9 +603,18 @@ func compiledGroupOutput(src *source, groups []*rowGroup, aggs []liftedAgg, item
 		p := &parts[c]
 		for gi := lo; gi < hi; gi++ {
 			grp := groups[gi]
-			results, err := accumulateGroup(aggs, aggProgs, grp.rows, chunkRows)
-			if err != nil {
-				return err
+			var results []value.Value
+			if aggResults != nil {
+				results = make([]value.Value, len(aggs))
+				for ai := range aggResults {
+					results[ai] = aggResults[ai][gi]
+				}
+			} else {
+				var err error
+				results, err = accumulateGroup(aggs, aggProgs, grp.rows, chunkRows)
+				if err != nil {
+					return err
+				}
 			}
 			// Extended row: a representative source row (all NULL for the
 			// empty ungrouped group) followed by the aggregate results.

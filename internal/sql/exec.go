@@ -504,7 +504,7 @@ func execOn(db *DB, src *source, stmt *SelectStmt, outer expr.Env) (*relation.Re
 	var sortVals [][]value.Value
 	var err error
 	if grouped {
-		out, sortVals, err = execGrouped(db, src, stmt, rows, outer, subs)
+		out, sortVals, err = execGrouped(db, src, stmt, rows, outer, subs, idx, aligned)
 	} else {
 		out, sortVals, err = execPlain(db, src, stmt, rows, outer, subs, idx, aligned)
 	}
@@ -587,15 +587,18 @@ func execPlain(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, out
 	return out, sortVals, nil
 }
 
-// execGrouped evaluates GROUP BY / aggregate queries.
-func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState) (*relation.Relation, [][]value.Value, error) {
+// execGrouped evaluates GROUP BY / aggregate queries. idx, when aligned,
+// holds the surviving base-row indexes of rows so column-reference aggregate
+// arguments can run the typed grouped-aggregation kernel over the source's
+// column payloads.
+func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, outer expr.Env, subs map[*expr.Subquery]*subState, idx []int32, aligned bool) (*relation.Relation, [][]value.Value, error) {
 	for _, it := range stmt.Items {
 		if it.Star {
 			return nil, nil, fmt.Errorf("sql: * is not allowed with GROUP BY or aggregates")
 		}
 	}
 	// Group rows by the GROUP BY expression values.
-	groups, err := buildRowGroups(db, src, stmt, rows, outer, subs)
+	groups, gr, err := buildRowGroups(db, src, stmt, rows, outer, subs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -662,7 +665,7 @@ func execGrouped(db *DB, src *source, stmt *SelectStmt, rows []relation.Tuple, o
 	if err != nil {
 		return nil, nil, err
 	}
-	if out, sortVals, handled, err := compiledGroupOutput(src, groups, aggs, items, having, orderBy, schema, outer); handled {
+	if out, sortVals, handled, err := compiledGroupOutput(src, groups, gr, aggs, items, having, orderBy, schema, outer, idx, aligned, len(rows)); handled {
 		execGroupedCompiled.Inc()
 		if err != nil {
 			return nil, nil, err
