@@ -13,7 +13,7 @@ build:
 # evaluation stage fires even on the small test relations.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql ./internal/wal ./internal/engine ./internal/sqlgen
+	$(GO) test -race ./internal/obs ./internal/server ./internal/relation ./internal/core ./internal/sql ./internal/wal ./internal/engine ./internal/sqlgen ./internal/graph
 	SHEETMUSIQ_PARALLEL_THRESHOLD=4 $(GO) test -race ./internal/core ./internal/relation
 
 race:
@@ -52,7 +52,7 @@ bench:
 # heap by the time the heavyweights run, and a single contended iteration
 # would be recorded as the baseline the gate holds future work to.
 BENCH_JSON_COUNT ?= 3
-BENCH_GATE_PATTERN ?= ^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k|BenchmarkTPCHQ1SF1)$$
+BENCH_GATE_PATTERN ?= ^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k|BenchmarkInvalidationPrecision100k|BenchmarkTPCHQ1SF1)$$
 bench-json:
 	( $(GO) test -run='^$$' -bench=. -benchmem -timeout=60m . ; \
 	  $(GO) test -run='^$$' -bench='$(BENCH_GATE_PATTERN)' -benchmem -count=$(BENCH_JSON_COUNT) -timeout=60m . ) \

@@ -459,6 +459,45 @@ func BenchmarkEvalColdVsWarm100k(b *testing.B) {
 	})
 }
 
+// BenchmarkInvalidationPrecision100k prices the tentpole of graph-exact
+// invalidation: a warm 100k-row sheet carrying four same-depth predicates
+// plus an ordering, where each iteration edits exactly one predicate and
+// re-evaluates. Graph reachability recomputes only the edited σ part, the
+// depth's ∧ conjunction and the ordering — the three sibling predicates are
+// served from cache, where the superseded rank table recomputed the whole
+// suffix from the edited stage onward.
+func BenchmarkInvalidationPrecision100k(b *testing.B) {
+	s := scaleSheet(b, 100000)
+	var editID int
+	for i, p := range []string{
+		"Year >= 2003",
+		"Price < 30000",
+		"Mileage < 90000",
+		"Condition = 'Good' OR Condition = 'Excellent'",
+	} {
+		id, err := s.Select(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 1 {
+			editID = id
+		}
+	}
+	if err := s.Sort("Price", core.Asc); err != nil {
+		b.Fatal(err)
+	}
+	evaluate(b, s)
+	preds := []string{"Price < 25000", "Price < 30000"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReplaceSelection(editID, preds[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		evaluate(b, s)
+	}
+}
+
 // --- relation-kernel benchmarks --------------------------------------------
 //
 // These isolate the grouping, duplicate-elimination and sort kernels at the

@@ -105,10 +105,10 @@ func (s *Spreadsheet) Evaluate() (*Result, error) {
 	return res, err
 }
 
-// evaluate is the uncached evaluation: build the stage pipeline
-// (plan.go), resume it from the deepest cached snapshot, run the remaining
-// stages (stage.go), and assemble the visible table and group tree from
-// the final snapshot. Stage bodies run data-parallel over contiguous row
+// evaluate is the uncached evaluation: build the stage pipeline (plan.go),
+// serve each stage from its cached artifact where the DAG-keyed fingerprint
+// still matches and re-run the rest (stage.go), and assemble the visible
+// table and group tree from the final snapshot. Stage bodies run data-parallel over contiguous row
 // chunks above relation.ParallelThreshold; chunk-local results are
 // concatenated (or merged) in chunk order, so the output is identical to
 // the sequential scan.
@@ -131,42 +131,49 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 
 	plan := make([]StageInfo, len(stages))
 	for i, st := range stages {
-		plan[i] = StageInfo{Name: st.name, Fingerprint: st.fp}
+		plan[i] = StageInfo{ID: st.id, Name: st.name, Fingerprint: st.fp}
 	}
 
-	// Resume from the deepest cached snapshot. Its fingerprint chains over
-	// every upstream definition and the base generation, so a hit proves
-	// the whole prefix of the pipeline is unchanged — every upstream
-	// snapshot is reused by construction. Probing every stage (not just
-	// the deepest) refreshes the live chain's LRU standing.
+	// Run the pipeline, probing the artifact cache per stage. Fingerprints
+	// are DAG-keyed (plan.go), so a hit at stage i is independent of
+	// whether earlier stages hit: editing one σ part leaves its siblings'
+	// fingerprints — and artifacts — intact, and only the stages whose
+	// dependency cone contains the edit recompute. firstMiss tracks what
+	// the pre-graph linear chaining would have recomputed (everything from
+	// the first changed stage onward) for the coarse-precision metric.
 	cache := s.snaps()
-	start := -1
 	var cur *stageSnap
+	firstMiss := len(stages)
 	for i := range stages {
-		if snap := cache.get(stages[i].fp); snap != nil {
-			start, cur = i, snap
-			plan[i].Rows = len(snap.idx)
+		if art := cache.get(stages[i].fp); art != nil {
+			plan[i].Cached = true
+			evalStageHits.Inc()
+			cur = stages[i].apply(cur, art)
+			plan[i].Rows = stageRows(cur, art)
+			continue
 		}
-	}
-	for i := 0; i <= start; i++ {
-		plan[i].Cached = true
-	}
-	evalStageHits.Add(int64(start + 1))
-
-	for i := start + 1; i < len(stages); i++ {
+		if i < firstMiss {
+			firstMiss = i
+		}
 		stageStart := time.Now()
-		next, err := stages[i].run(ev, cur)
+		art, err := stages[i].run(ev, cur)
 		if err != nil {
+			// Linear chaining would have re-run stages firstMiss..i before
+			// aborting at the same error.
+			evalStageRecomputesCoarse.Add(int64(i - firstMiss + 1))
 			s.lastPlan = &EvalPlan{Version: s.version, Stages: plan, Error: err.Error()}
 			return nil, err
 		}
-		next.fp = stages[i].fp
-		cache.put(next, stages[i].rank)
 		evalStageRecomputes.Inc()
-		plan[i].Rows = len(next.idx)
+		if art != nil { // σ parts report nil on a swallowed predicate error
+			art.fp = stages[i].fp
+			cache.put(art, stages[i].rank, stages[i].atoms)
+			cur = stages[i].apply(cur, art)
+			plan[i].Rows = stageRows(cur, art)
+		}
 		plan[i].Duration = time.Since(stageStart)
-		cur = next
 	}
+	evalStageRecomputesCoarse.Add(int64(len(stages) - firstMiss))
 	s.lastPlan = &EvalPlan{Version: s.version, Stages: plan}
 
 	// Final assembly from the last snapshot: project the visible schema
@@ -189,6 +196,18 @@ func (s *Spreadsheet) evaluate() (*Result, error) {
 		return nil, err
 	}
 	return &Result{Table: table, Root: root, Levels: s.Grouping()}, nil
+}
+
+// stageRows reports the row count a stage's plan line shows: row stages own
+// their survivor index, column stages inherit the running snapshot's.
+func stageRows(cur *stageSnap, art *stageArtifact) int {
+	if art.idx != nil {
+		return len(art.idx)
+	}
+	if cur != nil {
+		return len(cur.idx)
+	}
+	return 0
 }
 
 // coerce widens an integer into a float-typed column so computed columns

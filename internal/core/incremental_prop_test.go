@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sheetmusiq/internal/dataset"
+	"sheetmusiq/internal/obs"
 	"sheetmusiq/internal/relation"
 )
 
@@ -16,6 +17,11 @@ import (
 // (Clone() carries no snapshot cache, so it replays from scratch). Run
 // under -race with SHEETMUSIQ_PARALLEL_THRESHOLD forced low this also
 // exercises the parallel kernels on tiny inputs.
+//
+// The same sequence also pins graph-exact invalidation's precision bound:
+// after every step, the stages actually recomputed must not exceed what
+// the pre-graph rank table (linear chaining from the first changed stage)
+// would have recomputed — stage_recomputes ≤ stage_recomputes_coarse.
 func TestIncrementalMatchesColdReplay(t *testing.T) {
 	defer func(old int) { relation.ParallelThreshold = old }(relation.ParallelThreshold)
 	relation.ParallelThreshold = 4
@@ -24,10 +30,18 @@ func TestIncrementalMatchesColdReplay(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			s := New(dataset.RandomCars(300, 100+seed))
+			rec0 := obs.Default.CounterValue("core.eval.stage_recomputes")
+			coarse0 := obs.Default.CounterValue("core.eval.stage_recomputes_coarse")
 			for step := 0; step < 60; step++ {
 				op := randomOp(s, rng)
 				got, gotErr := s.Evaluate()
 				want, wantErr := s.Clone().Evaluate()
+				rec := obs.Default.CounterValue("core.eval.stage_recomputes") - rec0
+				coarse := obs.Default.CounterValue("core.eval.stage_recomputes_coarse") - coarse0
+				if rec > coarse {
+					t.Fatalf("step %d after %s: %d stages recomputed, rank table would have recomputed only %d",
+						step, op, rec, coarse)
+				}
 				if (gotErr == nil) != (wantErr == nil) {
 					t.Fatalf("step %d after %s: incremental err %v, cold err %v", step, op, gotErr, wantErr)
 				}

@@ -43,7 +43,7 @@ func (s *Spreadsheet) ReplaceSelection(id int, predicate string) error {
 			old := s.state.selections[i].Pred.SQL()
 			s.state.selections[i].Pred = e
 			s.commit(before, fmt.Sprintf("modify σ#%d %s → %s", id, old, e.SQL()))
-			s.invalidateStages(rank)
+			s.invalidateAtoms(rank, fmt.Sprintf("sel:%d", id))
 			return nil
 		}
 	}
@@ -58,7 +58,7 @@ func (s *Spreadsheet) RemoveSelection(id int) error {
 			before := s.begin()
 			s.state.selections = append(s.state.selections[:i:i], s.state.selections[i+1:]...)
 			s.commit(before, fmt.Sprintf("remove σ#%d %s", id, sel.Pred.SQL()))
-			s.invalidateStages(rank)
+			s.invalidateAtoms(rank, fmt.Sprintf("sel:%d", id))
 			return nil
 		}
 	}
@@ -124,7 +124,7 @@ func (s *Spreadsheet) RemoveComputed(name string) error {
 	before := s.begin()
 	s.state.computed = append(s.state.computed[:idx:idx], s.state.computed[idx+1:]...)
 	s.commit(before, "remove column "+name)
-	s.invalidateStages(rank)
+	s.invalidateAtoms(rank, "col:"+strings.ToLower(name))
 	return nil
 }
 
@@ -144,7 +144,7 @@ func (s *Spreadsheet) Ungroup() error {
 	before := s.begin()
 	s.state.grouping = s.state.grouping[:len(s.state.grouping)-1]
 	s.commit(before, fmt.Sprintf("ungroup level %d", level))
-	s.invalidateStages(rankAgg(1))
+	s.invalidateAtoms(rankAgg(1), "order")
 	return nil
 }
 
@@ -163,7 +163,7 @@ func (s *Spreadsheet) ClearGrouping() error {
 	before := s.begin()
 	s.state.grouping = nil
 	s.commit(before, "clear grouping")
-	s.invalidateStages(rankAgg(1))
+	s.invalidateAtoms(rankAgg(1), "order")
 	return nil
 }
 
@@ -174,7 +174,7 @@ func (s *Spreadsheet) RemoveOrdering(column string) error {
 			before := s.begin()
 			s.state.finest = append(s.state.finest[:i:i], s.state.finest[i+1:]...)
 			s.commit(before, "remove ordering "+column)
-			s.invalidateStages(rankOrder)
+			s.invalidateAtoms(rankOrder, "order")
 			return nil
 		}
 	}
@@ -189,6 +189,6 @@ func (s *Spreadsheet) RemoveDistinct() error {
 	before := s.begin()
 	s.state.distinctOn = nil
 	s.commit(before, "remove distinct")
-	s.invalidateStages(rankDistinct())
+	s.invalidateAtoms(rankDistinct(), "distinct")
 	return nil
 }

@@ -2,25 +2,53 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sheetmusiq/internal/expr"
 	"sheetmusiq/internal/relation"
 )
 
-// The evaluation pipeline. evaluate() no longer replays the query state in
-// one monolithic pass: buildPipeline compiles the state into an ordered
-// list of named stage nodes — base materialisation, then per depth d the
-// aggregate fills, formula fills and selections of depth d (duplicate
-// elimination after the depth-0 selections), then the presentation
-// ordering. Each node carries a content fingerprint chained from its
-// upstream node's fingerprint and its own operator definition, so a node's
-// fingerprint identifies the exact multiset its snapshot holds; the
-// snapshot cache (snapcache.go) keys on it, and a mutation that only
-// changes stage k leaves every upstream fingerprint — and therefore every
-// upstream snapshot — intact. This is the reuse Theorem 2's commutativity
-// licenses: operators at different stages commute, so the prefix of the
-// replay is a function of the prefix of the definitions alone.
+// The evaluation pipeline. buildPipeline compiles the query state into an
+// ordered list of named stage nodes — base materialisation, then per depth d
+// the aggregate fills, window fills, formula fills and selections of depth d
+// (duplicate elimination after the depth-0 selections), then the
+// presentation ordering.
+//
+// Fingerprints are DAG-keyed, not chained linearly: each stage's fingerprint
+// folds in exactly the inputs its artifact is derived from — the row-stage
+// fingerprint at its depth's entry (the multiset it reads) plus the
+// content fingerprints of the columns it references (expr.Deps names them) —
+// and nothing else. A mutation therefore changes the fingerprints of
+// precisely the stages reachable from it in the dependency graph: editing
+// one predicate leaves sibling predicates at the same depth, and every
+// column stage not referencing it, with intact fingerprints and live cache
+// entries. This is Theorem 2's commutativity made operational — operators
+// that commute share no dependency edge, so neither's artifact keys on the
+// other.
+//
+// Column fingerprints (colFPs) deliberately exclude the column's *name*:
+// they key the definition's content, so two identically defined columns
+// share one artifact (the apply closure reattaches each stage's own name),
+// and the same keys can later address a cross-session artifact catalog.
+//
+// Stable node IDs tie the pipeline to the product dependency surface
+// (deps.go): "base"; "col:<name>" for η/ω/θ columns; "sel:<id>" for σ
+// predicates; "and:d<depth>" for the per-depth σ conjunction; "distinct";
+// "order". Graph-only leaves use "basecol:<name>". Plan() reports the same
+// IDs, so /plan and /deps cross-reference.
+//
+// Selections at one depth split into independent parts: with k ≥ 2
+// predicates at depth d, each σ filters the depth's entry multiset on its
+// own (its artifact is reusable no matter what its siblings do) and one ∧
+// stage intersects the survivor sets in entry order — bit-identical to
+// chained filtering, since filters commute and entry order is preserved. A
+// part whose predicate errors reports no artifact; the ∧ stage then replays
+// the depth's predicates chained sequentially, reproducing the exact
+// first-error-or-success of the pre-split pipeline (a row that errors under
+// an independent part may be filtered away by an earlier sibling in the
+// chained order). Depths with a single predicate emit a plain σ stage and
+// no ∧.
 
 // stageKind classifies pipeline nodes.
 type stageKind uint8
@@ -33,21 +61,50 @@ const (
 	stageDistinct
 	stageOrder
 	stageWindow
+	stageCombine
 )
+
+// String names the kind for the dependency surface.
+func (k stageKind) String() string {
+	switch k {
+	case stageBase:
+		return "base"
+	case stageAgg:
+		return "aggregate"
+	case stageFormula:
+		return "formula"
+	case stageSelect:
+		return "selection"
+	case stageDistinct:
+		return "distinct"
+	case stageOrder:
+		return "order"
+	case stageWindow:
+		return "window"
+	case stageCombine:
+		return "combine"
+	}
+	return "unknown"
+}
 
 // stageNode is one executable node of the pipeline.
 type stageNode struct {
-	kind stageKind
-	name string // display name, paper glyphs: "η AvgP d1", "σ Year >= 2003"
-	fp   uint64 // chained content fingerprint
-	rank int    // invalidation rank (snapcache.go)
-	run  func(ev *evalCtx, in *stageSnap) (*stageSnap, error)
+	kind  stageKind
+	id    string   // stable node ID, shared by Plan() and Deps()
+	name  string   // display name, paper glyphs: "η AvgP d1", "σ Year >= 2003"
+	fp    uint64   // DAG-keyed content fingerprint
+	rank  int      // legacy coarse rank (for the coarse_saved metric only)
+	atoms []string // dependency-atom closure (invalidation alphabet)
+	deps  []string // direct dependency node IDs (graph edges point here → id)
+	run   func(ev *evalCtx, cur *stageSnap) (*stageArtifact, error)
+	apply func(cur *stageSnap, art *stageArtifact) *stageSnap
 }
 
 // StageInfo describes one pipeline stage of the most recent evaluation —
 // the explain surface shared by the REPL `explain` command and the
-// server's /plan endpoint.
+// server's /plan endpoint. ID is the stable node ID also used by Deps().
 type StageInfo struct {
+	ID          string        `json:"id"`
 	Name        string        `json:"name"`
 	Fingerprint uint64        `json:"fingerprint"`
 	Cached      bool          `json:"cached"`
@@ -99,11 +156,175 @@ func fpDir(h uint64, desc bool) uint64 {
 	return fpU(h, 1)
 }
 
+// atomUnion merges atom sets, deduplicating while preserving first-seen
+// order. It always returns a fresh slice so callers can keep extending
+// their running sets without aliasing a stage's stored atoms.
+func atomUnion(sets ...[]string) []string {
+	var out []string
+	for _, set := range sets {
+		for _, a := range set {
+			found := false
+			for _, b := range out {
+				if a == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// selBlock is the per-evaluation scratch tying a depth's σ parts to their ∧
+// stage: part stages record their artifacts here (on hit and on recompute
+// alike — the ∧ must never re-read the cache, a part could be evicted
+// mid-evaluation) and the ∧ stage intersects them. A nil artifact marks a
+// part whose predicate errored; the ∧ then falls back to chained replay.
+type selBlock struct {
+	sels []Selection
+	arts []*stageArtifact
+}
+
+// rowArtifact adapts a row-stage body (σ, δ, λ, base): the artifact owns the
+// stage's surviving index vector.
+func rowArtifact(inner func(*evalCtx, *stageSnap) (*stageSnap, error)) func(*evalCtx, *stageSnap) (*stageArtifact, error) {
+	return func(ev *evalCtx, cur *stageSnap) (*stageArtifact, error) {
+		next, err := inner(ev, cur)
+		if err != nil {
+			return nil, err
+		}
+		return &stageArtifact{idx: next.idx, ownBytes: next.ownBytes}, nil
+	}
+}
+
+// colArtifact adapts a column-stage body (η, ω, θ): the artifact owns the
+// freshly filled column vector, name-agnostically.
+func colArtifact(inner func(*evalCtx, *stageSnap) (*stageSnap, error)) func(*evalCtx, *stageSnap) (*stageArtifact, error) {
+	return func(ev *evalCtx, cur *stageSnap) (*stageArtifact, error) {
+		next, err := inner(ev, cur)
+		if err != nil {
+			return nil, err
+		}
+		return &stageArtifact{col: next.cols[len(next.cols)-1].col, ownBytes: next.ownBytes}, nil
+	}
+}
+
+// applyRow folds a row artifact into the running snapshot.
+func applyRow(cur *stageSnap, art *stageArtifact) *stageSnap {
+	if cur == nil { // the base stage starts the snapshot chain
+		return &stageSnap{idx: art.idx}
+	}
+	next := cur.extend()
+	next.idx = art.idx
+	return next
+}
+
+// applyCol folds a column artifact into the running snapshot under the
+// stage's own output name (artifacts are name-agnostic).
+func applyCol(name string) func(*stageSnap, *stageArtifact) *stageSnap {
+	return func(cur *stageSnap, art *stageArtifact) *stageSnap {
+		next := cur.extend()
+		next.cols = append(next.cols, stageCol{name: name, col: art.col})
+		return next
+	}
+}
+
+// runSelPart runs one σ part against the depth's entry snapshot. A
+// predicate error is swallowed here — the part reports no artifact and the
+// depth's ∧ stage replays the chain to reproduce the exact sequential
+// error-or-success.
+func runSelPart(blk *selBlock, i int) func(*evalCtx, *stageSnap) (*stageArtifact, error) {
+	inner := runSelectStage(blk.sels[i])
+	return func(ev *evalCtx, cur *stageSnap) (*stageArtifact, error) {
+		next, err := inner(ev, cur)
+		if err != nil {
+			return nil, nil
+		}
+		return &stageArtifact{idx: next.idx, ownBytes: next.ownBytes}, nil
+	}
+}
+
+// applySelPart records a part's artifact into the block and leaves the
+// running snapshot at the depth's entry, so sibling parts and the ∧ stage
+// all read the same multiset.
+func applySelPart(blk *selBlock, i int) func(*stageSnap, *stageArtifact) *stageSnap {
+	return func(cur *stageSnap, art *stageArtifact) *stageSnap {
+		blk.arts[i] = art
+		return cur
+	}
+}
+
+// runSelCombine intersects the block's part artifacts in entry order. Every
+// part index vector is a subsequence of the depth's entry vector, so
+// iterating the smallest part and keeping rows present in all others yields
+// exactly the chained-filter result. A missing part (errored predicate)
+// routes through the sequential chained replay instead.
+func runSelCombine(blk *selBlock) func(*evalCtx, *stageSnap) (*stageArtifact, error) {
+	return func(ev *evalCtx, cur *stageSnap) (*stageArtifact, error) {
+		for _, a := range blk.arts {
+			if a == nil {
+				return runSelChained(ev, cur, blk.sels)
+			}
+		}
+		idx := intersectParts(blk.arts, ev.s.base.Len())
+		return &stageArtifact{idx: idx, ownBytes: int64(4 * len(idx))}, nil
+	}
+}
+
+// runSelChained applies the depth's predicates sequentially from the entry
+// snapshot — the pre-split semantics, reproducing the exact first error (or
+// the success a commuting-but-erroring part order would have hidden).
+func runSelChained(ev *evalCtx, cur *stageSnap, sels []Selection) (*stageArtifact, error) {
+	snap := cur
+	for _, sel := range sels {
+		next, err := runSelectStage(sel)(ev, snap)
+		if err != nil {
+			return nil, err
+		}
+		snap = next
+	}
+	return &stageArtifact{idx: snap.idx, ownBytes: int64(4 * len(snap.idx))}, nil
+}
+
+// intersectParts intersects the parts' survivor sets via membership counts
+// over base rows, iterating the smallest part (index vectors never hold
+// duplicates upstream of λ, so a count of k−1 in the others means "kept by
+// every sibling").
+func intersectParts(parts []*stageArtifact, nBase int) []int32 {
+	small := 0
+	for i, p := range parts {
+		if len(p.idx) < len(parts[small].idx) {
+			small = i
+		}
+	}
+	counts := make([]uint16, nBase)
+	for i, p := range parts {
+		if i == small {
+			continue
+		}
+		for _, ri := range p.idx {
+			counts[ri]++
+		}
+	}
+	want := uint16(len(parts) - 1)
+	out := make([]int32, 0, len(parts[small].idx))
+	for _, ri := range parts[small].idx {
+		if counts[ri] == want {
+			out = append(out, ri)
+		}
+	}
+	return out[:len(out):len(out)]
+}
+
 // buildPipeline compiles the current query state into the stage list and
 // the evaluation context the stage bodies run against. It performs the
 // same stratification and validation the monolithic replay did (computed
 // columns and predicates keyed by aggregate depth; cycle and unknown-column
-// errors surface here).
+// errors surface here), and assembles per-stage fingerprints, dependency
+// atoms and graph edges as described at the top of this file.
 func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 	// Working schema: every base column (hidden ones still participate in
 	// predicates) followed by the computed columns, as before.
@@ -153,35 +374,114 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 		}
 	}
 
-	// The base stage's fingerprint seeds the chain: the base generation
-	// (bumped whenever the base relation is replaced) plus its row count
-	// pin the backing data, so snapshots can never be reused across bases.
-	fp := fpU(fpU(fpS(0, "base"), s.baseGen), uint64(s.base.Len()))
+	// The base fingerprint seeds every chain: the base generation (bumped
+	// whenever the base relation is replaced) plus its row count pin the
+	// backing data, so artifacts can never be reused across bases.
+	baseFP := fpU(fpU(fpS(0, "base"), s.baseGen), uint64(s.base.Len()))
+
+	// Per-column content fingerprints, dependency-atom closures and graph
+	// node IDs, built incrementally in emission order (a stage can only
+	// reference columns already emitted, or base columns).
+	colFPs := make(map[string]uint64, ev.width)
+	colAtoms := map[string][]string{}
+	colNode := map[string]string{}
+	for _, col := range s.base.Schema {
+		colFPs[strings.ToLower(col.Name)] = fpS(fpS(baseFP, "basecol"), col.Name)
+	}
+	refFP := func(name string) uint64 {
+		if fp, ok := colFPs[strings.ToLower(name)]; ok {
+			return fp
+		}
+		// Unknown references error at stage runtime; the fingerprint just
+		// needs to be deterministic for the dangling name.
+		return fpS(fpS(baseFP, "basecol"), name)
+	}
+	refAtoms := func(refs []string) [][]string {
+		out := make([][]string, 0, len(refs))
+		for _, r := range refs {
+			if a := colAtoms[strings.ToLower(r)]; a != nil {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	refNode := func(name string) string {
+		lk := strings.ToLower(name)
+		if id, ok := colNode[lk]; ok {
+			return id
+		}
+		return "basecol:" + lk
+	}
+	depList := func(entryID string, refs []string) []string {
+		out := []string{entryID}
+		for _, r := range refs {
+			id := refNode(r)
+			dup := false
+			for _, have := range out {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	selFP := func(entryFP uint64, pred expr.Expr, refs []string) uint64 {
+		fp := fpU(entryFP, uint64(stageSelect))
+		fp = fpU(fp, expr.Fingerprint(pred))
+		for _, r := range refs {
+			fp = fpU(fp, refFP(r))
+		}
+		return fp
+	}
+
+	// rowFP / rowAtoms / rowID track the row-stage spine: only stages that
+	// change the surviving multiset (base, σ/∧, δ, λ) advance them. Column
+	// stages hang off the spine at their depth's entry.
+	rowFP := baseFP
+	rowAtoms := []string{"base"}
+	rowID := "base"
 	stages := []stageNode{{
-		kind: stageBase, name: "base", fp: fp, rank: rankBase(), run: runBase,
+		kind: stageBase, id: "base", name: "base", fp: baseFP,
+		rank: rankBase(), atoms: rowAtoms,
+		run: rowArtifact(runBase), apply: applyRow,
 	}}
 
 	for d := 0; d <= maxD; d++ {
+		entryFP, entryAtoms, entryID := rowFP, rowAtoms, rowID
 		// Aggregate columns of depth d see rows surviving selections < d.
 		for ci, c := range s.state.computed {
 			if c.Kind != KindAggregate || colDepths[ci] != d {
 				continue
 			}
-			fp = fpU(fp, uint64(stageAgg))
-			fp = fpS(fp, c.Name)
+			basis := s.state.cumulativeBasis(c.Level)
+			fp := fpU(entryFP, uint64(stageAgg))
 			fp = fpS(fp, string(c.Agg))
 			fp = fpS(fp, c.Input)
+			fp = fpU(fp, refFP(c.Input))
 			fp = fpU(fp, uint64(c.Level))
 			fp = fpU(fp, uint64(c.ResultKind))
-			for _, b := range s.state.cumulativeBasis(c.Level) {
+			fp = fpU(fp, uint64(len(basis)))
+			refs := []string{c.Input}
+			for _, b := range basis {
 				fp = fpS(fp, b)
+				fp = fpU(fp, refFP(b))
+				refs = append(refs, b)
 			}
+			lk := strings.ToLower(c.Name)
+			id := "col:" + lk
+			atoms := atomUnion(append([][]string{entryAtoms}, append(refAtoms(refs), []string{"col:" + lk})...)...)
+			colFPs[lk], colAtoms[lk], colNode[lk] = fp, atoms, id
 			stages = append(stages, stageNode{
-				kind: stageAgg,
+				kind: stageAgg, id: id,
 				name: fmt.Sprintf("η %s d%d", c.Name, d),
-				fp:   fp,
-				rank: rankAgg(d),
-				run:  runAggStage(c, colPos[ci]),
+				fp:   fp, rank: rankAgg(d), atoms: atoms,
+				deps: depList(entryID, refs),
+				run:  colArtifact(runAggStage(c, colPos[ci])),
+				apply: applyCol(c.Name),
 			})
 		}
 		// Window columns of depth d: computed over the rows surviving
@@ -193,29 +493,39 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 				continue
 			}
 			w := c.Win
-			fp = fpU(fp, uint64(stageWindow))
-			fp = fpS(fp, c.Name)
+			fp := fpU(entryFP, uint64(stageWindow))
 			fp = fpS(fp, string(w.Func))
 			fp = fpS(fp, w.Input)
+			if w.Input != "" {
+				fp = fpU(fp, refFP(w.Input))
+			}
 			fp = fpU(fp, uint64(len(w.PartitionBy)))
 			for _, b := range w.PartitionBy {
 				fp = fpS(fp, b)
+				fp = fpU(fp, refFP(b))
 			}
 			fp = fpU(fp, uint64(len(w.OrderBy)))
 			for _, k := range w.OrderBy {
 				fp = fpS(fp, k.Column)
 				fp = fpDir(fp, k.Dir == Desc)
+				fp = fpU(fp, refFP(k.Column))
 			}
 			if w.Frame != nil {
 				fp = fpS(fp, w.Frame.String())
 			}
 			fp = fpU(fp, uint64(c.ResultKind))
+			refs := w.columns()
+			lk := strings.ToLower(c.Name)
+			id := "col:" + lk
+			atoms := atomUnion(append([][]string{entryAtoms}, append(refAtoms(refs), []string{"col:" + lk})...)...)
+			colFPs[lk], colAtoms[lk], colNode[lk] = fp, atoms, id
 			stages = append(stages, stageNode{
-				kind: stageWindow,
+				kind: stageWindow, id: id,
 				name: fmt.Sprintf("ω %s d%d", c.Name, d),
-				fp:   fp,
-				rank: rankWindow(d),
-				run:  runWindowStage(c, colPos[ci]),
+				fp:   fp, rank: rankWindow(d), atoms: atoms,
+				deps: depList(entryID, refs),
+				run:  colArtifact(runWindowStage(c, colPos[ci])),
+				apply: applyCol(c.Name),
 			})
 		}
 		// Formula columns of depth d, in creation order (later formulas
@@ -224,48 +534,116 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 			if c.Kind != KindFormula || colDepths[ci] != d {
 				continue
 			}
-			fp = fpU(fp, uint64(stageFormula))
-			fp = fpS(fp, c.Name)
+			refs := expr.Deps(c.Formula)
+			fp := fpU(entryFP, uint64(stageFormula))
 			fp = fpU(fp, expr.Fingerprint(c.Formula))
 			fp = fpU(fp, uint64(c.ResultKind))
+			for _, r := range refs {
+				fp = fpU(fp, refFP(r))
+			}
+			lk := strings.ToLower(c.Name)
+			id := "col:" + lk
+			atoms := atomUnion(append([][]string{entryAtoms}, append(refAtoms(refs), []string{"col:" + lk})...)...)
+			colFPs[lk], colAtoms[lk], colNode[lk] = fp, atoms, id
 			stages = append(stages, stageNode{
-				kind: stageFormula,
+				kind: stageFormula, id: id,
 				name: fmt.Sprintf("θ %s d%d", c.Name, d),
-				fp:   fp,
-				rank: rankFormula(d),
-				run:  runFormulaStage(c, colPos[ci]),
+				fp:   fp, rank: rankFormula(d), atoms: atoms,
+				deps: depList(entryID, refs),
+				run:  colArtifact(runFormulaStage(c, colPos[ci])),
+				apply: applyCol(c.Name),
 			})
 		}
-		// Selections of depth d, in state order.
+		// Selections of depth d, in state order. One predicate emits a
+		// plain σ; two or more emit independent parts plus a ∧ stage.
+		var depthSels []Selection
 		for i, sel := range s.state.selections {
-			if selDepth[i] != d {
-				continue
+			if selDepth[i] == d {
+				depthSels = append(depthSels, sel)
 			}
-			fp = fpU(fp, uint64(stageSelect))
-			fp = fpU(fp, expr.Fingerprint(sel.Pred))
-			stages = append(stages, stageNode{
-				kind: stageSelect,
-				name: fmt.Sprintf("σ %s d%d", sel.Pred.SQL(), d),
-				fp:   fp,
-				rank: rankSelect(d),
-				run:  runSelectStage(sel),
-			})
 		}
-		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
-		if d == 0 && s.state.distinctOn != nil {
-			fp = fpU(fp, uint64(stageDistinct))
-			fp = fpU(fp, uint64(len(s.state.distinctOn)))
-			for _, col := range s.state.distinctOn {
-				fp = fpS(fp, col)
-			}
-			cols := append([]string(nil), s.state.distinctOn...)
+		selsetAtom := fmt.Sprintf("selset:%d", d)
+		switch {
+		case len(depthSels) == 1:
+			sel := depthSels[0]
+			refs := expr.Deps(sel.Pred)
+			fp := selFP(entryFP, sel.Pred, refs)
+			selAtom := fmt.Sprintf("sel:%d", sel.ID)
+			atoms := atomUnion(append([][]string{entryAtoms}, append(refAtoms(refs), []string{selAtom})...)...)
+			id := selAtom
 			stages = append(stages, stageNode{
-				kind: stageDistinct,
-				name: "δ",
-				fp:   fp,
-				rank: rankDistinct(),
-				run:  runDistinctStage(cols),
+				kind: stageSelect, id: id,
+				name: fmt.Sprintf("σ %s d%d", sel.Pred.SQL(), d),
+				fp:   fp, rank: rankSelect(d), atoms: atoms,
+				deps:  depList(entryID, refs),
+				run:   rowArtifact(runSelectStage(sel)),
+				apply: applyRow,
 			})
+			rowFP, rowAtoms, rowID = fp, atoms, id
+		case len(depthSels) >= 2:
+			blk := &selBlock{sels: depthSels, arts: make([]*stageArtifact, len(depthSels))}
+			cfp := fpU(entryFP, uint64(stageCombine))
+			cfp = fpU(cfp, uint64(len(depthSels)))
+			partAtomSets := [][]string{entryAtoms}
+			partIDs := make([]string, len(depthSels))
+			for i, sel := range depthSels {
+				refs := expr.Deps(sel.Pred)
+				fp := selFP(entryFP, sel.Pred, refs)
+				cfp = fpU(cfp, fp)
+				selAtom := fmt.Sprintf("sel:%d", sel.ID)
+				atoms := atomUnion(append([][]string{entryAtoms}, append(refAtoms(refs), []string{selAtom})...)...)
+				partIDs[i] = selAtom
+				partAtomSets = append(partAtomSets, atoms)
+				stages = append(stages, stageNode{
+					kind: stageSelect, id: selAtom,
+					name: fmt.Sprintf("σ %s d%d", sel.Pred.SQL(), d),
+					fp:   fp, rank: rankSelect(d), atoms: atoms,
+					deps:  depList(entryID, refs),
+					run:   runSelPart(blk, i),
+					apply: applySelPart(blk, i),
+				})
+			}
+			cid := fmt.Sprintf("and:d%d", d)
+			catoms := atomUnion(append(partAtomSets, []string{selsetAtom})...)
+			stages = append(stages, stageNode{
+				kind: stageCombine, id: cid,
+				name: fmt.Sprintf("∧ %dσ d%d", len(depthSels), d),
+				fp:   cfp, rank: rankSelect(d), atoms: catoms,
+				deps:  partIDs,
+				run:   runSelCombine(blk),
+				apply: applyRow,
+			})
+			rowFP, rowAtoms, rowID = cfp, catoms, cid
+		}
+		// Downstream of this depth's σ block, the row multiset depends on
+		// the depth's predicate *set* — adding the first (or another)
+		// predicate at this depth must stale everything deeper, even though
+		// it leaves the existing parts' own artifacts intact.
+		rowAtoms = atomUnion(rowAtoms, []string{selsetAtom})
+		// Duplicate elimination at the end of stage 0 (DESIGN.md §3.2).
+		if d == 0 {
+			if s.state.distinctOn != nil {
+				cols := append([]string(nil), s.state.distinctOn...)
+				fp := fpU(rowFP, uint64(stageDistinct))
+				fp = fpU(fp, uint64(len(cols)))
+				for _, col := range cols {
+					fp = fpS(fp, col)
+					fp = fpU(fp, refFP(col))
+				}
+				atoms := atomUnion(append([][]string{rowAtoms}, append(refAtoms(cols), []string{"distinct"})...)...)
+				stages = append(stages, stageNode{
+					kind: stageDistinct, id: "distinct", name: "δ",
+					fp: fp, rank: rankDistinct(), atoms: atoms,
+					deps:  depList(rowID, cols),
+					run:   rowArtifact(runDistinctStage(cols)),
+					apply: applyRow,
+				})
+				rowFP, rowAtoms, rowID = fp, atoms, "distinct"
+			}
+			// Whether or not δ is active, everything downstream of its slot
+			// depends on the DE decision: a first-time Distinct() must stale
+			// the deeper stages it will re-shape.
+			rowAtoms = atomUnion(rowAtoms, []string{"distinct"})
 		}
 	}
 
@@ -274,17 +652,21 @@ func (s *Spreadsheet) buildPipeline() (*evalCtx, []stageNode, error) {
 	// that any recursive grouping can be emulated by one ordering.
 	keys := s.sortKeys()
 	if len(keys) > 0 {
-		fp = fpU(fp, uint64(stageOrder))
+		fp := fpU(rowFP, uint64(stageOrder))
+		refs := make([]string, 0, len(keys))
 		for _, k := range keys {
 			fp = fpS(fp, k.Column)
 			fp = fpDir(fp, k.Desc)
+			fp = fpU(fp, refFP(k.Column))
+			refs = append(refs, k.Column)
 		}
+		atoms := atomUnion(append([][]string{rowAtoms}, append(refAtoms(refs), []string{"order"})...)...)
 		stages = append(stages, stageNode{
-			kind: stageOrder,
-			name: "λ",
-			fp:   fp,
-			rank: rankOrder,
-			run:  runOrderStage(keys),
+			kind: stageOrder, id: "order", name: "λ",
+			fp: fp, rank: rankOrder, atoms: atoms,
+			deps:  depList(rowID, refs),
+			run:   rowArtifact(runOrderStage(keys)),
+			apply: applyRow,
 		})
 	}
 	return ev, stages, nil

@@ -6,29 +6,36 @@ import (
 	"sheetmusiq/internal/relation"
 )
 
-// Stage-snapshot cache metrics. stage_hits counts pipeline stages served
-// from a cached snapshot (including every stage upstream of the deepest
-// hit); stage_recomputes counts stages actually re-executed. Their ratio is
-// the incremental-evaluation win. snapshot_bytes gauges the resident bytes
-// owned by cached snapshots (each snapshot is charged only for the storage
-// it allocated itself — index vectors and column vectors shared with an
-// upstream snapshot are counted once, at the stage that built them).
+// Stage-artifact cache metrics. stage_hits counts pipeline stages served
+// from a cached artifact; stage_recomputes counts stages actually
+// re-executed; stage_recomputes_coarse counts what the pre-graph rank-table
+// scheme would have re-executed for the same evaluation (the suffix from the
+// first miss — linear fingerprint chaining recomputed everything downstream
+// of the first change), so recomputes ≤ recomputes_coarse is the precision
+// win of graph-exact keying. invalidate.exact counts cache entries
+// stale-marked because a mutation touched one of their dependency atoms;
+// invalidate.coarse_saved counts entries the old rank table would have
+// stale-marked but the dependency graph proved unaffected. snapshot_bytes
+// gauges the resident bytes owned by cached artifacts (each artifact is
+// charged only for the storage it allocated itself).
 var (
-	evalStageHits       = obs.Default.Counter("core.eval.stage_hits")
-	evalStageRecomputes = obs.Default.Counter("core.eval.stage_recomputes")
-	evalSnapshotBytes   = obs.Default.Gauge("core.eval.snapshot_bytes")
+	evalStageHits             = obs.Default.Counter("core.eval.stage_hits")
+	evalStageRecomputes       = obs.Default.Counter("core.eval.stage_recomputes")
+	evalStageRecomputesCoarse = obs.Default.Counter("core.eval.stage_recomputes_coarse")
+	evalInvalidateExact       = obs.Default.Counter("core.eval.invalidate.exact")
+	evalInvalidateCoarseSaved = obs.Default.Counter("core.eval.invalidate.coarse_saved")
+	evalSnapshotBytes         = obs.Default.Gauge("core.eval.snapshot_bytes")
 )
 
-// stageSnap is the immutable output of one pipeline stage: the surviving
-// base-row index vector in presentation (multiset) order, plus the
-// computed-column vectors filled so far. Column vectors are indexed by
-// base-row index — rows eliminated by upstream selections leave unread
-// holes — so a downstream snapshot extends an upstream one by appending to
-// cols without copying anything. A snapshot, once built, is never mutated;
-// cols always carries a capacity clamp so appends by downstream stages
-// cannot scribble into a shared backing array.
+// stageSnap is the running state of one evaluation: the surviving base-row
+// index vector in presentation (multiset) order, plus the computed-column
+// vectors filled so far. Column vectors are indexed by base-row index — rows
+// eliminated by upstream selections leave unread holes — so a downstream
+// snapshot extends an upstream one by appending to cols without copying
+// anything. Snapshots are per-evaluation scaffolding; what the cache stores
+// is each stage's own stageArtifact, and apply closures (plan.go) fold
+// artifacts back into the running snapshot.
 type stageSnap struct {
-	fp       uint64
 	idx      []int32
 	cols     []stageCol
 	ownBytes int64
@@ -49,21 +56,36 @@ func (sn *stageSnap) extend() *stageSnap {
 	return &stageSnap{idx: sn.idx, cols: sn.cols[:len(sn.cols):len(sn.cols)]}
 }
 
+// stageArtifact is the cacheable output of one pipeline stage: row stages
+// (base, σ, ∧, δ, λ) own a surviving-row index vector; column stages (η, ω,
+// θ) own one filled column vector. Artifacts deliberately do not carry the
+// output column's *name*: the fingerprint keys the definition's content, so
+// two identically defined columns under different names share one artifact,
+// and the stage's apply closure supplies its own name — the keying that also
+// lets artifacts be shared across sessions later.
+type stageArtifact struct {
+	fp       uint64
+	idx      []int32       // row stages: surviving base-row indices, nil otherwise
+	col      *relation.Col // column stages: the filled vector, nil otherwise
+	ownBytes int64
+}
+
 const (
-	// snapCacheCap bounds the per-sheet snapshot cache. Eviction prefers
+	// snapCacheCap bounds the per-sheet artifact cache. Eviction prefers
 	// stale entries (see invalidate), then least-recently-used. Residency
 	// is purely an optimisation: fingerprints key every lookup, so a miss
 	// costs recomputation, never correctness.
 	snapCacheCap = 64
 )
 
-// Stage ranks order pipeline positions for invalidation. Within depth d the
-// stages run aggregate → window → formula → selection, and duplicate
-// elimination follows the depth-0 selections; the final ordering stage
-// outranks every depth. rankDistinct lands between rankSelect(0) and
-// rankAgg(1), mirroring the replay order of DESIGN.md §3.2. Ranks live only
-// in memory (fingerprints key the cache), so renumbering between releases
-// is safe.
+// Stage ranks order pipeline positions the way the pre-graph invalidation
+// scheme did (DESIGN.md §10.3): within depth d the stages run aggregate →
+// window → formula → selection, duplicate elimination follows the depth-0
+// selections, and the final ordering stage outranks every depth. The graph
+// scheme keeps them only to *measure* its own precision: invalidate takes
+// the rank the old table would have used and counts the entries it spares
+// (invalidate.coarse_saved). Ranks live only in memory, so renumbering
+// between releases is safe.
 const rankOrder = 1 << 20
 
 func rankBase() int         { return 0 }
@@ -73,15 +95,21 @@ func rankFormula(d int) int { return 6*d + 3 }
 func rankSelect(d int) int  { return 6*d + 4 }
 func rankDistinct() int     { return 5 }
 
-// snapCache is a per-sheet fingerprint-keyed store of stage snapshots.
+// snapCache is a per-sheet fingerprint-keyed store of stage artifacts.
 type snapCache struct {
 	entries map[uint64]*snapEntry
 	tick    int64
 }
 
+// snapEntry carries an artifact plus its invalidation metadata: the
+// dependency atoms of the stage that built it (plan.go — the invalidation
+// alphabet mutators speak) and the legacy rank, kept for the coarse_saved
+// comparison. Atoms are advisory — staleness only biases eviction and the
+// metrics; fingerprints alone guarantee correctness.
 type snapEntry struct {
-	snap  *stageSnap
+	art   *stageArtifact
 	rank  int
+	atoms []string
 	used  int64
 	stale bool
 }
@@ -90,10 +118,10 @@ func newSnapCache() *snapCache {
 	return &snapCache{entries: map[uint64]*snapEntry{}}
 }
 
-// get returns the cached snapshot for fp, or nil. A hit revives a stale
+// get returns the cached artifact for fp, or nil. A hit revives a stale
 // entry: the fingerprint match proves the mutation that staled it has been
-// reverted (or re-applied), so the snapshot is live again.
-func (c *snapCache) get(fp uint64) *stageSnap {
+// reverted (or re-applied), so the artifact is live again.
+func (c *snapCache) get(fp uint64) *stageArtifact {
 	e := c.entries[fp]
 	if e == nil {
 		return nil
@@ -101,20 +129,24 @@ func (c *snapCache) get(fp uint64) *stageSnap {
 	c.tick++
 	e.used = c.tick
 	e.stale = false
-	return e.snap
+	return e.art
 }
 
-// put inserts a freshly computed snapshot, evicting past the cap.
-func (c *snapCache) put(snap *stageSnap, rank int) {
-	if e := c.entries[snap.fp]; e != nil {
+// put inserts a freshly computed artifact, evicting past the cap. An entry
+// already present refreshes its metadata (the same fingerprint can resurface
+// with a different atom spelling after selection IDs are reassigned).
+func (c *snapCache) put(art *stageArtifact, rank int, atoms []string) {
+	if e := c.entries[art.fp]; e != nil {
 		c.tick++
 		e.used = c.tick
 		e.stale = false
+		e.rank = rank
+		e.atoms = atoms
 		return
 	}
 	c.tick++
-	c.entries[snap.fp] = &snapEntry{snap: snap, rank: rank, used: c.tick}
-	evalSnapshotBytes.Add(snap.ownBytes)
+	c.entries[art.fp] = &snapEntry{art: art, rank: rank, atoms: atoms, used: c.tick}
+	evalSnapshotBytes.Add(art.ownBytes)
 	for len(c.entries) > snapCacheCap {
 		c.evictOne()
 	}
@@ -133,34 +165,53 @@ func (c *snapCache) evictOne() {
 		}
 	}
 	if victim != nil {
-		evalSnapshotBytes.Add(-victim.snap.ownBytes)
+		evalSnapshotBytes.Add(-victim.art.ownBytes)
 		delete(c.entries, victimFP)
 	}
 }
 
-// invalidate marks every snapshot at or downstream of rank as stale. The
-// mutation that triggered it changed those stages' definitions, so their
-// fingerprints will not be probed by the next evaluation — but Theorem 3
-// makes reverting a modification as common as applying one, so stale
-// entries stay resident (preferentially evicted) and revive on a
-// fingerprint hit instead of being recomputed.
-func (c *snapCache) invalidate(rank int) {
+// invalidate marks as stale exactly the entries whose dependency-atom set
+// intersects the mutation's atoms — the graph-reachability contract: a
+// stage's atoms are the transitive closure of everything its artifact was
+// derived from, so an entry holding none of the mutation's atoms provably
+// cannot change and stays live. coarseRank is the rank the pre-graph table
+// would have invalidated from; entries it would have staled but the atoms
+// spare are counted as coarse_saved. Stale entries stay resident
+// (preferentially evicted) and revive on a fingerprint hit — Theorem 3
+// makes reverting a modification as common as applying one.
+func (c *snapCache) invalidate(atoms []string, coarseRank int) {
 	for _, e := range c.entries {
-		if e.rank >= rank {
+		if atomsIntersect(e.atoms, atoms) {
 			e.stale = true
+			evalInvalidateExact.Inc()
+		} else if e.rank >= coarseRank {
+			evalInvalidateCoarseSaved.Inc()
 		}
 	}
 }
 
-// clear drops every snapshot (the base relation was replaced).
+// atomsIntersect reports whether the two atom sets share an element. Sets
+// are tiny (a handful of strings), so nested scanning beats allocating.
+func atomsIntersect(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clear drops every artifact (the base relation was replaced).
 func (c *snapCache) clear() {
 	for fp, e := range c.entries {
-		evalSnapshotBytes.Add(-e.snap.ownBytes)
+		evalSnapshotBytes.Add(-e.art.ownBytes)
 		delete(c.entries, fp)
 	}
 }
 
-// snaps returns the sheet's snapshot cache, creating it on first use.
+// snaps returns the sheet's artifact cache, creating it on first use.
 func (s *Spreadsheet) snaps() *snapCache {
 	if s.snapCache == nil {
 		s.snapCache = newSnapCache()
@@ -168,18 +219,18 @@ func (s *Spreadsheet) snaps() *snapCache {
 	return s.snapCache
 }
 
-// invalidateStages records that a mutation changed the definition of the
-// stage class at rank (and therefore, by fingerprint chaining, of every
-// stage after it). See DESIGN.md §10.3 for the operator → rank table.
-func (s *Spreadsheet) invalidateStages(rank int) {
+// invalidateAtoms records that a mutation changed the definitions behind the
+// given dependency atoms; coarseRank is what the pre-graph rank table would
+// have invalidated from (see DESIGN.md §15 for the operator → atom table).
+func (s *Spreadsheet) invalidateAtoms(coarseRank int, atoms ...string) {
 	if s.snapCache != nil {
-		s.snapCache.invalidate(rank)
+		s.snapCache.invalidate(atoms, coarseRank)
 	}
 }
 
-// selRank is the invalidation rank of a selection predicate: the σ stage of
-// its evaluation depth. A predicate whose depth cannot be resolved (its
-// columns are gone mid-mutation) conservatively invalidates everything.
+// selRank is the coarse invalidation rank of a selection predicate: the σ
+// stage of its evaluation depth. A predicate whose depth cannot be resolved
+// (its columns are gone mid-mutation) conservatively ranks at the base.
 func (s *Spreadsheet) selRank(e expr.Expr) int {
 	d, err := s.exprDepth(e)
 	if err != nil {
@@ -188,9 +239,9 @@ func (s *Spreadsheet) selRank(e expr.Expr) int {
 	return rankSelect(d)
 }
 
-// computedRank is the invalidation rank of a computed column's fill stage.
-// Call it while the column is still present in the state (its depth needs
-// the definition).
+// computedRank is the coarse invalidation rank of a computed column's fill
+// stage. Call it while the column is still present in the state (its depth
+// needs the definition).
 func (s *Spreadsheet) computedRank(c *ComputedColumn) int {
 	d, err := s.aggDepth(c.Name, map[string]bool{})
 	if err != nil {
@@ -208,7 +259,7 @@ func (s *Spreadsheet) computedRank(c *ComputedColumn) int {
 // checkBaseGeneration starts a new fingerprint generation when the base
 // relation pointer changed since the last evaluation — binary operators,
 // base-column renames and undo across either replace the base wholesale.
-// Every cached snapshot indexes into the old base, so the cache clears.
+// Every cached artifact indexes into the old base, so the cache clears.
 func (s *Spreadsheet) checkBaseGeneration() {
 	if s.baseSeen == s.base {
 		return

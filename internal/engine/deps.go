@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sheetmusiq/internal/graph"
+)
+
+// The dependency surface: the exact stage/column dependency graph the
+// evaluation pipeline keys its invalidation on (core.Deps), projected into
+// the same JSON-serialisable view shape as the plan. The REPL's `deps` and
+// `impact` commands and GET /v1/sessions/{id}/deps both read it, so the
+// front ends agree with the cache's own notion of what depends on what.
+
+// DepNode is one graph node. Stage nodes carry the hex fingerprint and the
+// last evaluation's cache standing; base-column leaves only identify.
+type DepNode struct {
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Label       string  `json:"label"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+	Rows        int     `json:"rows,omitempty"`
+	DurationMS  float64 `json:"duration_ms,omitempty"`
+}
+
+// DepEdge is one dependency edge: To depends on From.
+type DepEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// DepsInfo is the dependency graph, optionally focused on one node: with a
+// focus, Dependencies lists everything the node transitively reads and
+// Dependents everything downstream of it (the set a modification of the
+// node invalidates); with a target, Path traces one shortest dependency
+// chain between the two.
+type DepsInfo struct {
+	Sheet        string    `json:"sheet"`
+	Version      int       `json:"version"`
+	Nodes        []DepNode `json:"nodes"`
+	Edges        []DepEdge `json:"edges"`
+	Node         string    `json:"node,omitempty"`
+	Dependencies []string  `json:"dependencies,omitempty"`
+	Dependents   []string  `json:"dependents,omitempty"`
+	Target       string    `json:"target,omitempty"`
+	Path         []string  `json:"path,omitempty"`
+}
+
+// Deps returns the current sheet's dependency graph. node, when non-empty,
+// focuses the result: it accepts a node ID ("col:margin", "sel:3", "order"),
+// a bare column name (resolved to its computed stage or base-column leaf),
+// or a bare selection number. to additionally asks for a dependency path
+// from the focus node to the target (in either direction).
+func (e *Engine) Deps(node, to string) (*DepsInfo, error) {
+	if e.sheet == nil {
+		return nil, ErrNoSheet
+	}
+	deps, err := e.sheet.Deps()
+	if err != nil {
+		return nil, err
+	}
+	info := &DepsInfo{Sheet: e.SheetName(), Version: deps.Version}
+	g := graph.New()
+	for _, n := range deps.Nodes {
+		g.Add(n.ID)
+		dn := DepNode{ID: n.ID, Kind: n.Kind, Label: n.Label,
+			Cached: n.Cached, Rows: n.Rows, DurationMS: float64(n.Duration) / 1e6}
+		if n.Fingerprint != 0 {
+			dn.Fingerprint = fmt.Sprintf("%016x", n.Fingerprint)
+		}
+		info.Nodes = append(info.Nodes, dn)
+	}
+	for _, ed := range deps.Edges {
+		g.AddEdge(ed.From, ed.To)
+		info.Edges = append(info.Edges, DepEdge{From: ed.From, To: ed.To})
+	}
+	if node == "" {
+		if to != "" {
+			return nil, fmt.Errorf("engine: a path target needs a source node")
+		}
+		return info, nil
+	}
+	from, err := resolveNode(g, node)
+	if err != nil {
+		return nil, err
+	}
+	info.Node = from
+	info.Dependencies = g.Ancestors(from)
+	info.Dependents = g.Descendants(from)
+	if to != "" {
+		target, err := resolveNode(g, to)
+		if err != nil {
+			return nil, err
+		}
+		info.Target = target
+		if p := g.Path(from, target); p != nil {
+			info.Path = p
+		} else if p := g.Path(target, from); p != nil {
+			info.Path = p
+		}
+	}
+	return info, nil
+}
+
+// resolveNode maps user input to a graph node ID: an exact ID first, then a
+// column name (computed stage before base leaf — the stage is what carries
+// execution data), then a bare selection number.
+func resolveNode(g *graph.Graph, in string) (string, error) {
+	if g.Has(in) {
+		return in, nil
+	}
+	lk := strings.ToLower(in)
+	for _, cand := range []string{lk, "col:" + lk, "basecol:" + lk} {
+		if g.Has(cand) {
+			return cand, nil
+		}
+	}
+	if n, err := strconv.Atoi(in); err == nil {
+		cand := fmt.Sprintf("sel:%d", n)
+		if g.Has(cand) {
+			return cand, nil
+		}
+	}
+	return "", fmt.Errorf("engine: no dependency node %q (try a column name, a selection id, or `deps` for the full graph)", in)
+}
+
+// Lines renders the dependency view as the text the REPL prints. The full
+// graph lists each node with its direct dependencies; a focused query
+// prints the closure sets (and path) instead.
+func (d *DepsInfo) Lines() []string {
+	var out []string
+	if d.Node == "" {
+		byTo := map[string][]string{}
+		for _, ed := range d.Edges {
+			byTo[ed.To] = append(byTo[ed.To], ed.From)
+		}
+		for _, n := range d.Nodes {
+			status := ""
+			if n.Kind != "basecol" {
+				status = "recomputed"
+				if n.Cached {
+					status = "cached"
+				}
+				status = fmt.Sprintf("%-10s %d rows", status, n.Rows)
+			}
+			line := fmt.Sprintf("%-20s %-10s %-26s %s", n.ID, n.Kind, n.Label, status)
+			if deps := byTo[n.ID]; len(deps) > 0 {
+				line += "  ⇐ " + strings.Join(deps, ", ")
+			}
+			out = append(out, strings.TrimRight(line, " "))
+		}
+		return out
+	}
+	out = append(out, "node: "+d.Node)
+	if len(d.Dependencies) > 0 {
+		out = append(out, "dependencies: "+strings.Join(d.Dependencies, ", "))
+	} else {
+		out = append(out, "dependencies: (none)")
+	}
+	if len(d.Dependents) > 0 {
+		out = append(out, "dependents: "+strings.Join(d.Dependents, ", "))
+	} else {
+		out = append(out, "dependents: (none)")
+	}
+	if d.Target != "" {
+		if len(d.Path) > 0 {
+			out = append(out, "path: "+strings.Join(d.Path, " → "))
+		} else {
+			out = append(out, fmt.Sprintf("path: none between %s and %s", d.Node, d.Target))
+		}
+	}
+	return out
+}
+
+// opDeps serves the dependency surface as an op: Column carries the focus
+// node and Name the path target. Like explain, it evaluates (memoised) but
+// mutates nothing.
+func (e *Engine) opDeps(op Op) (*Effect, error) {
+	info, err := e.Deps(op.Column, op.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &Effect{Entry: "deps", Log: info.Lines()}, nil
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// depsSheet scripts a multi-depth sheet: η over θ over θ over a base
+// column, plus a depth-1 predicate and an ordering.
+func depsSheet(t *testing.T) *Engine {
+	t.Helper()
+	e := demoCars(t)
+	must(t, e, Op{Op: "formula", Name: "F1", Formula: "Price / 1000"})
+	must(t, e, Op{Op: "formula", Name: "F2", Formula: "F1 * 2"})
+	must(t, e, Op{Op: "agg", Fn: "avg", Column: "F2", Level: 1, Name: "A"})
+	must(t, e, Op{Op: "select", Predicate: "A > 0"})
+	must(t, e, Op{Op: "sort", Column: "Price", Dir: "asc"})
+	return e
+}
+
+// naiveClosure computes transitive reachability over the reported edges by
+// repeated expansion — the independent reference the graph queries must
+// match.
+func naiveClosure(edges []DepEdge, start string, forward bool) []string {
+	adj := map[string][]string{}
+	for _, e := range edges {
+		if forward {
+			adj[e.From] = append(adj[e.From], e.To)
+		} else {
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	reach := map[string]bool{}
+	frontier := []string{start}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, m := range adj[n] {
+			if !reach[m] {
+				reach[m] = true
+				frontier = append(frontier, m)
+			}
+		}
+	}
+	delete(reach, start)
+	var out []string
+	for k := range reach {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sorted(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+func TestDepsMatchesNaiveClosure(t *testing.T) {
+	e := depsSheet(t)
+	full, err := e.Deps("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Nodes) == 0 || len(full.Edges) == 0 {
+		t.Fatalf("empty graph: %+v", full)
+	}
+	for _, n := range full.Nodes {
+		got, err := e.Deps(n.ID, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveClosure(full.Edges, n.ID, true); !equal(sorted(got.Dependents), want) {
+			t.Fatalf("dependents(%s) = %v, naive closure = %v", n.ID, sorted(got.Dependents), want)
+		}
+		if want := naiveClosure(full.Edges, n.ID, false); !equal(sorted(got.Dependencies), want) {
+			t.Fatalf("dependencies(%s) = %v, naive closure = %v", n.ID, sorted(got.Dependencies), want)
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDepsResolutionAndPath(t *testing.T) {
+	e := depsSheet(t)
+
+	// Bare column name resolves to the computed stage.
+	byName, err := e.Deps("f1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Node != "col:f1" {
+		t.Fatalf("resolved %q, want col:f1", byName.Node)
+	}
+	// Its impact closure covers everything built on it.
+	deps := strings.Join(byName.Dependents, " ")
+	for _, want := range []string{"col:f2", "col:a", "sel:1", "order"} {
+		if !strings.Contains(deps, want) {
+			t.Fatalf("dependents of F1 = %v, missing %s", byName.Dependents, want)
+		}
+	}
+
+	// A base column resolves to its leaf; a selection by bare number.
+	base, err := e.Deps("Price", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Node != "basecol:price" {
+		t.Fatalf("resolved %q, want basecol:price", base.Node)
+	}
+	sel, err := e.Deps("1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Node != "sel:1" {
+		t.Fatalf("resolved %q, want sel:1", sel.Node)
+	}
+
+	// Path traces the dependency chain (either direction).
+	p, err := e.Deps("Price", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"basecol:price", "col:f1", "col:f2", "col:a"}
+	if !equal(p.Path, want) {
+		t.Fatalf("path = %v, want %v", p.Path, want)
+	}
+	rev, err := e.Deps("A", "Price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(rev.Path, want) {
+		t.Fatalf("reverse path = %v, want %v", rev.Path, want)
+	}
+
+	if _, err := e.Deps("NoSuchThing", ""); err == nil {
+		t.Fatal("unknown node must error")
+	}
+}
+
+func TestDepsOpIsReadOnly(t *testing.T) {
+	e := depsSheet(t)
+	v := e.Version()
+	eff := must(t, e, Op{Op: "deps", Column: "F1"})
+	if eff.Mutated {
+		t.Fatal("deps op must not be classified as mutating")
+	}
+	if len(eff.Log) == 0 {
+		t.Fatalf("deps op returned no lines")
+	}
+	if e.Version() != v {
+		t.Fatalf("deps op changed the version: %d → %d", v, e.Version())
+	}
+	full := must(t, e, Op{Op: "impact"})
+	if len(full.Log) < len(depsMustNodes) {
+		t.Fatalf("full-graph listing has %d lines", len(full.Log))
+	}
+	for _, want := range depsMustNodes {
+		found := false
+		for _, line := range full.Log {
+			if strings.HasPrefix(line, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("full-graph listing missing node %s:\n%s", want, strings.Join(full.Log, "\n"))
+		}
+	}
+}
+
+var depsMustNodes = []string{"base", "basecol:price", "col:f1", "col:f2", "col:a", "sel:1", "order"}

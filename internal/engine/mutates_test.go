@@ -12,7 +12,8 @@ func TestOpMutates(t *testing.T) {
 		"hide": true, "undo": true, "redo": true, "save": true,
 		"join": true, "modify": true, "loadstate": true,
 		// Reads and file exports leave the session untouched.
-		"explain": false, "savestate": false, "export": false,
+		"explain": false, "deps": false, "impact": false,
+		"savestate": false, "export": false,
 		"Explain": false, // classification is case-insensitive
 	}
 	for name, want := range cases {

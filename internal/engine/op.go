@@ -71,7 +71,7 @@ type Effect struct {
 // real mutation would corrupt recovery.
 func (o Op) Mutates() bool {
 	switch strings.ToLower(o.Op) {
-	case "explain", "savestate", "export":
+	case "explain", "deps", "impact", "savestate", "export":
 		return false
 	}
 	return true
@@ -202,6 +202,8 @@ func (e *Engine) dispatch(kind string) (func(Op) (*Effect, error), bool) {
 		return e.opCompile, true
 	case "explain":
 		return e.opExplain, true
+	case "deps", "impact":
+		return e.opDeps, true
 	case "savestate":
 		return e.opSaveState, true
 	case "loadstate":

@@ -232,9 +232,12 @@ func (e *Engine) Menu(column string) (*MenuInfo, error) {
 }
 
 // PlanStage is one pipeline stage of the most recent evaluation.
-// Fingerprint is the stage's chained content hash, rendered as hex so JSON
-// clients need not handle 64-bit integers.
+// Fingerprint is the stage's DAG-keyed content hash, rendered as hex so
+// JSON clients need not handle 64-bit integers. ID is the stable node ID
+// shared with the dependency surface (deps.go), so /plan and /deps lines
+// cross-reference.
 type PlanStage struct {
+	ID          string  `json:"id"`
 	Name        string  `json:"name"`
 	Fingerprint string  `json:"fingerprint"`
 	Cached      bool    `json:"cached"`
@@ -287,6 +290,7 @@ func (e *Engine) Plan() (*PlanInfo, error) {
 	info := &PlanInfo{Sheet: e.SheetName(), Version: plan.Version, Error: plan.Error}
 	for _, st := range plan.Stages {
 		info.Stages = append(info.Stages, PlanStage{
+			ID:          st.ID,
 			Name:        st.Name,
 			Fingerprint: fmt.Sprintf("%016x", st.Fingerprint),
 			Cached:      st.Cached,

@@ -30,10 +30,16 @@ var ErrNotCompilable = errors.New("expr: expression is not compilable")
 // goroutines concurrently.
 type progFn func(row []value.Value) (value.Value, error)
 
-// Program is a compiled expression bound to a fixed row layout.
+// Program is a compiled expression bound to a fixed row layout. The
+// structural fingerprint and the referenced-column set are computed once at
+// compile time: Programs are shared across goroutines and both values are
+// consulted on every pipeline build, so caching them beside the code avoids
+// a tree walk per consultation without introducing mutable state.
 type Program struct {
-	src Expr
-	fn  progFn
+	src  Expr
+	fn   progFn
+	fp   uint64
+	deps []string
 }
 
 // Compile resolves every column reference of e through resolve and returns
@@ -51,7 +57,7 @@ func Compile(e Expr, resolve Resolver) (*Program, error) {
 		return nil, err
 	}
 	compileOK.Inc()
-	return &Program{src: e, fn: fn}, nil
+	return &Program{src: e, fn: fn, fp: Fingerprint(e), deps: Deps(e)}, nil
 }
 
 // Compile outcome counters: compileDeclined counts ErrNotCompilable

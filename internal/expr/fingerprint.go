@@ -108,10 +108,10 @@ func Fingerprint(e Expr) uint64 {
 }
 
 // Fingerprint returns the structural fingerprint of the program's source
-// expression. Programs are compiled deterministically from their source, so
-// equal fingerprints mean behaviourally identical programs over the same
-// column resolution.
-func (p *Program) Fingerprint() uint64 { return Fingerprint(p.src) }
+// expression, computed once at compile time. Programs are compiled
+// deterministically from their source, so equal fingerprints mean
+// behaviourally identical programs over the same column resolution.
+func (p *Program) Fingerprint() uint64 { return p.fp }
 
 // FingerprintCombine chains an already-computed fingerprint (an upstream
 // pipeline stage's, a definition hash) into h. Exposed so stage fingerprints

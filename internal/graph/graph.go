@@ -1,0 +1,165 @@
+// Package graph implements the small string-identified DAG the dependency
+// surface of internal/core is built on: stage and column nodes, directed
+// dependency edges, and the reachability queries (dependents, dependencies,
+// paths) the deps/impact product API answers. The package is deliberately
+// generic — nodes are opaque IDs — so the same structure can key
+// cross-session artifact sharing later without dragging core types along.
+package graph
+
+// Graph is a directed graph of string-identified nodes. Nodes and edges
+// keep insertion order, and every query returns results in that order, so
+// renderings and tests are deterministic. The graph does not check for
+// cycles; callers building from stratified pipelines get acyclicity by
+// construction.
+type Graph struct {
+	ids   []string
+	index map[string]int
+	out   [][]int
+	in    [][]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: map[string]int{}}
+}
+
+// Add inserts a node, idempotently, and returns its dense index.
+func (g *Graph) Add(id string) int {
+	if i, ok := g.index[id]; ok {
+		return i
+	}
+	i := len(g.ids)
+	g.index[id] = i
+	g.ids = append(g.ids, id)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return i
+}
+
+// AddEdge inserts the directed edge from → to, creating missing nodes and
+// dropping duplicates. An edge reads "to depends on from": impact flows
+// along out-edges, dependencies against them.
+func (g *Graph) AddEdge(from, to string) {
+	f, t := g.Add(from), g.Add(to)
+	for _, o := range g.out[f] {
+		if o == t {
+			return
+		}
+	}
+	g.out[f] = append(g.out[f], t)
+	g.in[t] = append(g.in[t], f)
+}
+
+// Has reports whether the node exists.
+func (g *Graph) Has(id string) bool {
+	_, ok := g.index[id]
+	return ok
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.ids) }
+
+// Nodes returns the node IDs in insertion order.
+func (g *Graph) Nodes() []string { return append([]string(nil), g.ids...) }
+
+// Out returns the direct dependents of id (its out-neighbours).
+func (g *Graph) Out(id string) []string { return g.neighbours(id, g.out) }
+
+// In returns the direct dependencies of id (its in-neighbours).
+func (g *Graph) In(id string) []string { return g.neighbours(id, g.in) }
+
+func (g *Graph) neighbours(id string, adj [][]int) []string {
+	i, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(adj[i]))
+	for k, n := range adj[i] {
+		out[k] = g.ids[n]
+	}
+	return out
+}
+
+// Descendants returns every node reachable from id along out-edges — the
+// transitive impact set — excluding id itself, in insertion order. A missing
+// id returns nil.
+func (g *Graph) Descendants(id string) []string { return g.reach(id, g.out) }
+
+// Ancestors returns every node id transitively depends on (reachable along
+// in-edges), excluding id itself, in insertion order.
+func (g *Graph) Ancestors(id string) []string { return g.reach(id, g.in) }
+
+func (g *Graph) reach(id string, adj [][]int) []string {
+	start, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	seen := make([]bool, len(g.ids))
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	var out []string
+	for i, s := range seen {
+		if s && i != start {
+			out = append(out, g.ids[i])
+		}
+	}
+	return out
+}
+
+// Path returns one shortest directed path from → to (inclusive of both
+// endpoints), following out-edges; nil when no path exists. Among equal-
+// length paths the one through lowest-insertion-order nodes wins, so the
+// result is deterministic.
+func (g *Graph) Path(from, to string) []string {
+	f, ok := g.index[from]
+	if !ok {
+		return nil
+	}
+	t, ok := g.index[to]
+	if !ok {
+		return nil
+	}
+	if f == t {
+		return []string{from}
+	}
+	prev := make([]int, len(g.ids))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[f] = f
+	queue := []int{f}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range g.out[n] {
+			if prev[m] >= 0 {
+				continue
+			}
+			prev[m] = n
+			if m == t {
+				var rev []int
+				for at := t; at != f; at = prev[at] {
+					rev = append(rev, at)
+				}
+				rev = append(rev, f)
+				path := make([]string, len(rev))
+				for i := range rev {
+					path[i] = g.ids[rev[len(rev)-1-i]]
+				}
+				return path
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil
+}

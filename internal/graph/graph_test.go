@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "c")
+	g.AddEdge("a", "b") // duplicate edge is dropped
+	g.Add("d")          // isolated
+
+	if !g.Has("a") || !g.Has("d") || g.Has("zz") {
+		t.Fatalf("Has: unexpected membership")
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if got := g.Nodes(); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if got := g.Out("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Out(a) = %v", got)
+	}
+	if got := g.In("c"); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("In(c) = %v", got)
+	}
+	if got := g.Descendants("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Descendants(a) = %v", got)
+	}
+	if got := g.Ancestors("c"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Ancestors(c) = %v", got)
+	}
+	if got := g.Descendants("zz"); got != nil {
+		t.Fatalf("Descendants(missing) = %v, want nil", got)
+	}
+	if got := g.Descendants("d"); got != nil {
+		t.Fatalf("Descendants(isolated) = %v, want nil", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "d")
+	g.AddEdge("a", "c")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "e")
+
+	if got := g.Path("a", "e"); !reflect.DeepEqual(got, []string{"a", "b", "d", "e"}) {
+		t.Fatalf("Path(a,e) = %v", got)
+	}
+	if got := g.Path("a", "a"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Path(a,a) = %v", got)
+	}
+	if got := g.Path("e", "a"); got != nil {
+		t.Fatalf("Path(e,a) = %v, want nil (directed)", got)
+	}
+	if got := g.Path("a", "zz"); got != nil {
+		t.Fatalf("Path to missing node = %v, want nil", got)
+	}
+}
+
+// naiveClosure computes reachability by repeated single-edge expansion — an
+// independent reference for Descendants/Ancestors on random DAGs.
+func naiveClosure(edges map[string][]string, start string) []string {
+	reach := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		frontier := append([]string{start}, keys(reach)...)
+		for _, n := range frontier {
+			for _, m := range edges[n] {
+				if !reach[m] && m != start {
+					reach[m] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := keys(reach)
+	sort.Strings(out)
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestClosureMatchesNaiveOnRandomDAGs(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A' + i))
+		}
+		g := New()
+		fwd := map[string][]string{}
+		rev := map[string][]string{}
+		for _, id := range ids {
+			g.Add(id)
+		}
+		// Edges only go from lower to higher index: acyclic by construction.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(ids[i], ids[j])
+					fwd[ids[i]] = append(fwd[ids[i]], ids[j])
+					rev[ids[j]] = append(rev[ids[j]], ids[i])
+				}
+			}
+		}
+		for _, id := range ids {
+			got := append([]string(nil), g.Descendants(id)...)
+			sort.Strings(got)
+			want := naiveClosure(fwd, id)
+			if !equalSets(got, want) {
+				t.Fatalf("seed %d: Descendants(%s) = %v, naive = %v", seed, id, got, want)
+			}
+			got = append([]string(nil), g.Ancestors(id)...)
+			sort.Strings(got)
+			want = naiveClosure(rev, id)
+			if !equalSets(got, want) {
+				t.Fatalf("seed %d: Ancestors(%s) = %v, naive = %v", seed, id, got, want)
+			}
+		}
+	}
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestPathIsShortestOnRandomDAGs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 3 + rng.Intn(12)
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('a' + i))
+		}
+		g := New()
+		dist := map[string]map[string]int{}
+		for _, id := range ids {
+			g.Add(id)
+			dist[id] = map[string]int{id: 0}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(ids[i], ids[j])
+				}
+			}
+		}
+		// Floyd–Warshall over the node order (valid: edges go forward only).
+		const inf = 1 << 20
+		d := func(a, b string) int {
+			if v, ok := dist[a][b]; ok {
+				return v
+			}
+			return inf
+		}
+		for i := 0; i < n; i++ {
+			for _, to := range g.Out(ids[i]) {
+				if 1 < d(ids[i], to) {
+					dist[ids[i]][to] = 1
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if v := d(ids[i], ids[k]) + d(ids[k], ids[j]); v < d(ids[i], ids[j]) {
+						dist[ids[i]][ids[j]] = v
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := g.Path(ids[i], ids[j])
+				want := d(ids[i], ids[j])
+				if want >= inf {
+					if p != nil {
+						t.Fatalf("seed %d: Path(%s,%s) = %v, want unreachable", seed, ids[i], ids[j], p)
+					}
+					continue
+				}
+				if len(p) != want+1 {
+					t.Fatalf("seed %d: Path(%s,%s) length %d, want %d (%v)", seed, ids[i], ids[j], len(p), want+1, p)
+				}
+				if p[0] != ids[i] || p[len(p)-1] != ids[j] {
+					t.Fatalf("seed %d: Path endpoints %v", seed, p)
+				}
+				for k := 0; k+1 < len(p); k++ {
+					if !hasEdge(g, p[k], p[k+1]) {
+						t.Fatalf("seed %d: Path step %s→%s is not an edge", seed, p[k], p[k+1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasEdge(g *Graph, from, to string) bool {
+	for _, o := range g.Out(from) {
+		if o == to {
+			return true
+		}
+	}
+	return false
+}

@@ -253,6 +253,30 @@ func (s *Session) Exec(line string) error {
 			fmt.Fprintln(s.out, line)
 		}
 		return nil
+	case "deps":
+		node, to := splitWord(rest)
+		deps, err := s.eng.Deps(node, to)
+		if err != nil {
+			return err
+		}
+		for _, line := range deps.Lines() {
+			fmt.Fprintln(s.out, line)
+		}
+		return nil
+	case "impact":
+		if rest == "" {
+			return fmt.Errorf("usage: impact <column|sel-id|node>")
+		}
+		deps, err := s.eng.Deps(rest, "")
+		if err != nil {
+			return err
+		}
+		if len(deps.Dependents) == 0 {
+			fmt.Fprintf(s.out, "modifying %s invalidates nothing downstream\n", deps.Node)
+			return nil
+		}
+		fmt.Fprintf(s.out, "modifying %s invalidates: %s\n", deps.Node, strings.Join(deps.Dependents, ", "))
+		return nil
 	case "stages":
 		stages, err := s.eng.Stages()
 		if err != nil {
@@ -581,6 +605,9 @@ inspection
   export <file.csv>            write the evaluated sheet as CSV
   sql | stages                 the SQL this sheet's state compiles to
   explain                      evaluation stage plan: cached vs recomputed
+  deps [node [target]]         stage/column dependency graph; with a node,
+                               its dependencies/dependents (and path to target)
+  impact <column|sel-id>       what a modification of the node invalidates
   run <sql>                    execute raw SQL against the loaded tables
   compile <sql>                turn single-block SQL into a live sheet (Thm. 1)
   rows <n> | echo on|off       display settings

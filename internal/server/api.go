@@ -25,6 +25,7 @@ import (
 //	GET    /v1/sessions/{id}/render  flat rows + recursive group tree [?limit=N]
 //	GET    /v1/sessions/{id}/sql     the SQL the state compiles to
 //	GET    /v1/sessions/{id}/plan    the evaluation stage plan (cache hits/recomputes)
+//	GET    /v1/sessions/{id}/deps    the stage/column dependency graph (?node=&to= focus a query)
 //	GET    /v1/sessions/{id}/menu/{column}  the Sec. VI contextual menu
 //	GET    /v1/sessions/{id}/tables  the session's raw tables
 //	GET    /v1/catalog               the shared stored-sheet catalog
@@ -220,6 +221,20 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, plan)
+	}))
+
+	handle("GET /v1/sessions/{id}/deps", "deps", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		var deps *engine.DepsInfo
+		err := doSpan(r, s, "engine.deps", func(e *engine.Engine) error {
+			var err error
+			deps, err = e.Deps(r.URL.Query().Get("node"), r.URL.Query().Get("to"))
+			return err
+		})
+		if err != nil {
+			writeError(w, r, opStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, deps)
 	}))
 
 	handle("GET /v1/sessions/{id}/menu/{column}", "menu", withSession(m, func(w http.ResponseWriter, r *http.Request, s *Session) {

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"sheetmusiq/internal/engine"
+)
+
+// TestServerDepsEndpoint exercises GET /deps end-to-end over a scripted
+// multi-depth sheet (an aggregate over a formula over a formula over a base
+// column, with a depth-1 predicate): the full graph carries the reference
+// chain, a focused query reports the impact closure and the path between
+// two nodes, and a subsequent modification advances the exact-invalidation
+// counter visible at /v1/metrics.
+func TestServerDepsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	id := c.create("")
+	c.op(id, engine.Op{Op: "demo", Table: "cars"})
+	c.op(id, engine.Op{Op: "formula", Name: "F1", Formula: "Price / 1000"})
+	c.op(id, engine.Op{Op: "formula", Name: "F2", Formula: "F1 * 2"})
+	c.op(id, engine.Op{Op: "agg", Fn: "avg", Column: "F2", Level: 1, Name: "A"})
+	c.op(id, engine.Op{Op: "select", Predicate: "A > 0"})
+
+	var full engine.DepsInfo
+	if code := c.do("GET", "/v1/sessions/"+id+"/deps", nil, &full); code != http.StatusOK {
+		t.Fatalf("deps: status %d", code)
+	}
+	if full.Sheet != "cars" || len(full.Nodes) == 0 {
+		t.Fatalf("full graph: %+v", full)
+	}
+	nodes := map[string]bool{}
+	for _, n := range full.Nodes {
+		nodes[n.ID] = true
+	}
+	for _, want := range []string{"base", "basecol:price", "col:f1", "col:f2", "col:a", "sel:1"} {
+		if !nodes[want] {
+			t.Fatalf("full graph missing node %s: %+v", want, full.Nodes)
+		}
+	}
+	edges := map[string]bool{}
+	for _, e := range full.Edges {
+		edges[e.From+"→"+e.To] = true
+	}
+	for _, want := range []string{
+		"basecol:price→col:f1",
+		"col:f1→col:f2",
+		"col:f2→col:a",
+		"col:a→sel:1",
+	} {
+		if !edges[want] {
+			t.Fatalf("full graph missing edge %s; have %v", want, full.Edges)
+		}
+	}
+
+	// Focused impact query: everything downstream of F1.
+	var focus engine.DepsInfo
+	if code := c.do("GET", "/v1/sessions/"+id+"/deps?node=f1", nil, &focus); code != http.StatusOK {
+		t.Fatalf("deps?node=f1: status %d", code)
+	}
+	if focus.Node != "col:f1" {
+		t.Fatalf("resolved %q, want col:f1", focus.Node)
+	}
+	impact := strings.Join(focus.Dependents, " ")
+	for _, want := range []string{"col:f2", "col:a", "sel:1"} {
+		if !strings.Contains(impact, want) {
+			t.Fatalf("dependents of F1 = %v, missing %s", focus.Dependents, want)
+		}
+	}
+
+	// Path between a base column and the aggregate built on it.
+	var path engine.DepsInfo
+	if code := c.do("GET", "/v1/sessions/"+id+"/deps?node=Price&to=A", nil, &path); code != http.StatusOK {
+		t.Fatalf("deps path: status %d", code)
+	}
+	want := []string{"basecol:price", "col:f1", "col:f2", "col:a"}
+	if len(path.Path) != len(want) {
+		t.Fatalf("path = %v, want %v", path.Path, want)
+	}
+	for i := range want {
+		if path.Path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path.Path, want)
+		}
+	}
+
+	// Modifying the predicate stales only its dependency cone; the graph
+	// invalidation counter at /v1/metrics must advance.
+	type metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	var m0 metrics
+	if code := c.do("GET", "/v1/metrics", nil, &m0); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	c.op(id, engine.Op{Op: "modify", ID: 1, Predicate: "A > 1"})
+	var m1 metrics
+	if code := c.do("GET", "/v1/metrics", nil, &m1); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if d := m1.Counters["core.eval.invalidate.exact"] - m0.Counters["core.eval.invalidate.exact"]; d <= 0 {
+		t.Fatalf("core.eval.invalidate.exact advanced by %d after modify, want > 0", d)
+	}
+
+	// Unknown node is a client error; a session without a sheet gets the
+	// uniform 409.
+	if code := c.do("GET", "/v1/sessions/"+id+"/deps?node=NoSuchThing", nil, nil); code < 400 || code >= 500 {
+		t.Fatalf("unknown node: status %d, want 4xx", code)
+	}
+	id2 := c.create("")
+	if code := c.do("GET", "/v1/sessions/"+id2+"/deps", nil, nil); code != http.StatusConflict {
+		t.Fatalf("deps without sheet: status %d", code)
+	}
+}

@@ -23,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_GATE_PATTERN:-^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k|BenchmarkTPCHQ1SF1)$}"
+PATTERN="${BENCH_GATE_PATTERN:-^(BenchmarkSelection100k|BenchmarkFormulaEvaluate100k|BenchmarkAggregate100k|BenchmarkGroupAggregate100k|BenchmarkSort100k|BenchmarkHashJoin1kx1k|BenchmarkWindowRank100k|BenchmarkMovingSum100k|BenchmarkInvalidationPrecision100k|BenchmarkTPCHQ1SF1)$}"
 BASELINE="${BENCH_GATE_BASELINE:-BENCH_eval.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-0.9}"
 ALLOC_LIMIT="${BENCH_GATE_ALLOC_LIMIT:-1.25}"
